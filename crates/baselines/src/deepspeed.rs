@@ -1,0 +1,80 @@
+//! DeepSpeed-Inference-style expert-agnostic offloading.
+//!
+//! DeepSpeed-Inference offloads layer-wise parameters without expert
+//! awareness: no prediction, no prefetching — every non-resident expert is
+//! loaded on demand when its layer needs it (§6.1 baseline 4; the paper
+//! adds an expert cache to it for fairness, which our engine provides to
+//! all policies).
+
+use fmoe_serving::{ExpertPredictor, IterationContext, PredictorTiming, PrefetchPlan};
+
+/// The expert-agnostic baseline: never predicts, never prefetches.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DeepSpeedPredictor;
+
+impl DeepSpeedPredictor {
+    /// Creates the predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ExpertPredictor for DeepSpeedPredictor {
+    fn name(&self) -> String {
+        "DeepSpeed-Inference".into()
+    }
+
+    fn timing(&self) -> PredictorTiming {
+        PredictorTiming::free()
+    }
+
+    fn begin_iteration(&mut self, _ctx: &IterationContext) -> Vec<PrefetchPlan> {
+        Vec::new()
+    }
+
+    fn observe_gate(
+        &mut self,
+        _ctx: &IterationContext,
+        _layer: u32,
+        _distribution: &[f64],
+    ) -> Vec<PrefetchPlan> {
+        Vec::new()
+    }
+
+    fn end_iteration(&mut self, _ctx: &IterationContext, _realized_map: &[Vec<f64>]) {}
+
+    fn loads_entire_layer(&self) -> bool {
+        // Layer-wise parameter offloading: expert-agnostic — the entire
+        // layer's expert weights stream through GPU memory.
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmoe_model::gate::TokenSpan;
+    use fmoe_model::RequestRouting;
+
+    #[test]
+    fn never_plans_anything() {
+        let mut p = DeepSpeedPredictor::new();
+        let ctx = IterationContext {
+            element: 0,
+            request_id: 0,
+            iteration: 0,
+            is_prefill: true,
+            span: TokenSpan::prefill(4),
+            embedding: vec![1.0],
+            routing: RequestRouting {
+                cluster: 0,
+                request_seed: 0,
+            },
+        };
+        assert!(p.begin_iteration(&ctx).is_empty());
+        assert!(p.observe_gate(&ctx, 3, &[0.9, 0.1]).is_empty());
+        assert_eq!(p.timing(), PredictorTiming::free());
+        assert_eq!(p.name(), "DeepSpeed-Inference");
+    }
+}

@@ -1,0 +1,47 @@
+//! Policy-level reimplementations of the paper's four baselines plus two
+//! reference points, all running on the same `fmoe-serving` engine —
+//! mirroring the paper, which ported every baseline onto the MoE-Infinity
+//! codebase for fairness (§6.1).
+//!
+//! | Baseline | Prediction | Prefetch | Cache | Sync? |
+//! |---|---|---|---|---|
+//! | [`DeepSpeedPredictor`] | none (expert-agnostic) | none | any | — |
+//! | [`MixtralOffloadingPredictor`] | distance-1 speculation from the current gate | next layer | LRU | yes |
+//! | [`ProMoePredictor`] | sliding-window stride predictor (learned-predictor stand-in) | distance `d` | LFU | no |
+//! | [`MoeInfinityPredictor`] | request-level Expert Activation Matrix matching | upcoming layers | LFU | yes |
+//! | [`SwapMoePredictor`] | slow-adapting critical-expert set (related work) | request boundary | LFU | no |
+//! | [`OraclePredictor`] | ground truth (cheats via the router) | distance `d` | any | no |
+//! | No-offload | — | — | everything preloaded | — |
+//!
+//! No-offload is not a predictor: configure the engine with
+//! `EngineConfig { preload_all: true, .. }` and a budget that fits the
+//! model.
+//!
+//! ```
+//! use fmoe_baselines::MixtralOffloadingPredictor;
+//! use fmoe_model::presets;
+//! use fmoe_serving::ExpertPredictor;
+//!
+//! let baseline = MixtralOffloadingPredictor::new(&presets::mixtral_8x7b());
+//! // Its design signature: synchronous, blocking speculative loads.
+//! let timing = baseline.timing();
+//! assert!(timing.synchronous);
+//! assert!(timing.blocking_prefetch);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deepspeed;
+pub mod mixtral_offloading;
+pub mod moe_infinity;
+pub mod oracle;
+pub mod promoe;
+pub mod swapmoe;
+
+pub use deepspeed::DeepSpeedPredictor;
+pub use mixtral_offloading::MixtralOffloadingPredictor;
+pub use moe_infinity::MoeInfinityPredictor;
+pub use oracle::OraclePredictor;
+pub use promoe::ProMoePredictor;
+pub use swapmoe::SwapMoePredictor;

@@ -1,0 +1,147 @@
+//! Oracle reference: prefetches exactly the experts that *will* activate.
+//!
+//! Not a baseline from the paper — an upper bound for our harness. The
+//! oracle reads the ground-truth routing identity from the iteration
+//! context (which honest policies must ignore) and queries the router
+//! directly for the activated slots of layer `l + d`. Any gap between the
+//! oracle's hit rate and 100% is purely a *timeliness* gap (transfers not
+//! finishing within `d` layers of lead time), which isolates
+//! prediction-quality effects from bandwidth effects in experiments.
+
+use fmoe_model::{ExpertId, GateSimulator};
+use fmoe_serving::{ExpertPredictor, IterationContext, PredictorTiming, PrefetchPlan};
+
+/// The cheating reference predictor.
+#[derive(Debug, Clone)]
+pub struct OraclePredictor {
+    gate: GateSimulator,
+    distance: u32,
+    window: u32,
+}
+
+impl OraclePredictor {
+    /// Creates an oracle around the same router the engine uses, with the
+    /// same 4-layer prefetch-window depth fMoE uses by default.
+    #[must_use]
+    pub fn new(gate: GateSimulator, distance: u32) -> Self {
+        Self {
+            gate,
+            distance: distance.max(1),
+            window: 4,
+        }
+    }
+
+    /// Overrides the prefetch-window depth.
+    #[must_use]
+    pub fn with_window(mut self, window: u32) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    fn plans_for_layer(&self, ctx: &IterationContext, layer: u32) -> Vec<PrefetchPlan> {
+        self.gate
+            .activated_slots(ctx.routing, ctx.iteration, layer, ctx.span)
+            .into_iter()
+            .map(|slot| PrefetchPlan::fetch(ExpertId::new(layer, slot), 1.0))
+            .collect()
+    }
+}
+
+impl ExpertPredictor for OraclePredictor {
+    fn name(&self) -> String {
+        "Oracle".into()
+    }
+
+    fn timing(&self) -> PredictorTiming {
+        PredictorTiming::free()
+    }
+
+    fn begin_iteration(&mut self, ctx: &IterationContext) -> Vec<PrefetchPlan> {
+        let d = self.distance.min(self.gate.config().num_layers);
+        (0..d).flat_map(|l| self.plans_for_layer(ctx, l)).collect()
+    }
+
+    fn observe_gate(
+        &mut self,
+        ctx: &IterationContext,
+        layer: u32,
+        _distribution: &[f64],
+    ) -> Vec<PrefetchPlan> {
+        let layers = self.gate.config().num_layers;
+        let target = layer + self.distance;
+        if target >= layers {
+            return Vec::new();
+        }
+        let end = (target + self.window).min(layers);
+        (target..end)
+            .flat_map(|t| self.plans_for_layer(ctx, t))
+            .collect()
+    }
+
+    fn end_iteration(&mut self, _ctx: &IterationContext, _realized_map: &[Vec<f64>]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmoe_model::gate::TokenSpan;
+    use fmoe_model::{presets, GateParams, RequestRouting};
+
+    fn gate() -> GateSimulator {
+        let cfg = presets::small_test_model();
+        GateSimulator::new(cfg.clone(), GateParams::for_model(&cfg))
+    }
+
+    fn ctx(iteration: u64) -> IterationContext {
+        IterationContext {
+            element: 0,
+            request_id: 0,
+            iteration,
+            is_prefill: iteration == 0,
+            span: TokenSpan::single(7 + iteration),
+            embedding: vec![1.0],
+            routing: RequestRouting {
+                cluster: 3,
+                request_seed: 42,
+            },
+        }
+    }
+
+    #[test]
+    fn oracle_predicts_exactly_the_activated_experts() {
+        let g = gate();
+        let mut o = OraclePredictor::new(g.clone(), 2).with_window(1);
+        let c = ctx(1);
+        let plans = o.observe_gate(&c, 1, &[0.0; 8]);
+        let truth = g.activated_slots(c.routing, c.iteration, 3, c.span);
+        let planned: Vec<u32> = plans.iter().map(|p| p.expert.slot).collect();
+        assert_eq!(planned, truth);
+        assert!(plans
+            .iter()
+            .all(|p| p.expert.layer == 3 && p.probability == 1.0));
+    }
+
+    #[test]
+    fn begin_iteration_covers_initial_window() {
+        let g = gate();
+        let mut o = OraclePredictor::new(g.clone(), 3);
+        let c = ctx(0);
+        let plans = o.begin_iteration(&c);
+        assert!(plans.iter().all(|p| p.expert.layer < 3));
+        // Perfect coverage of layer 0's activations.
+        let truth = g.activated_slots(c.routing, 0, 0, c.span);
+        for slot in truth {
+            assert!(plans
+                .iter()
+                .any(|p| p.expert.layer == 0 && p.expert.slot == slot));
+        }
+    }
+
+    #[test]
+    fn nothing_beyond_last_layer() {
+        let g = gate();
+        let last = g.config().num_layers - 1;
+        let mut o = OraclePredictor::new(g, 1);
+        assert!(o.observe_gate(&ctx(1), last, &[0.0; 8]).is_empty());
+    }
+}

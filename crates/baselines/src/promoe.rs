@@ -1,0 +1,219 @@
+//! ProMoE-style proactive speculative prefetching (Song et al., 2024).
+//!
+//! ProMoE trains a small predictor per MoE layer that speculates the
+//! experts of layer `l + d` from the hidden state at layer `l`, in a
+//! sliding-window, *stride*-based schedule, issued asynchronously so the
+//! forward pass never waits on prediction. Its code is closed-source; the
+//! paper reproduced it "in our best effort" on MoE-Infinity, and we do the
+//! same at the policy level: the learned predictor is stood in by a blend
+//! of
+//!
+//! * **speculation** — the current layer's distribution carried forward
+//!   (the signal a hidden-state predictor extracts, decaying with
+//!   distance), and
+//! * **per-layer recency** — an exponential moving average of each
+//!   layer's recent distributions (the window the stride predictor is
+//!   trained over).
+//!
+//! The blend puts it between Mixtral-Offloading (pure distance-1
+//! speculation) and MoE-Infinity (pure aggregation), matching the paper's
+//! measured ordering.
+
+use fmoe_model::{ExpertId, ModelConfig};
+use fmoe_serving::{ExpertPredictor, IterationContext, PredictorTiming, PrefetchPlan};
+
+/// The ProMoE stand-in predictor.
+#[derive(Debug, Clone)]
+pub struct ProMoePredictor {
+    num_layers: u32,
+    experts_per_layer: u32,
+    distance: u32,
+    prefetch_per_layer: usize,
+    /// EMA decay for the per-layer window.
+    alpha: f64,
+    /// Weight of speculation vs. the EMA in the blend.
+    speculation_weight: f64,
+    /// Per-layer EMA of recent distributions.
+    ema: Vec<Vec<f64>>,
+    latency_ns: u64,
+}
+
+impl ProMoePredictor {
+    /// Creates the baseline with distance 3 (the paper profiles d = 3 for
+    /// all prefetching systems) and width `K + 1`.
+    #[must_use]
+    pub fn new(model: &ModelConfig) -> Self {
+        let j = model.experts_per_layer as usize;
+        Self {
+            num_layers: model.num_layers,
+            experts_per_layer: model.experts_per_layer,
+            distance: 3,
+            prefetch_per_layer: model.top_k as usize + 1,
+            alpha: 0.3,
+            speculation_weight: 0.6,
+            ema: vec![vec![1.0 / j as f64; j]; model.num_layers as usize],
+            latency_ns: 250_000, // asynchronous predictor invocation
+        }
+    }
+
+    /// Overrides the prefetch distance.
+    #[must_use]
+    pub fn with_distance(mut self, d: u32) -> Self {
+        self.distance = d.max(1);
+        self
+    }
+
+    fn blend(&self, current: &[f64], target_layer: u32) -> Vec<f64> {
+        let ema = &self.ema[target_layer as usize];
+        current
+            .iter()
+            .zip(ema)
+            .map(|(&c, &e)| self.speculation_weight * c + (1.0 - self.speculation_weight) * e)
+            .collect()
+    }
+
+    fn top_plans(&self, scores: &[f64], target_layer: u32) -> Vec<PrefetchPlan> {
+        let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
+        ranked
+            .into_iter()
+            .take(self.prefetch_per_layer)
+            .map(|(slot, p)| PrefetchPlan::fetch(ExpertId::new(target_layer, slot as u32), p))
+            .collect()
+    }
+}
+
+impl ExpertPredictor for ProMoePredictor {
+    fn name(&self) -> String {
+        "ProMoE".into()
+    }
+
+    fn timing(&self) -> PredictorTiming {
+        PredictorTiming {
+            latency_ns: self.latency_ns,
+            synchronous: false,
+            blocking_prefetch: false,
+            update_ns: 100_000,
+        }
+    }
+
+    fn begin_iteration(&mut self, _ctx: &IterationContext) -> Vec<PrefetchPlan> {
+        // Initial window: the per-layer EMAs are the only signal (ProMoE's
+        // predictors have no hidden state before layer 0 either).
+        let d = self.distance.min(self.num_layers);
+        let mut plans = Vec::new();
+        for layer in 0..d {
+            let ema = self.ema[layer as usize].clone();
+            plans.extend(self.top_plans(&ema, layer));
+        }
+        plans
+    }
+
+    fn observe_gate(
+        &mut self,
+        _ctx: &IterationContext,
+        layer: u32,
+        distribution: &[f64],
+    ) -> Vec<PrefetchPlan> {
+        // Slide the window for this layer.
+        debug_assert_eq!(distribution.len(), self.experts_per_layer as usize);
+        let ema = &mut self.ema[layer as usize];
+        for (e, &p) in ema.iter_mut().zip(distribution) {
+            *e = (1.0 - self.alpha) * *e + self.alpha * p;
+        }
+
+        let target = layer + self.distance;
+        if target >= self.num_layers {
+            return Vec::new();
+        }
+        let blended = self.blend(distribution, target);
+        self.top_plans(&blended, target)
+    }
+
+    fn end_iteration(&mut self, _ctx: &IterationContext, _realized_map: &[Vec<f64>]) {}
+
+    fn reset(&mut self) {
+        let j = self.experts_per_layer as usize;
+        self.ema = vec![vec![1.0 / j as f64; j]; self.num_layers as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmoe_model::gate::TokenSpan;
+    use fmoe_model::{presets, RequestRouting};
+
+    fn ctx() -> IterationContext {
+        IterationContext {
+            element: 0,
+            request_id: 0,
+            iteration: 1,
+            is_prefill: false,
+            span: TokenSpan::single(3),
+            embedding: vec![1.0],
+            routing: RequestRouting {
+                cluster: 0,
+                request_seed: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn targets_layer_plus_d() {
+        let m = presets::small_test_model();
+        let mut p = ProMoePredictor::new(&m);
+        let dist = [0.5, 0.2, 0.1, 0.05, 0.05, 0.05, 0.03, 0.02];
+        let plans = p.observe_gate(&ctx(), 1, &dist);
+        assert!(!plans.is_empty());
+        assert!(plans.iter().all(|pl| pl.expert.layer == 4));
+        assert!(p.observe_gate(&ctx(), m.num_layers - 1, &dist).is_empty());
+    }
+
+    #[test]
+    fn ema_learns_recent_activity() {
+        let m = presets::small_test_model();
+        let mut p = ProMoePredictor::new(&m);
+        // Hammer layer 4 with a slot-6-dominant distribution.
+        let mut dist = vec![0.01; 8];
+        dist[6] = 0.93;
+        for _ in 0..20 {
+            let _ = p.observe_gate(&ctx(), 4, &dist);
+        }
+        // Now speculate from a flat distribution at layer 1 targeting
+        // layer 4: the EMA share should push slot 6 into the plans.
+        let flat = vec![0.125; 8];
+        let plans = p.observe_gate(&ctx(), 1, &flat);
+        assert!(plans.iter().any(|pl| pl.expert.slot == 6));
+    }
+
+    #[test]
+    fn begin_iteration_covers_initial_window() {
+        let m = presets::small_test_model();
+        let mut p = ProMoePredictor::new(&m).with_distance(2);
+        let plans = p.begin_iteration(&ctx());
+        assert!(!plans.is_empty());
+        assert!(plans.iter().all(|pl| pl.expert.layer < 2));
+    }
+
+    #[test]
+    fn is_asynchronous() {
+        let p = ProMoePredictor::new(&presets::small_test_model());
+        assert!(!p.timing().synchronous);
+    }
+
+    #[test]
+    fn reset_restores_uniform_ema() {
+        let m = presets::small_test_model();
+        let mut p = ProMoePredictor::new(&m);
+        let mut dist = vec![0.0; 8];
+        dist[0] = 1.0;
+        let _ = p.observe_gate(&ctx(), 0, &dist);
+        p.reset();
+        assert!(p.ema[0].iter().all(|&e| (e - 0.125).abs() < 1e-12));
+    }
+}

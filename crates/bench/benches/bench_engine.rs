@@ -1,0 +1,92 @@
+//! Criterion macrobenchmarks: end-to-end simulated serving throughput of
+//! the engine for each policy. These measure *harness* wall-time per
+//! simulated request (virtual time is free), demonstrating the simulator
+//! runs thousands of times faster than the system it models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmoe_bench::harness::{CellConfig, System};
+use fmoe_model::presets;
+use fmoe_workload::DatasetSpec;
+use std::hint::black_box;
+
+fn bench_serve_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_request_mixtral");
+    group.sample_size(10);
+    for system in [System::DeepSpeed, System::Fmoe] {
+        let cell = CellConfig::new(presets::mixtral_8x7b(), DatasetSpec::lmsys_chat(), system);
+        let gate = cell.gate();
+        let (history, test) = cell.split();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.name()),
+            &system,
+            |b, _| {
+                let mut predictor = cell.predictor(&gate, &history);
+                let mut engine = cell.engine(cell.gate());
+                let mut i = 0usize;
+                b.iter(|| {
+                    let mut p = test[i % test.len()];
+                    p.output_tokens = p.output_tokens.min(8);
+                    i += 1;
+                    black_box(engine.serve_request(p, predictor.as_mut()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_cell");
+    group.sample_size(10);
+    let mut cell = CellConfig::new(
+        presets::phi35_moe(),
+        DatasetSpec::lmsys_chat(),
+        System::Fmoe,
+    );
+    cell.test_requests = 4;
+    cell.max_decode = 8;
+    cell.warmup_requests = 1;
+    group.bench_function("fmoe_phi_4req", |b| {
+        b.iter(|| black_box(cell.run_offline()));
+    });
+    group.finish();
+}
+
+fn bench_continuous_batching(c: &mut Criterion) {
+    use fmoe_serving::online::serve_trace_continuous;
+    use fmoe_workload::AzureTraceSpec;
+    let mut group = c.benchmark_group("continuous_batching");
+    group.sample_size(10);
+    let mut cell = CellConfig::new(
+        presets::phi35_moe(),
+        DatasetSpec::lmsys_chat(),
+        System::Fmoe,
+    );
+    cell.max_decode = 8;
+    cell.warmup_requests = 0;
+    let mut spec = AzureTraceSpec::paper_online_serving(DatasetSpec::lmsys_chat());
+    spec.num_requests = 8;
+    let trace = spec.generate();
+    group.bench_function("fmoe_phi_8req_4slots", |b| {
+        b.iter(|| {
+            let gate = cell.gate();
+            let mut predictor = cell.predictor(&gate, &[]);
+            let mut engine = cell.engine(cell.gate());
+            black_box(serve_trace_continuous(
+                &mut engine,
+                &trace,
+                predictor.as_mut(),
+                4,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serve_request,
+    bench_full_cell,
+    bench_continuous_batching
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks for the Expert Map Matcher — the component
+//! whose latency the engine's `matching_latency_ns` models (§6.7). These
+//! measure the Rust implementation; the paper's Python matcher is slower,
+//! which is why the engine's latency model is configurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmoe::map::ExpertMap;
+use fmoe::matcher::{Matcher, TrajectoryTracker};
+use fmoe::store::ExpertMapStore;
+use fmoe_model::gate::TokenSpan;
+use fmoe_model::{presets, GateParams, GateSimulator, RequestRouting};
+use std::hint::black_box;
+
+fn build_store(capacity: usize) -> (GateSimulator, ExpertMapStore) {
+    let model = presets::mixtral_8x7b();
+    let gate = GateSimulator::new(model.clone(), GateParams::for_model(&model));
+    let mut store = ExpertMapStore::new(
+        capacity,
+        model.num_layers as usize,
+        model.experts_per_layer as usize,
+        3,
+    );
+    let mut i = 0u64;
+    while store.len() < capacity {
+        let routing = RequestRouting {
+            cluster: i % 40,
+            request_seed: i,
+        };
+        let iter = i % 6;
+        let span = TokenSpan::single(32 + iter);
+        let rows: Vec<Vec<f64>> = (0..model.num_layers)
+            .map(|l| gate.iteration_distribution(routing, iter, l, span))
+            .collect();
+        store.insert(gate.semantic_embedding(routing, iter), ExpertMap::new(rows));
+        i += 1;
+    }
+    (gate, store)
+}
+
+fn bench_semantic_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semantic_match");
+    for capacity in [100usize, 1000] {
+        let (gate, store) = build_store(capacity);
+        let query = gate.semantic_embedding(
+            RequestRouting {
+                cluster: 3,
+                request_seed: 999,
+            },
+            2,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(capacity), &capacity, |b, _| {
+            b.iter(|| black_box(Matcher::semantic_match(&store, black_box(&query))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trajectory_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trajectory_observe_layer");
+    for capacity in [100usize, 1000] {
+        let (gate, store) = build_store(capacity);
+        let routing = RequestRouting {
+            cluster: 5,
+            request_seed: 4242,
+        };
+        let dist = gate.iteration_distribution(routing, 1, 0, TokenSpan::single(16));
+        group.bench_with_input(BenchmarkId::from_parameter(capacity), &capacity, |b, _| {
+            b.iter(|| {
+                let mut tracker = TrajectoryTracker::new();
+                tracker.reset(&store);
+                for _ in 0..8 {
+                    tracker.observe_layer(&store, black_box(&dist));
+                }
+                black_box(tracker.best(&store))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_insert_at_capacity(c: &mut Criterion) {
+    // Insertion at capacity runs the full redundancy-scored dedup scan.
+    let (gate, mut store) = build_store(1000);
+    let routing = RequestRouting {
+        cluster: 9,
+        request_seed: 777_777,
+    };
+    let model = presets::mixtral_8x7b();
+    let rows: Vec<Vec<f64>> = (0..model.num_layers)
+        .map(|l| gate.iteration_distribution(routing, 2, l, TokenSpan::single(40)))
+        .collect();
+    let emb = gate.semantic_embedding(routing, 2);
+    c.bench_function("store_insert_dedup_1k", |b| {
+        b.iter(|| {
+            store.insert(
+                black_box(emb.clone()),
+                black_box(ExpertMap::new(rows.clone())),
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_semantic_match,
+    bench_trajectory_incremental,
+    bench_store_insert_at_capacity
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks for the substrate components: the synthetic
+//! router, the expert cache, and the transfer engine. These bound the
+//! simulator's own overhead, guaranteeing experiment wall-times stay
+//! dominated by the modeled system, not the harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmoe_cache::{ExpertCache, FmoePriorityPolicy, LruPolicy};
+use fmoe_memsim::{GpuId, Topology, TransferEngine};
+use fmoe_model::gate::TokenSpan;
+use fmoe_model::{presets, ExpertId, GateParams, GateSimulator, RequestRouting};
+use std::hint::black_box;
+
+fn bench_gate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate");
+    for model in [presets::mixtral_8x7b(), presets::qwen15_moe_a27b()] {
+        let gate = GateSimulator::new(model.clone(), GateParams::for_model(&model));
+        let routing = RequestRouting {
+            cluster: 2,
+            request_seed: 7,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("decode_distribution", &model.name),
+            &model,
+            |b, _| {
+                b.iter(|| {
+                    black_box(gate.iteration_distribution(
+                        routing,
+                        black_box(3),
+                        black_box(5),
+                        TokenSpan::single(64),
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("prefill_activated_256tok", &model.name),
+            &model,
+            |b, _| {
+                b.iter(|| {
+                    black_box(gate.activated_slots(
+                        routing,
+                        0,
+                        black_box(5),
+                        TokenSpan::prefill(256),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let model = presets::mixtral_8x7b();
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("insert_evict_lru", |b| {
+        let budget = model.expert_bytes() * 60;
+        let mut cache = ExpertCache::new(&model, budget, 6, Box::new(LruPolicy::new()));
+        let mut i = 0usize;
+        b.iter(|| {
+            let e = ExpertId::from_dense_index(i % 256, 8);
+            i += 1;
+            black_box(cache.insert(e, i as u64))
+        });
+    });
+    group.bench_function("insert_evict_fmoe_priority", |b| {
+        let budget = model.expert_bytes() * 60;
+        let mut cache = ExpertCache::new(&model, budget, 6, Box::new(FmoePriorityPolicy::new()));
+        let mut i = 0usize;
+        b.iter(|| {
+            let e = ExpertId::from_dense_index(i % 256, 8);
+            cache.update_probability(e, 0.3);
+            i += 1;
+            black_box(cache.insert(e, i as u64))
+        });
+    });
+    group.finish();
+}
+
+fn bench_transfer_engine(c: &mut Criterion) {
+    let topo = Topology::paper_testbed();
+    c.bench_function("transfer_submit_advance_drain", |b| {
+        let mut engine = TransferEngine::new(&topo);
+        let mut t = 0u64;
+        let mut tag = 0u64;
+        b.iter(|| {
+            for g in 0..6u32 {
+                engine.submit_prefetch(GpuId(g), tag, 64 << 20, t);
+                tag += 1;
+            }
+            t += 5_000_000;
+            engine.advance_to(t);
+            black_box(engine.drain_completions().len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_gate, bench_cache, bench_transfer_engine);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Extended ablations of fMoE's secondary design choices (`DESIGN.md` §6)
+//! — not paper figures, but the knobs the paper's design text motivates:
+//!
+//! 1. Store replacement at capacity: redundancy-scored dedup (the paper's
+//!    §4.4) vs FIFO vs random, measured by the match scores achieved.
+//! 2. Prefetch issue ordering: `PRI = p/(l − l_now)` vs FIFO.
+//! 3. Matcher placement: asynchronous pub/sub (§4.3) vs synchronous.
+//! 4. Prefetch window depth.
+//!
+//! ```sh
+//! cargo run --release -p fmoe-bench --bin ablation_design_choices
+//! ```
+
+use fmoe::map::ExpertMap;
+use fmoe::matcher::Matcher;
+use fmoe::store::{ExpertMapStore, ReplacementPolicy};
+use fmoe::FmoeConfig;
+use fmoe_bench::harness::{CellConfig, System};
+use fmoe_bench::report::{write_csv, Table};
+use fmoe_model::gate::TokenSpan;
+use fmoe_model::{presets, GateParams, GateSimulator};
+use fmoe_serving::AggregateMetrics;
+use fmoe_workload::{split, DatasetSpec};
+
+/// Runs a Mixtral fMoE cell with a customized config.
+fn run_with(configure: impl Fn(FmoeConfig) -> FmoeConfig) -> AggregateMetrics {
+    let model = presets::mixtral_8x7b();
+    let cell = {
+        let mut c = CellConfig::new(model.clone(), DatasetSpec::lmsys_chat(), System::Fmoe);
+        c.test_requests = 8;
+        c.max_decode = 16;
+        c
+    };
+    let gate = cell.gate();
+    let (history, test) = cell.split();
+    let config = configure(FmoeConfig::for_model(&model));
+    let mut predictor = fmoe::FmoePredictor::new(model.clone(), config);
+    let hist: Vec<fmoe::predictor::HistoryRequest> = history
+        .iter()
+        .map(|p| fmoe::predictor::HistoryRequest {
+            routing: p.routing,
+            prompt_tokens: p.prompt_tokens,
+            iterations: p.iterations().min(cell.max_history_iterations),
+        })
+        .collect();
+    predictor.populate_from_history(&gate, &hist, cell.max_history_iterations);
+    let mut engine = cell.engine(gate);
+    for p in history.iter().take(cell.warmup_requests) {
+        let _ = engine.serve_request(*p, &mut predictor);
+    }
+    let metrics: Vec<_> = test
+        .iter()
+        .take(cell.test_requests)
+        .map(|p| engine.serve_request(*p, &mut predictor))
+        .collect();
+    AggregateMetrics::from_requests(&metrics)
+}
+
+fn replacement_ablation() {
+    // Overfill a small store from a broad population, then measure the
+    // semantic match quality fresh queries achieve.
+    let model = presets::small_test_model();
+    let gate = GateSimulator::new(model.clone(), GateParams::for_model(&model));
+    let prompts = DatasetSpec::lmsys_chat().prompts(600);
+    let (history, test) = split::paper_split(&prompts);
+
+    let mut table = Table::new(
+        "Ablation: store replacement policy (mean semantic match score, C=64)",
+        &["policy", "mean score", "replacements"],
+    );
+    for (name, policy) in [
+        ("redundancy (paper)", ReplacementPolicy::Redundancy),
+        ("FIFO", ReplacementPolicy::Fifo),
+        ("random", ReplacementPolicy::Random),
+    ] {
+        let mut store = ExpertMapStore::new(
+            64,
+            model.num_layers as usize,
+            model.experts_per_layer as usize,
+            3,
+        )
+        .with_replacement(policy);
+        for p in history.iter().take(300) {
+            for iter in 0..p.iterations().min(3) {
+                let span = if iter == 0 {
+                    TokenSpan::prefill(p.prompt_tokens)
+                } else {
+                    TokenSpan::single(p.prompt_tokens + iter - 1)
+                };
+                let rows: Vec<Vec<f64>> = (0..model.num_layers)
+                    .map(|l| gate.iteration_distribution(p.routing, iter, l, span))
+                    .collect();
+                store.insert(
+                    gate.semantic_embedding(p.routing, iter),
+                    ExpertMap::new(rows),
+                );
+            }
+        }
+        let mut sum = 0.0;
+        let mut n = 0.0;
+        for p in test.iter().take(40) {
+            for iter in 0..p.iterations().min(3) {
+                if let Some(m) =
+                    Matcher::semantic_match(&store, &gate.semantic_embedding(p.routing, iter))
+                {
+                    sum += m.score;
+                    n += 1.0;
+                }
+            }
+        }
+        table.row(vec![
+            name.into(),
+            format!("{:.3}", sum / n),
+            store.stats().replaced.to_string(),
+        ]);
+    }
+    table.print();
+    let _ = write_csv(&table, "ablation_store_replacement");
+    println!("expected: redundancy-scored dedup preserves diversity, so fresh");
+    println!("queries find better matches than FIFO/random replacement.\n");
+}
+
+fn ordering_and_placement_ablation() {
+    let mut table = Table::new(
+        "Ablation: prefetch ordering and matcher placement (Mixtral-8x7B)",
+        &["variant", "TTFT (ms)", "TPOT (ms)", "hit rate"],
+    );
+    type Configure = Box<dyn Fn(FmoeConfig) -> FmoeConfig>;
+    let cells: Vec<(&str, Configure)> = vec![
+        ("fMoE (full)", Box::new(|c: FmoeConfig| c)),
+        (
+            "FIFO prefetch order",
+            Box::new(|mut c: FmoeConfig| {
+                c.use_priority_ordering = false;
+                c
+            }),
+        ),
+        (
+            "synchronous matcher",
+            Box::new(|mut c: FmoeConfig| {
+                c.synchronous_matcher = true;
+                c
+            }),
+        ),
+        (
+            "window = 1",
+            Box::new(|mut c: FmoeConfig| {
+                c.prefetch_window = 1;
+                c
+            }),
+        ),
+        (
+            "window = 8",
+            Box::new(|mut c: FmoeConfig| {
+                c.prefetch_window = 8;
+                c
+            }),
+        ),
+    ];
+    for (name, configure) in cells {
+        let a = run_with(configure);
+        table.row(vec![
+            name.into(),
+            format!("{:.0}", a.mean_ttft_ms),
+            format!("{:.0}", a.mean_tpot_ms),
+            format!("{:.1}%", a.hit_rate * 100.0),
+        ]);
+    }
+    table.print();
+    let _ = write_csv(&table, "ablation_ordering_placement");
+    println!("expected: FIFO ordering delays near-layer experts (lower hit rate);");
+    println!("a synchronous matcher pushes its latency onto every layer boundary");
+    println!("(worse TTFT/TPOT even when the extra stall raises the hit rate);");
+    println!("window=1 starves the links; depth 4-8 is the sweet region.");
+}
+
+fn main() {
+    replacement_ablation();
+    ordering_and_placement_ablation();
+}

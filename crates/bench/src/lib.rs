@@ -1,0 +1,22 @@
+//! Experiment harness for regenerating every table and figure of the
+//! paper's evaluation (§6).
+//!
+//! Each figure/table has a binary in `src/bin/` (see `DESIGN.md` §5 for
+//! the index). This library holds what they share:
+//!
+//! * [`harness`] — experiment cells: `(model, dataset, system)` → a
+//!   configured engine + predictor pair, offline store pre-population
+//!   (the 70/30 split), and the standard offline run.
+//! * [`report`] — aligned text tables and CSV emission under
+//!   `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod plot;
+pub mod report;
+
+pub use harness::{CellConfig, System, SystemOutcome};
+pub use plot::{LinePlot, Series};
+pub use report::{write_csv, Table};

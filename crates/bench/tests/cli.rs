@@ -1,0 +1,155 @@
+//! End-to-end tests of the `fmoe_sim` command-line tool: spawn the real
+//! binary and check its contract (exit codes, output shape, the
+//! serve → save-store → analyze-store round trip).
+
+use std::process::Command;
+
+fn fmoe_sim(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fmoe_sim"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn list_prints_the_registries() {
+    let (ok, text) = fmoe_sim(&["list"]);
+    assert!(ok);
+    for needle in ["mixtral", "deepseek", "sharegpt", "swapmoe", "oracle"] {
+        assert!(text.contains(needle), "missing {needle} in: {text}");
+    }
+}
+
+#[test]
+fn serve_offline_prints_metrics() {
+    let (ok, text) = fmoe_sim(&[
+        "serve",
+        "--model",
+        "small",
+        "--dataset",
+        "tiny",
+        "--requests",
+        "2",
+        "--decode",
+        "4",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("Small-Test-MoE"));
+    assert!(text.contains("TTFT"));
+    assert!(text.contains('%'), "hit rate column expected: {text}");
+}
+
+#[test]
+fn serve_online_with_slots_runs_continuous_batching() {
+    let (ok, text) = fmoe_sim(&[
+        "serve",
+        "--model",
+        "small",
+        "--dataset",
+        "tiny",
+        "--requests",
+        "3",
+        "--decode",
+        "4",
+        "--online",
+        "--slots",
+        "2",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("(online)"));
+}
+
+#[test]
+fn unknown_names_fail_with_a_clear_error() {
+    let (ok, text) = fmoe_sim(&["serve", "--model", "gpt5"]);
+    assert!(!ok);
+    assert!(text.contains("unknown --model"), "{text}");
+    let (ok, text) = fmoe_sim(&["sweep", "--param", "nonsense", "--values", "1"]);
+    assert!(!ok);
+    assert!(
+        text.contains("unknown sweep param") || text.contains("error"),
+        "{text}"
+    );
+}
+
+#[test]
+fn store_round_trip_through_the_cli() {
+    let dir = std::env::temp_dir().join("fmoe_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_path = dir.join("cli_store.fmoe");
+    let store_str = store_path.to_str().unwrap();
+
+    let (ok, text) = fmoe_sim(&[
+        "serve",
+        "--model",
+        "small",
+        "--dataset",
+        "tiny",
+        "--requests",
+        "2",
+        "--decode",
+        "4",
+        "--save-store",
+        store_str,
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("saved"), "{text}");
+    assert!(store_path.exists());
+
+    let (ok, text) = fmoe_sim(&["analyze-store", "--file", store_str]);
+    assert!(ok, "{text}");
+    assert!(text.contains("entries:"));
+    assert!(text.contains("8 layers x 8 experts"));
+    std::fs::remove_file(&store_path).unwrap();
+}
+
+#[test]
+fn timeline_renders_events() {
+    let (ok, text) = fmoe_sim(&[
+        "timeline",
+        "--model",
+        "small",
+        "--dataset",
+        "tiny",
+        "--requests",
+        "2",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("iteration 0 start"), "{text}");
+    assert!(text.contains("ms"), "{text}");
+}
+
+#[test]
+fn sweep_emits_one_row_per_value() {
+    let (ok, text) = fmoe_sim(&[
+        "sweep",
+        "--param",
+        "distance",
+        "--values",
+        "1,4",
+        "--model",
+        "small",
+        "--dataset",
+        "tiny",
+        "--requests",
+        "2",
+        "--decode",
+        "4",
+    ]);
+    assert!(ok, "{text}");
+    // Both sweep values appear as leading row labels.
+    assert!(
+        text.lines().any(|l| l.trim_start().starts_with("1 ")),
+        "{text}"
+    );
+    assert!(
+        text.lines().any(|l| l.trim_start().starts_with("4 ")),
+        "{text}"
+    );
+}

@@ -1,0 +1,639 @@
+//! The expert cache proper.
+
+use crate::policy::EvictionPolicy;
+use crate::stats::CacheStats;
+use fmoe_model::{ExpertId, ModelConfig};
+use std::collections::{HashMap, HashSet};
+
+/// How experts map to home GPUs under expert parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum Placement {
+    /// Round-robin over the dense expert index — the paper's §5 choice,
+    /// which spreads every layer's experts across all links.
+    #[default]
+    RoundRobin,
+    /// Contiguous layer blocks: each GPU owns a slab of consecutive
+    /// layers (the naive pipeline-style placement; the ablation shows why
+    /// the paper avoids it — a layer's on-demand loads serialize on one
+    /// link).
+    LayerContiguous,
+}
+
+/// Result of attempting to insert an expert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The expert is now resident; `evicted` lists experts removed to make
+    /// room (possibly empty).
+    Inserted {
+        /// Experts evicted to make room, in eviction order.
+        evicted: Vec<ExpertId>,
+    },
+    /// The expert was already resident; treated as a touch.
+    AlreadyResident,
+    /// The expert can never fit (its size exceeds its GPU's whole budget),
+    /// or eviction could not free enough unpinned bytes.
+    Rejected,
+}
+
+/// A byte-budgeted expert cache spanning one or more GPUs.
+///
+/// Every expert has a fixed home GPU assigned round-robin over its dense
+/// index (the paper's §5 expert-parallel placement); budgets and evictions
+/// are per-GPU. Pinned experts (the ones executing in the current layer)
+/// are never chosen as victims.
+///
+/// ```
+/// use fmoe_cache::{ExpertCache, LruPolicy, InsertOutcome};
+/// use fmoe_model::{presets, ExpertId};
+///
+/// let model = presets::tiny_test_model();
+/// // Room for two experts on one GPU.
+/// let mut cache = ExpertCache::new(
+///     &model,
+///     model.expert_bytes() * 2,
+///     1,
+///     Box::new(LruPolicy::new()),
+/// );
+/// cache.insert(ExpertId::new(0, 0), 1);
+/// cache.insert(ExpertId::new(0, 1), 2);
+/// // A third insert evicts the least recently used.
+/// let out = cache.insert(ExpertId::new(0, 2), 3);
+/// assert_eq!(out, InsertOutcome::Inserted { evicted: vec![ExpertId::new(0, 0)] });
+/// ```
+#[derive(Debug)]
+pub struct ExpertCache {
+    experts_per_layer: u32,
+    num_layers: u32,
+    expert_bytes: u64,
+    num_gpus: u32,
+    placement: Placement,
+    per_gpu_budget: u64,
+    per_gpu_used: Vec<u64>,
+    /// Resident experts and the bytes each occupies (full-precision
+    /// experts occupy `expert_bytes`; quantized ones less).
+    resident: HashMap<ExpertId, u64>,
+    pinned: HashSet<ExpertId>,
+    policy: Box<dyn EvictionPolicy>,
+    stats: CacheStats,
+}
+
+impl ExpertCache {
+    /// Creates a cache for `config`'s experts with a *total* byte budget
+    /// split evenly across `num_gpus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_gpus == 0`.
+    #[must_use]
+    pub fn new(
+        config: &ModelConfig,
+        total_budget_bytes: u64,
+        num_gpus: u32,
+        policy: Box<dyn EvictionPolicy>,
+    ) -> Self {
+        assert!(num_gpus > 0, "need at least one GPU");
+        Self {
+            experts_per_layer: config.experts_per_layer,
+            num_layers: config.num_layers,
+            expert_bytes: config.expert_bytes(),
+            num_gpus,
+            placement: Placement::RoundRobin,
+            per_gpu_budget: total_budget_bytes / u64::from(num_gpus),
+            per_gpu_used: vec![0; num_gpus as usize],
+            resident: HashMap::new(),
+            pinned: HashSet::new(),
+            policy,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Switches the expert-parallel placement scheme (ablations; the
+    /// paper's choice is round-robin).
+    #[must_use]
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The home GPU index of an expert under the configured placement.
+    #[must_use]
+    pub fn home_gpu(&self, expert: ExpertId) -> u32 {
+        match self.placement {
+            Placement::RoundRobin => {
+                (expert.dense_index(self.experts_per_layer) % self.num_gpus as usize) as u32
+            }
+            Placement::LayerContiguous => {
+                (u64::from(expert.layer) * u64::from(self.num_gpus)
+                    / u64::from(self.num_layers.max(1))) as u32
+            }
+        }
+    }
+
+    /// Bytes one expert occupies.
+    #[must_use]
+    pub fn expert_bytes(&self) -> u64 {
+        self.expert_bytes
+    }
+
+    /// Per-GPU byte budget.
+    #[must_use]
+    pub fn per_gpu_budget(&self) -> u64 {
+        self.per_gpu_budget
+    }
+
+    /// Number of experts each GPU can hold.
+    #[must_use]
+    pub fn slots_per_gpu(&self) -> u64 {
+        if self.expert_bytes == 0 {
+            return u64::MAX;
+        }
+        self.per_gpu_budget / self.expert_bytes
+    }
+
+    /// `true` when `expert` is resident.
+    #[must_use]
+    pub fn contains(&self, expert: ExpertId) -> bool {
+        self.resident.contains_key(&expert)
+    }
+
+    /// Number of resident experts.
+    #[must_use]
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Bytes used on one GPU.
+    #[must_use]
+    pub fn used_bytes(&self, gpu: u32) -> u64 {
+        self.per_gpu_used[gpu as usize]
+    }
+
+    /// Total bytes used across GPUs.
+    #[must_use]
+    pub fn total_used_bytes(&self) -> u64 {
+        self.per_gpu_used.iter().sum()
+    }
+
+    /// Records an access: a hit touches the policy bookkeeping, a miss
+    /// only counts. Returns whether it was a hit.
+    pub fn record_access(&mut self, expert: ExpertId, now: u64) -> bool {
+        if self.contains(expert) {
+            self.stats.hits += 1;
+            self.policy.on_hit(expert, now);
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts `expert` at full precision, evicting unpinned experts from
+    /// its home GPU as needed.
+    pub fn insert(&mut self, expert: ExpertId, now: u64) -> InsertOutcome {
+        self.insert_sized(expert, self.expert_bytes, now)
+    }
+
+    /// Inserts `expert` occupying `bytes` (mixed-precision extension:
+    /// quantized experts occupy less than [`Self::expert_bytes`]).
+    /// Re-inserting a resident expert with a different size re-accounts
+    /// its footprint (e.g. a precision upgrade).
+    pub fn insert_sized(&mut self, expert: ExpertId, bytes: u64, now: u64) -> InsertOutcome {
+        if let Some(&existing) = self.resident.get(&expert) {
+            self.policy.on_hit(expert, now);
+            if existing != bytes {
+                let gpu = self.home_gpu(expert) as usize;
+                self.per_gpu_used[gpu] = self.per_gpu_used[gpu] - existing + bytes;
+                self.resident.insert(expert, bytes);
+            }
+            return InsertOutcome::AlreadyResident;
+        }
+        if bytes > self.per_gpu_budget {
+            self.stats.rejected_inserts += 1;
+            return InsertOutcome::Rejected;
+        }
+        let gpu = self.home_gpu(expert);
+        let mut evicted = Vec::new();
+        while self.per_gpu_used[gpu as usize] + bytes > self.per_gpu_budget {
+            let candidates: Vec<ExpertId> = self
+                .resident
+                .keys()
+                .copied()
+                .filter(|e| self.home_gpu(*e) == gpu && !self.pinned.contains(e))
+                .collect();
+            let Some(victim) = self.policy.choose_victim(&candidates) else {
+                // Everything resident on this GPU is pinned: cannot evict.
+                self.stats.rejected_inserts += 1;
+                for v in &evicted {
+                    // Roll back is not meaningful (bytes already freed);
+                    // keep evictions as-is but refuse the insert.
+                    let _ = v;
+                }
+                return InsertOutcome::Rejected;
+            };
+            self.remove_internal(victim);
+            self.stats.evictions += 1;
+            evicted.push(victim);
+        }
+        self.per_gpu_used[gpu as usize] += bytes;
+        self.resident.insert(expert, bytes);
+        self.policy.on_insert(expert, now);
+        self.stats.insertions += 1;
+        InsertOutcome::Inserted { evicted }
+    }
+
+    /// Bytes a resident expert occupies, or `None` if not resident.
+    #[must_use]
+    pub fn resident_bytes(&self, expert: ExpertId) -> Option<u64> {
+        self.resident.get(&expert).copied()
+    }
+
+    /// `true` when `expert` is resident below full precision.
+    #[must_use]
+    pub fn is_degraded(&self, expert: ExpertId) -> bool {
+        self.resident
+            .get(&expert)
+            .is_some_and(|&b| b < self.expert_bytes)
+    }
+
+    /// Explicitly removes an expert (e.g. model unload). No-op when not
+    /// resident.
+    pub fn remove(&mut self, expert: ExpertId) -> bool {
+        if self.contains(expert) {
+            self.remove_internal(expert);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove_internal(&mut self, expert: ExpertId) {
+        let gpu = self.home_gpu(expert);
+        let bytes = self.resident.remove(&expert).unwrap_or(self.expert_bytes);
+        self.per_gpu_used[gpu as usize] -= bytes;
+        self.pinned.remove(&expert);
+        self.policy.on_remove(expert);
+    }
+
+    /// Pins an expert so it cannot be evicted (current-layer experts
+    /// during execution). Pinning a non-resident expert is a no-op and
+    /// returns `false`.
+    pub fn pin(&mut self, expert: ExpertId) -> bool {
+        if self.contains(expert) {
+            self.pinned.insert(expert);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes one expert's pin. No-op when not pinned.
+    pub fn unpin(&mut self, expert: ExpertId) {
+        self.pinned.remove(&expert);
+    }
+
+    /// Clears all pins.
+    pub fn unpin_all(&mut self) {
+        self.pinned.clear();
+    }
+
+    /// Pushes a probability belief to the policy (fMoE's searched-map
+    /// probabilities; ignored by LRU/LFU).
+    pub fn update_probability(&mut self, expert: ExpertId, probability: f64) {
+        self.policy.update_probability(expert, probability);
+    }
+
+    /// Signals an iteration boundary to the policy (stale-belief drop).
+    pub fn notify_iteration_boundary(&mut self) {
+        self.policy.on_iteration_boundary();
+    }
+
+    /// Retunes the total byte budget at runtime (SwapMoE-style tunable
+    /// memory: the expert cache must yield GPU memory when KV-cache or
+    /// activation pressure grows, and may reclaim it later). Shrinking
+    /// evicts policy-chosen victims until every GPU fits its new budget;
+    /// pinned experts are never evicted, so the used bytes may exceed a
+    /// drastically shrunken budget until pins release. Returns the
+    /// evicted experts.
+    pub fn set_total_budget(&mut self, total_budget_bytes: u64) -> Vec<ExpertId> {
+        self.per_gpu_budget = total_budget_bytes / u64::from(self.num_gpus);
+        let mut evicted = Vec::new();
+        for gpu in 0..self.num_gpus {
+            while self.per_gpu_used[gpu as usize] > self.per_gpu_budget {
+                let candidates: Vec<ExpertId> = self
+                    .resident
+                    .keys()
+                    .copied()
+                    .filter(|e| self.home_gpu(*e) == gpu && !self.pinned.contains(e))
+                    .collect();
+                let Some(victim) = self.policy.choose_victim(&candidates) else {
+                    break; // everything left is pinned
+                };
+                self.remove_internal(victim);
+                self.stats.evictions += 1;
+                evicted.push(victim);
+            }
+        }
+        evicted
+    }
+
+    /// Signals that `layer` finished executing (forecast expiry).
+    pub fn notify_layer_done(&mut self, layer: u32) {
+        self.policy.expire_layer(layer);
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The policy's display name.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Drops all residency, pins and statistics, keeping the policy's
+    /// long-term bookkeeping intact only if `reset_policy` is `false`.
+    pub fn clear(&mut self, reset_policy: bool) {
+        self.resident.clear();
+        self.pinned.clear();
+        for used in &mut self.per_gpu_used {
+            *used = 0;
+        }
+        self.stats = CacheStats::default();
+        if reset_policy {
+            self.policy.reset();
+        }
+    }
+
+    /// Iterator over resident experts (arbitrary order).
+    pub fn resident_experts(&self) -> impl Iterator<Item = ExpertId> + '_ {
+        self.resident.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FmoePriorityPolicy, LfuPolicy, LruPolicy};
+    use fmoe_model::presets;
+
+    fn tiny_cache(slots_per_gpu: u64, gpus: u32) -> ExpertCache {
+        let cfg = presets::tiny_test_model();
+        let budget = cfg.expert_bytes() * slots_per_gpu * u64::from(gpus);
+        ExpertCache::new(&cfg, budget, gpus, Box::new(LruPolicy::new()))
+    }
+
+    fn e(l: u32, s: u32) -> ExpertId {
+        ExpertId::new(l, s)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = tiny_cache(2, 1);
+        assert!(!c.contains(e(0, 0)));
+        assert_eq!(
+            c.insert(e(0, 0), 1),
+            InsertOutcome::Inserted { evicted: vec![] }
+        );
+        assert!(c.contains(e(0, 0)));
+        assert_eq!(c.insert(e(0, 0), 2), InsertOutcome::AlreadyResident);
+        assert_eq!(c.resident_count(), 1);
+    }
+
+    #[test]
+    fn eviction_respects_budget() {
+        let mut c = tiny_cache(2, 1);
+        c.insert(e(0, 0), 1);
+        c.insert(e(0, 1), 2);
+        let out = c.insert(e(0, 2), 3);
+        // LRU: e(0,0) is the oldest.
+        assert_eq!(
+            out,
+            InsertOutcome::Inserted {
+                evicted: vec![e(0, 0)]
+            }
+        );
+        assert_eq!(c.resident_count(), 2);
+        assert!(c.total_used_bytes() <= c.per_gpu_budget());
+    }
+
+    #[test]
+    fn round_robin_home_gpu_spreads_load() {
+        let c = tiny_cache(2, 2);
+        // Dense indices 0..: gpu = idx % 2.
+        assert_eq!(c.home_gpu(e(0, 0)), 0);
+        assert_eq!(c.home_gpu(e(0, 1)), 1);
+        assert_eq!(c.home_gpu(e(0, 2)), 0);
+    }
+
+    #[test]
+    fn per_gpu_budgets_are_independent() {
+        let mut c = tiny_cache(1, 2);
+        // Both of these live on different GPUs: no eviction needed.
+        c.insert(e(0, 0), 1);
+        c.insert(e(0, 1), 2);
+        assert_eq!(c.resident_count(), 2);
+        // A second expert on GPU 0 evicts the first.
+        let out = c.insert(e(0, 2), 3);
+        assert_eq!(
+            out,
+            InsertOutcome::Inserted {
+                evicted: vec![e(0, 0)]
+            }
+        );
+    }
+
+    #[test]
+    fn pinned_experts_survive_eviction() {
+        let mut c = tiny_cache(2, 1);
+        c.insert(e(0, 0), 1);
+        c.insert(e(0, 1), 2);
+        assert!(c.pin(e(0, 0)));
+        let out = c.insert(e(0, 2), 3);
+        // LRU would pick e(0,0), but it is pinned: e(0,1) goes instead.
+        assert_eq!(
+            out,
+            InsertOutcome::Inserted {
+                evicted: vec![e(0, 1)]
+            }
+        );
+        assert!(c.contains(e(0, 0)));
+    }
+
+    #[test]
+    fn fully_pinned_gpu_rejects_inserts() {
+        let mut c = tiny_cache(1, 1);
+        c.insert(e(0, 0), 1);
+        c.pin(e(0, 0));
+        assert_eq!(c.insert(e(0, 1), 2), InsertOutcome::Rejected);
+        assert_eq!(c.stats().rejected_inserts, 1);
+        c.unpin_all();
+        assert!(matches!(
+            c.insert(e(0, 1), 3),
+            InsertOutcome::Inserted { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_expert_is_rejected() {
+        let cfg = presets::tiny_test_model();
+        // Budget below one expert.
+        let mut c = ExpertCache::new(&cfg, cfg.expert_bytes() - 1, 1, Box::new(LruPolicy::new()));
+        assert_eq!(c.insert(e(0, 0), 0), InsertOutcome::Rejected);
+    }
+
+    #[test]
+    fn access_recording_tracks_hit_rate() {
+        let mut c = tiny_cache(2, 1);
+        c.insert(e(0, 0), 0);
+        assert!(c.record_access(e(0, 0), 1));
+        assert!(!c.record_access(e(0, 1), 2));
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lfu_cache_keeps_hot_experts() {
+        let cfg = presets::tiny_test_model();
+        let budget = cfg.expert_bytes() * 2;
+        let mut c = ExpertCache::new(&cfg, budget, 1, Box::new(LfuPolicy::new()));
+        c.insert(e(0, 0), 0);
+        c.insert(e(0, 1), 0);
+        for t in 0..5 {
+            c.record_access(e(0, 0), t);
+        }
+        let out = c.insert(e(0, 2), 9);
+        assert_eq!(
+            out,
+            InsertOutcome::Inserted {
+                evicted: vec![e(0, 1)]
+            }
+        );
+        assert!(c.contains(e(0, 0)));
+    }
+
+    #[test]
+    fn fmoe_priority_cache_uses_probabilities() {
+        let cfg = presets::tiny_test_model();
+        let budget = cfg.expert_bytes() * 2;
+        let mut c = ExpertCache::new(&cfg, budget, 1, Box::new(FmoePriorityPolicy::new()));
+        c.insert(e(0, 0), 0);
+        c.insert(e(0, 1), 0);
+        c.update_probability(e(0, 0), 0.9);
+        c.update_probability(e(0, 1), 0.01);
+        let out = c.insert(e(0, 2), 1);
+        assert_eq!(
+            out,
+            InsertOutcome::Inserted {
+                evicted: vec![e(0, 1)]
+            }
+        );
+    }
+
+    #[test]
+    fn remove_frees_bytes_and_pins() {
+        let mut c = tiny_cache(1, 1);
+        c.insert(e(0, 0), 0);
+        c.pin(e(0, 0));
+        assert!(c.remove(e(0, 0)));
+        assert!(!c.remove(e(0, 0)));
+        assert_eq!(c.total_used_bytes(), 0);
+        // The pin must be gone too.
+        c.insert(e(0, 1), 1);
+        assert!(matches!(
+            c.insert(e(0, 2), 2),
+            InsertOutcome::Inserted { .. }
+        ));
+    }
+
+    #[test]
+    fn clear_resets_residency() {
+        let mut c = tiny_cache(2, 1);
+        c.insert(e(0, 0), 0);
+        c.record_access(e(0, 0), 1);
+        c.clear(true);
+        assert_eq!(c.resident_count(), 0);
+        assert_eq!(c.total_used_bytes(), 0);
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn slots_per_gpu_matches_budget() {
+        let c = tiny_cache(3, 2);
+        assert_eq!(c.slots_per_gpu(), 3);
+    }
+
+    #[test]
+    fn pin_nonresident_returns_false() {
+        let mut c = tiny_cache(1, 1);
+        assert!(!c.pin(e(0, 0)));
+    }
+
+    #[test]
+    fn layer_contiguous_placement_groups_layers() {
+        let cfg = presets::tiny_test_model(); // 4 layers x 4 experts
+        let c = ExpertCache::new(&cfg, cfg.expert_bytes() * 16, 2, Box::new(LruPolicy::new()))
+            .with_placement(Placement::LayerContiguous);
+        // Layers 0..2 on GPU 0, layers 2..4 on GPU 1.
+        assert_eq!(c.home_gpu(e(0, 0)), 0);
+        assert_eq!(c.home_gpu(e(0, 3)), 0);
+        assert_eq!(c.home_gpu(e(1, 2)), 0);
+        assert_eq!(c.home_gpu(e(2, 0)), 1);
+        assert_eq!(c.home_gpu(e(3, 3)), 1);
+        // Round-robin spreads within a layer instead.
+        let rr = ExpertCache::new(&cfg, cfg.expert_bytes() * 16, 2, Box::new(LruPolicy::new()));
+        assert_ne!(rr.home_gpu(e(0, 0)), rr.home_gpu(e(0, 1)));
+    }
+
+    #[test]
+    fn shrinking_budget_evicts_to_fit() {
+        let cfg = presets::tiny_test_model();
+        let mut c = tiny_cache(4, 1);
+        for s in 0..4 {
+            c.insert(e(0, s), u64::from(s));
+        }
+        assert_eq!(c.resident_count(), 4);
+        let evicted = c.set_total_budget(cfg.expert_bytes() * 2);
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(c.resident_count(), 2);
+        assert!(c.total_used_bytes() <= c.per_gpu_budget());
+        // LRU: the oldest two went first.
+        assert_eq!(evicted, vec![e(0, 0), e(0, 1)]);
+    }
+
+    #[test]
+    fn growing_budget_evicts_nothing_and_allows_more() {
+        let cfg = presets::tiny_test_model();
+        let mut c = tiny_cache(1, 1);
+        c.insert(e(0, 0), 0);
+        assert!(c.set_total_budget(cfg.expert_bytes() * 3).is_empty());
+        assert!(
+            matches!(c.insert(e(0, 1), 1), InsertOutcome::Inserted { evicted } if evicted.is_empty())
+        );
+        assert!(
+            matches!(c.insert(e(0, 2), 2), InsertOutcome::Inserted { evicted } if evicted.is_empty())
+        );
+        assert_eq!(c.resident_count(), 3);
+    }
+
+    #[test]
+    fn shrinking_budget_respects_pins() {
+        let cfg = presets::tiny_test_model();
+        let mut c = tiny_cache(3, 1);
+        for s in 0..3 {
+            c.insert(e(0, s), u64::from(s));
+            c.pin(e(0, s));
+        }
+        // Nothing evictable: budget shrinks but residents stay until
+        // unpinned.
+        let evicted = c.set_total_budget(cfg.expert_bytes());
+        assert!(evicted.is_empty());
+        assert_eq!(c.resident_count(), 3);
+        c.unpin_all();
+        // The next insert now triggers evictions down to the new budget.
+        let out = c.insert(e(1, 0), 9);
+        assert!(matches!(out, InsertOutcome::Inserted { .. }));
+        assert!(c.total_used_bytes() <= c.per_gpu_budget());
+    }
+}

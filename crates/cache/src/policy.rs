@@ -1,0 +1,395 @@
+//! Eviction policies.
+//!
+//! The policy owns whatever per-expert bookkeeping it needs (recency
+//! stamps, frequencies, probabilities) and answers one question: *given
+//! these eviction candidates, who goes first?*
+//!
+//! A deliberate design note from the paper (§4.5): LRU is a poor fit for
+//! expert offloading because expert usage is layer-sequential — the most
+//! recently used expert is the one whose layer just executed, i.e. the one
+//! needed *furthest* in the future. The evaluation (Fig. 12b) confirms
+//! LRU < LFU < fMoE's joint priority; the unit tests here encode the
+//! mechanics that produce that ordering.
+
+use fmoe_model::ExpertId;
+use std::collections::HashMap;
+
+/// Chooses eviction victims among resident experts.
+pub trait EvictionPolicy: std::fmt::Debug + Send {
+    /// Stable policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Called when `expert` becomes resident. `now` is a monotone counter.
+    fn on_insert(&mut self, expert: ExpertId, now: u64);
+
+    /// Called on every cache hit of `expert`.
+    fn on_hit(&mut self, expert: ExpertId, now: u64);
+
+    /// Called when `expert` leaves the cache (evicted or explicitly
+    /// removed).
+    fn on_remove(&mut self, expert: ExpertId);
+
+    /// Picks the next victim among `candidates` (all currently resident,
+    /// none pinned). Returns `None` only when `candidates` is empty.
+    fn choose_victim(&self, candidates: &[ExpertId]) -> Option<ExpertId>;
+
+    /// Updates the policy's belief about the activation probability of an
+    /// expert (from a searched expert map). Default: ignored — only
+    /// probability-aware policies care.
+    fn update_probability(&mut self, _expert: ExpertId, _probability: f64) {}
+
+    /// Called at each iteration boundary. Probability beliefs come from
+    /// the *current* iteration's searched maps; the next iteration routes
+    /// differently, so probability-aware policies drop them here.
+    fn on_iteration_boundary(&mut self) {}
+
+    /// Called when layer `layer` finishes executing. A searched-map
+    /// probability is a forecast for a specific upcoming layer; once that
+    /// layer has run, the forecast is expired and must not keep
+    /// influencing eviction. Default: ignored.
+    fn expire_layer(&mut self, _layer: u32) {}
+
+    /// Clears all accumulated bookkeeping (used between experiments).
+    fn reset(&mut self);
+}
+
+/// Least-recently-used eviction (Mixtral-Offloading's cache).
+#[derive(Debug, Default)]
+pub struct LruPolicy {
+    last_used: HashMap<ExpertId, u64>,
+}
+
+impl LruPolicy {
+    /// Creates an empty LRU policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EvictionPolicy for LruPolicy {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn on_insert(&mut self, expert: ExpertId, now: u64) {
+        self.last_used.insert(expert, now);
+    }
+
+    fn on_hit(&mut self, expert: ExpertId, now: u64) {
+        self.last_used.insert(expert, now);
+    }
+
+    fn on_remove(&mut self, expert: ExpertId) {
+        self.last_used.remove(&expert);
+    }
+
+    fn choose_victim(&self, candidates: &[ExpertId]) -> Option<ExpertId> {
+        candidates
+            .iter()
+            .min_by_key(|e| (self.last_used.get(e).copied().unwrap_or(0), **e))
+            .copied()
+    }
+
+    fn reset(&mut self) {
+        self.last_used.clear();
+    }
+}
+
+/// Least-frequently-used eviction (MoE-Infinity's cache).
+///
+/// Two counting granularities:
+///
+/// * [`LfuPolicy::new`] — idealized per-access counting (every hit
+///   increments), a stronger variant than any shipped system;
+/// * [`LfuPolicy::coarse`] — MoE-Infinity-faithful counting: an expert is
+///   credited at most once per iteration, mirroring the aggregated
+///   activation counts its Expert Activation Matrix stores. This is the
+///   "LFU" of the paper's Fig. 12b.
+#[derive(Debug, Default)]
+pub struct LfuPolicy {
+    freq: HashMap<ExpertId, u64>,
+    /// When `true`, hits are deduplicated within an iteration.
+    coarse: bool,
+    seen_this_iteration: std::collections::HashSet<ExpertId>,
+}
+
+impl LfuPolicy {
+    /// Creates an idealized per-access LFU policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the MoE-Infinity-faithful coarse-counting LFU policy.
+    #[must_use]
+    pub fn coarse() -> Self {
+        Self {
+            coarse: true,
+            ..Self::default()
+        }
+    }
+}
+
+impl EvictionPolicy for LfuPolicy {
+    fn name(&self) -> &'static str {
+        if self.coarse {
+            "LFU (coarse)"
+        } else {
+            "LFU"
+        }
+    }
+
+    fn on_insert(&mut self, expert: ExpertId, _now: u64) {
+        self.freq.entry(expert).or_insert(0);
+    }
+
+    fn on_hit(&mut self, expert: ExpertId, _now: u64) {
+        if self.coarse && !self.seen_this_iteration.insert(expert) {
+            return;
+        }
+        *self.freq.entry(expert).or_insert(0) += 1;
+    }
+
+    fn on_remove(&mut self, expert: ExpertId) {
+        // Frequency history survives eviction, matching MoE-Infinity's
+        // request-level counting (an expert that was hot stays credible).
+        let _ = expert;
+    }
+
+    fn choose_victim(&self, candidates: &[ExpertId]) -> Option<ExpertId> {
+        candidates
+            .iter()
+            .min_by_key(|e| (self.freq.get(e).copied().unwrap_or(0), **e))
+            .copied()
+    }
+
+    fn on_iteration_boundary(&mut self) {
+        self.seen_this_iteration.clear();
+    }
+
+    fn reset(&mut self) {
+        self.freq.clear();
+        self.seen_this_iteration.clear();
+    }
+}
+
+/// fMoE's joint eviction priority `PRI^evict_{l,j} = 1 / (p_{l,j} · freq_{l,j})`
+/// (paper §4.5): evict the expert with the highest priority, i.e. the
+/// smallest `p · freq`.
+///
+/// `p` comes from the currently searched expert map via
+/// [`EvictionPolicy::update_probability`]; `freq` is the cache visit count.
+/// Experts the searched map considers unlikely *and* that are rarely hit go
+/// first.
+#[derive(Debug)]
+pub struct FmoePriorityPolicy {
+    freq: HashMap<ExpertId, u64>,
+    probability: HashMap<ExpertId, f64>,
+    /// Floor applied to *known* probabilities so a zero never makes an
+    /// expert infinitely evictable.
+    probability_floor: f64,
+    /// Neutral prior used for experts no searched map has spoken about
+    /// this iteration. Should sit between a searched map's "unlikely" and
+    /// "likely" values — `1/J` is the natural choice.
+    neutral_probability: f64,
+}
+
+impl Default for FmoePriorityPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FmoePriorityPolicy {
+    /// Creates the policy with a generic neutral prior; prefer
+    /// [`Self::with_neutral_probability`] with `1/J` for a real model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            freq: HashMap::new(),
+            probability: HashMap::new(),
+            probability_floor: 1e-3,
+            neutral_probability: 0.05,
+        }
+    }
+
+    /// Sets the unknown-expert prior (use `1/J`).
+    #[must_use]
+    pub fn with_neutral_probability(mut self, p: f64) -> Self {
+        self.neutral_probability = p.clamp(1e-6, 1.0);
+        self
+    }
+
+    fn score(&self, expert: ExpertId) -> f64 {
+        let p = self
+            .probability
+            .get(&expert)
+            .copied()
+            .map_or(self.neutral_probability, |p| p.max(self.probability_floor));
+        // freq starts at 1 so a just-inserted expert is comparable.
+        let f = self.freq.get(&expert).copied().unwrap_or(0) + 1;
+        p * f as f64
+    }
+}
+
+impl EvictionPolicy for FmoePriorityPolicy {
+    fn name(&self) -> &'static str {
+        "fMoE"
+    }
+
+    fn on_insert(&mut self, expert: ExpertId, _now: u64) {
+        self.freq.entry(expert).or_insert(0);
+    }
+
+    fn on_hit(&mut self, expert: ExpertId, _now: u64) {
+        *self.freq.entry(expert).or_insert(0) += 1;
+    }
+
+    fn on_remove(&mut self, _expert: ExpertId) {}
+
+    fn choose_victim(&self, candidates: &[ExpertId]) -> Option<ExpertId> {
+        candidates
+            .iter()
+            .min_by(|a, b| {
+                self.score(**a)
+                    .partial_cmp(&self.score(**b))
+                    .expect("scores are finite")
+                    .then(a.cmp(b))
+            })
+            .copied()
+    }
+
+    fn update_probability(&mut self, expert: ExpertId, probability: f64) {
+        self.probability.insert(expert, probability.clamp(0.0, 1.0));
+    }
+
+    fn on_iteration_boundary(&mut self) {
+        // Searched-map probabilities describe the finished iteration's
+        // trajectory; the next one routes elsewhere. Frequencies persist.
+        self.probability.clear();
+    }
+
+    fn expire_layer(&mut self, layer: u32) {
+        self.probability.retain(|e, _| e.layer != layer);
+    }
+
+    fn reset(&mut self) {
+        self.freq.clear();
+        self.probability.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(l: u32, s: u32) -> ExpertId {
+        ExpertId::new(l, s)
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = LruPolicy::new();
+        p.on_insert(e(0, 0), 1);
+        p.on_insert(e(0, 1), 2);
+        p.on_hit(e(0, 0), 3);
+        assert_eq!(p.choose_victim(&[e(0, 0), e(0, 1)]), Some(e(0, 1)));
+    }
+
+    #[test]
+    fn lru_forgets_removed_experts() {
+        let mut p = LruPolicy::new();
+        p.on_insert(e(0, 0), 5);
+        p.on_remove(e(0, 0));
+        p.on_insert(e(0, 0), 1);
+        p.on_insert(e(0, 1), 9);
+        assert_eq!(p.choose_victim(&[e(0, 0), e(0, 1)]), Some(e(0, 0)));
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut p = LfuPolicy::new();
+        p.on_insert(e(0, 0), 0);
+        p.on_insert(e(0, 1), 0);
+        p.on_hit(e(0, 0), 1);
+        p.on_hit(e(0, 0), 2);
+        p.on_hit(e(0, 1), 3);
+        assert_eq!(p.choose_victim(&[e(0, 0), e(0, 1)]), Some(e(0, 1)));
+    }
+
+    #[test]
+    fn lfu_frequency_survives_eviction() {
+        let mut p = LfuPolicy::new();
+        p.on_insert(e(0, 0), 0);
+        p.on_hit(e(0, 0), 1);
+        p.on_remove(e(0, 0));
+        p.on_insert(e(0, 0), 2);
+        p.on_insert(e(0, 1), 2);
+        p.on_hit(e(0, 1), 3);
+        p.on_hit(e(0, 1), 4);
+        // e(0,0) kept its old count of 1, e(0,1) has 2.
+        assert_eq!(p.choose_victim(&[e(0, 0), e(0, 1)]), Some(e(0, 0)));
+    }
+
+    #[test]
+    fn fmoe_priority_combines_probability_and_frequency() {
+        let mut p = FmoePriorityPolicy::new();
+        for slot in 0..3 {
+            p.on_insert(e(0, slot), 0);
+        }
+        // Equal frequency; probabilities decide.
+        p.update_probability(e(0, 0), 0.7);
+        p.update_probability(e(0, 1), 0.1);
+        p.update_probability(e(0, 2), 0.2);
+        let all = [e(0, 0), e(0, 1), e(0, 2)];
+        assert_eq!(p.choose_victim(&all), Some(e(0, 1)));
+        // Now make the low-probability expert extremely hot: frequency
+        // rescues it.
+        for t in 0..100 {
+            p.on_hit(e(0, 1), t);
+        }
+        assert_eq!(p.choose_victim(&all), Some(e(0, 2)));
+    }
+
+    #[test]
+    fn fmoe_priority_handles_unknown_probability() {
+        let mut p = FmoePriorityPolicy::new();
+        p.on_insert(e(0, 0), 0);
+        p.on_insert(e(0, 1), 0);
+        p.update_probability(e(0, 0), 0.9);
+        // e(0,1) has no probability info: it gets the floor and is evicted
+        // first.
+        assert_eq!(p.choose_victim(&[e(0, 0), e(0, 1)]), Some(e(0, 1)));
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let p = LruPolicy::new();
+        assert_eq!(p.choose_victim(&[]), None);
+        let p = LfuPolicy::new();
+        assert_eq!(p.choose_victim(&[]), None);
+        let p = FmoePriorityPolicy::new();
+        assert_eq!(p.choose_victim(&[]), None);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = FmoePriorityPolicy::new();
+        p.on_insert(e(0, 0), 0);
+        p.on_hit(e(0, 0), 1);
+        p.update_probability(e(0, 0), 0.9);
+        p.reset();
+        p.on_insert(e(0, 1), 0);
+        p.update_probability(e(0, 1), 0.5);
+        // After reset, e(0,0)'s history is gone: floor prob, freq 1.
+        assert_eq!(p.choose_victim(&[e(0, 0), e(0, 1)]), Some(e(0, 0)));
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let p = LruPolicy::new();
+        // No bookkeeping at all: lowest ExpertId wins the tie.
+        assert_eq!(p.choose_victim(&[e(1, 1), e(0, 3), e(2, 0)]), Some(e(0, 3)));
+    }
+}

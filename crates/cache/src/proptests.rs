@@ -1,0 +1,184 @@
+//! Property-based tests for the expert cache: budget, residency, and
+//! policy invariants under arbitrary operation sequences.
+
+#![cfg(test)]
+
+use crate::cache::{ExpertCache, InsertOutcome};
+use crate::policy::{EvictionPolicy, FmoePriorityPolicy, LfuPolicy, LruPolicy};
+use fmoe_model::{presets, ExpertId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8),
+    Access(u8),
+    Remove(u8),
+    Pin(u8),
+    UnpinAll,
+    UpdateProbability(u8, f64),
+    IterationBoundary,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16).prop_map(Op::Insert),
+        (0u8..16).prop_map(Op::Access),
+        (0u8..16).prop_map(Op::Remove),
+        (0u8..16).prop_map(Op::Pin),
+        Just(Op::UnpinAll),
+        ((0u8..16), 0.0f64..1.0).prop_map(|(e, p)| Op::UpdateProbability(e, p)),
+        Just(Op::IterationBoundary),
+    ]
+}
+
+fn policies() -> Vec<Box<dyn EvictionPolicy>> {
+    vec![
+        Box::new(LruPolicy::new()),
+        Box::new(LfuPolicy::new()),
+        Box::new(LfuPolicy::coarse()),
+        Box::new(FmoePriorityPolicy::new()),
+    ]
+}
+
+fn expert(i: u8) -> ExpertId {
+    // Tiny model: 4 layers x 4 experts = 16 experts.
+    ExpertId::from_dense_index(usize::from(i) % 16, 4)
+}
+
+proptest! {
+    /// Core safety property: whatever the operation sequence and policy,
+    /// per-GPU usage never exceeds the budget and byte accounting stays
+    /// consistent with the resident set.
+    #[test]
+    fn budget_is_never_exceeded(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+        slots in 1u64..8,
+        gpus in 1u32..4,
+        policy_idx in 0usize..4,
+    ) {
+        let cfg = presets::tiny_test_model();
+        let budget = cfg.expert_bytes() * slots * u64::from(gpus);
+        let policy = policies().swap_remove(policy_idx);
+        let mut cache = ExpertCache::new(&cfg, budget, gpus, policy);
+        let mut clock = 0u64;
+        for op in ops {
+            clock += 1;
+            match op {
+                Op::Insert(i) => {
+                    let _ = cache.insert(expert(i), clock);
+                }
+                Op::Access(i) => {
+                    let _ = cache.record_access(expert(i), clock);
+                }
+                Op::Remove(i) => {
+                    let _ = cache.remove(expert(i));
+                }
+                Op::Pin(i) => {
+                    let _ = cache.pin(expert(i));
+                }
+                Op::UnpinAll => cache.unpin_all(),
+                Op::UpdateProbability(i, p) => cache.update_probability(expert(i), p),
+                Op::IterationBoundary => cache.notify_iteration_boundary(),
+            }
+            for g in 0..gpus {
+                prop_assert!(cache.used_bytes(g) <= cache.per_gpu_budget());
+            }
+            // Byte accounting equals resident count times expert size.
+            prop_assert_eq!(
+                cache.total_used_bytes(),
+                cache.resident_count() as u64 * cache.expert_bytes()
+            );
+        }
+    }
+
+    /// An insert either leaves the expert resident or reports rejection —
+    /// never a silent failure.
+    #[test]
+    fn insert_outcome_matches_residency(
+        preload in prop::collection::vec(0u8..16, 0..12),
+        target in 0u8..16,
+        policy_idx in 0usize..4,
+    ) {
+        let cfg = presets::tiny_test_model();
+        let budget = cfg.expert_bytes() * 4;
+        let policy = policies().swap_remove(policy_idx);
+        let mut cache = ExpertCache::new(&cfg, budget, 1, policy);
+        for (t, &i) in preload.iter().enumerate() {
+            let _ = cache.insert(expert(i), t as u64);
+        }
+        let outcome = cache.insert(expert(target), 999);
+        match outcome {
+            InsertOutcome::Inserted { .. } | InsertOutcome::AlreadyResident => {
+                prop_assert!(cache.contains(expert(target)));
+            }
+            InsertOutcome::Rejected => {
+                prop_assert!(!cache.contains(expert(target)));
+            }
+        }
+    }
+
+    /// Evicted experts reported by an insert are really gone, and the
+    /// newly inserted expert never appears in its own eviction list.
+    #[test]
+    fn eviction_reports_are_accurate(
+        preload in prop::collection::vec(0u8..16, 4..16),
+        target in 0u8..16,
+    ) {
+        let cfg = presets::tiny_test_model();
+        let budget = cfg.expert_bytes() * 3;
+        let mut cache = ExpertCache::new(&cfg, budget, 1, Box::new(LruPolicy::new()));
+        for (t, &i) in preload.iter().enumerate() {
+            let _ = cache.insert(expert(i), t as u64);
+        }
+        if let InsertOutcome::Inserted { evicted } = cache.insert(expert(target), 999) {
+            for e in &evicted {
+                prop_assert!(!cache.contains(*e));
+                prop_assert_ne!(*e, expert(target));
+            }
+        }
+    }
+
+    /// Pinned experts survive arbitrary insertion pressure.
+    #[test]
+    fn pinned_experts_are_never_evicted(
+        pressure in prop::collection::vec(0u8..16, 1..64),
+        pinned in 0u8..16,
+    ) {
+        let cfg = presets::tiny_test_model();
+        let budget = cfg.expert_bytes() * 2;
+        let mut cache = ExpertCache::new(&cfg, budget, 1, Box::new(LruPolicy::new()));
+        let inserted =
+            matches!(cache.insert(expert(pinned), 0), InsertOutcome::Inserted { .. });
+        prop_assert!(inserted);
+        prop_assert!(cache.pin(expert(pinned)));
+        for (t, &i) in pressure.iter().enumerate() {
+            let _ = cache.insert(expert(i), 1 + t as u64);
+            prop_assert!(cache.contains(expert(pinned)));
+        }
+    }
+
+    /// Policies always pick a victim from the candidate list.
+    #[test]
+    fn victims_come_from_candidates(
+        candidates in prop::collection::vec(0u8..16, 1..16),
+        hits in prop::collection::vec((0u8..16, 1u64..100), 0..32),
+        policy_idx in 0usize..4,
+    ) {
+        let mut policy = policies().swap_remove(policy_idx);
+        let unique: Vec<ExpertId> = {
+            let mut v: Vec<ExpertId> = candidates.iter().map(|&i| expert(i)).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        for (t, &e) in unique.iter().enumerate() {
+            policy.on_insert(e, t as u64);
+        }
+        for &(i, t) in &hits {
+            policy.on_hit(expert(i), 100 + t);
+        }
+        let victim = policy.choose_victim(&unique);
+        prop_assert!(victim.is_some());
+        prop_assert!(unique.contains(&victim.unwrap()));
+    }
+}

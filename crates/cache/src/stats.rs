@@ -1,0 +1,58 @@
+//! Cache statistics.
+
+use serde::Serialize;
+
+/// Counters describing cache behaviour over an experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Expert lookups that found the expert resident.
+    pub hits: u64,
+    /// Expert lookups that missed (triggering on-demand loads).
+    pub misses: u64,
+    /// Experts inserted (prefetch or on-demand completion).
+    pub insertions: u64,
+    /// Experts evicted to make room.
+    pub evictions: u64,
+    /// Inserts refused because the expert exceeds its GPU budget outright.
+    pub rejected_inserts: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; `0.0` when no accesses were recorded.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total recorded accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_computation() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.accesses(), 4);
+    }
+
+    #[test]
+    fn empty_stats_hit_rate_is_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

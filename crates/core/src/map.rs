@@ -1,0 +1,195 @@
+//! The expert map data structure (paper §4.1).
+//!
+//! An expert map records one inference iteration's gate outputs across all
+//! layers: `map_i = {P_1^{(i)}, …, P_L^{(i)}}`, each `P_l` a probability
+//! distribution over the layer's `J` experts. Compared to request-level
+//! hit counting (MoE-Infinity's Expert Activation Matrix) it is finer in
+//! both axes: per-iteration rather than per-request, and full
+//! distributions rather than binary activations. The coarse form is
+//! recoverable (apply top-K and aggregate), which [`ExpertMap::to_top_k_counts`]
+//! implements — the paper's generalization argument.
+
+use serde::{Deserialize, Serialize};
+
+/// One iteration's expert map: `L` rows of `J` probabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpertMap {
+    layers: Vec<Vec<f64>>,
+}
+
+impl ExpertMap {
+    /// Wraps per-layer distributions into a map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or rows have inconsistent widths —
+    /// maps always span the full model.
+    #[must_use]
+    pub fn new(layers: Vec<Vec<f64>>) -> Self {
+        assert!(!layers.is_empty(), "an expert map needs at least one layer");
+        let j = layers[0].len();
+        assert!(j > 0, "layers must have at least one expert");
+        assert!(
+            layers.iter().all(|row| row.len() == j),
+            "all layers must have the same expert count"
+        );
+        Self { layers }
+    }
+
+    /// Number of layers `L`.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Experts per layer `J`.
+    #[must_use]
+    pub fn experts_per_layer(&self) -> usize {
+        self.layers[0].len()
+    }
+
+    /// The distribution of one layer.
+    #[must_use]
+    pub fn layer(&self, l: usize) -> &[f64] {
+        &self.layers[l]
+    }
+
+    /// All layers in order.
+    #[must_use]
+    pub fn layers(&self) -> &[Vec<f64>] {
+        &self.layers
+    }
+
+    /// The map flattened row-major to a `L·J` vector — the form the
+    /// trajectory search's cosine similarity consumes.
+    #[must_use]
+    pub fn flatten(&self) -> Vec<f64> {
+        self.layers.iter().flatten().copied().collect()
+    }
+
+    /// Flattens only layers `[0, prefix_layers)` — a *partial* trajectory
+    /// as observed mid-iteration.
+    #[must_use]
+    pub fn flatten_prefix(&self, prefix_layers: usize) -> Vec<f64> {
+        self.layers
+            .iter()
+            .take(prefix_layers)
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// Recovers coarse-grained information: per-layer top-`k` activation
+    /// counts, as an `L × J` count matrix. Aggregating these over
+    /// iterations reproduces exactly what request-level trackers store.
+    #[must_use]
+    pub fn to_top_k_counts(&self, k: usize) -> Vec<Vec<u64>> {
+        self.layers
+            .iter()
+            .map(|row| {
+                let mut idx: Vec<usize> = (0..row.len()).collect();
+                idx.sort_by(|&a, &b| {
+                    row[b]
+                        .partial_cmp(&row[a])
+                        .expect("finite probabilities")
+                        .then(a.cmp(&b))
+                });
+                let mut counts = vec![0u64; row.len()];
+                for &i in idx.iter().take(k) {
+                    counts[i] = 1;
+                }
+                counts
+            })
+            .collect()
+    }
+
+    /// In-memory footprint of this map in a deployment store, assuming
+    /// the paper's fp32 NumPy representation (4 bytes per probability).
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.num_layers() * self.experts_per_layer() * 4
+    }
+
+    /// Checks every row is a (tolerantly) normalized distribution.
+    #[must_use]
+    pub fn is_normalized(&self, tolerance: f64) -> bool {
+        self.layers.iter().all(|row| {
+            let sum: f64 = row.iter().sum();
+            (sum - 1.0).abs() <= tolerance && row.iter().all(|&p| p >= -tolerance)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_map() -> ExpertMap {
+        ExpertMap::new(vec![
+            vec![0.7, 0.2, 0.1, 0.0],
+            vec![0.1, 0.1, 0.4, 0.4],
+            vec![0.25, 0.25, 0.25, 0.25],
+        ])
+    }
+
+    #[test]
+    fn dimensions_and_access() {
+        let m = simple_map();
+        assert_eq!(m.num_layers(), 3);
+        assert_eq!(m.experts_per_layer(), 4);
+        assert_eq!(m.layer(1), &[0.1, 0.1, 0.4, 0.4]);
+    }
+
+    #[test]
+    fn flatten_is_row_major() {
+        let m = simple_map();
+        let f = m.flatten();
+        assert_eq!(f.len(), 12);
+        assert_eq!(&f[..4], &[0.7, 0.2, 0.1, 0.0]);
+        assert_eq!(&f[4..8], &[0.1, 0.1, 0.4, 0.4]);
+    }
+
+    #[test]
+    fn prefix_flattening() {
+        let m = simple_map();
+        assert_eq!(m.flatten_prefix(1), vec![0.7, 0.2, 0.1, 0.0]);
+        assert_eq!(m.flatten_prefix(0), Vec::<f64>::new());
+        assert_eq!(m.flatten_prefix(3), m.flatten());
+        // Prefix longer than the map is clamped.
+        assert_eq!(m.flatten_prefix(99), m.flatten());
+    }
+
+    #[test]
+    fn top_k_counts_recover_coarse_grained_form() {
+        let m = simple_map();
+        let counts = m.to_top_k_counts(2);
+        assert_eq!(counts[0], vec![1, 1, 0, 0]);
+        assert_eq!(counts[1], vec![0, 0, 1, 1]);
+        // Uniform layer: ties break toward lower indices.
+        assert_eq!(counts[2], vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn storage_bytes_matches_fp32_layout() {
+        assert_eq!(simple_map().storage_bytes(), 3 * 4 * 4);
+    }
+
+    #[test]
+    fn normalization_check() {
+        assert!(simple_map().is_normalized(1e-9));
+        let bad = ExpertMap::new(vec![vec![0.9, 0.3]]);
+        assert!(!bad.is_normalized(1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "same expert count")]
+    fn ragged_rows_panic() {
+        let _ = ExpertMap::new(vec![vec![0.5, 0.5], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_map_panics() {
+        let _ = ExpertMap::new(vec![]);
+    }
+}

@@ -1,0 +1,293 @@
+//! The Expert Map Matcher (paper §4.2): semantic and trajectory search.
+//!
+//! * **Semantic search** (Eq. 4) serves layers `1…d`, where the prefetch
+//!   distance means no trajectory has been observed yet: the iteration's
+//!   input embedding is cosine-matched against every stored embedding.
+//! * **Trajectory search** (Eq. 5) serves layers `d+1…L`: the partial map
+//!   observed so far (layers `1…l`) is cosine-matched against the same
+//!   prefix of every stored map, and the *matched map's* `P_{l+d}` guides
+//!   the target layer.
+//!
+//! The trajectory matcher is incremental: observing one more layer costs
+//! `O(C·J)` (one dot-product row per stored entry) instead of re-scanning
+//! the whole prefix, which is what makes per-layer matching affordable —
+//! the same reason the paper's implementation stores maps as contiguous
+//! ndarrays.
+
+use crate::store::ExpertMapStore;
+use fmoe_stats::cosine_similarity;
+
+/// Outcome of a map search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchResult {
+    /// Index of the best entry in the store.
+    pub entry_index: usize,
+    /// Cosine similarity score in `[-1, 1]`.
+    pub score: f64,
+}
+
+/// Stateless search entry points plus the incremental trajectory state.
+#[derive(Debug)]
+pub struct Matcher;
+
+impl Matcher {
+    /// Semantic search: the stored entry whose embedding best matches
+    /// `embedding`. `None` on an empty store.
+    #[must_use]
+    pub fn semantic_match(store: &ExpertMapStore, embedding: &[f64]) -> Option<MatchResult> {
+        let mut best: Option<MatchResult> = None;
+        for (i, entry) in store.entries().enumerate() {
+            let score = cosine_similarity(embedding, &entry.embedding);
+            if best.is_none_or(|b| score > b.score) {
+                best = Some(MatchResult {
+                    entry_index: i,
+                    score,
+                });
+            }
+        }
+        best
+    }
+
+    /// One-shot trajectory search over an explicit prefix (used by tests
+    /// and offline analysis; the engine path uses [`TrajectoryTracker`]).
+    #[must_use]
+    pub fn trajectory_match(
+        store: &ExpertMapStore,
+        observed_prefix: &[Vec<f64>],
+    ) -> Option<MatchResult> {
+        if observed_prefix.is_empty() {
+            return None;
+        }
+        let flat: Vec<f64> = observed_prefix.iter().flatten().copied().collect();
+        let layers = observed_prefix.len();
+        let mut best: Option<MatchResult> = None;
+        for (i, entry) in store.entries().enumerate() {
+            let j = entry.map.experts_per_layer();
+            let prefix = &entry.flat()[..(layers * j).min(entry.flat().len())];
+            let score = cosine_similarity(&flat, prefix);
+            if best.is_none_or(|b| score > b.score) {
+                best = Some(MatchResult {
+                    entry_index: i,
+                    score,
+                });
+            }
+        }
+        best
+    }
+}
+
+/// Incremental per-request trajectory search state.
+///
+/// Reset it at each iteration start, feed it each layer's realized
+/// distribution with [`TrajectoryTracker::observe_layer`], and query
+/// [`TrajectoryTracker::best`] to get the current best match. The store
+/// must not be mutated between `reset` and the last query of an iteration
+/// (the engine only mutates it at iteration boundaries).
+#[derive(Debug, Default)]
+pub struct TrajectoryTracker {
+    dots: Vec<f64>,
+    query_norm2: f64,
+    layers_observed: usize,
+}
+
+impl TrajectoryTracker {
+    /// A tracker with no observations.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears observations and resizes to the store's current population.
+    pub fn reset(&mut self, store: &ExpertMapStore) {
+        self.dots.clear();
+        self.dots.resize(store.len(), 0.0);
+        self.query_norm2 = 0.0;
+        self.layers_observed = 0;
+    }
+
+    /// Number of layers observed so far this iteration.
+    #[must_use]
+    pub fn layers_observed(&self) -> usize {
+        self.layers_observed
+    }
+
+    /// Folds one more layer's distribution into the running dot products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store's population changed since `reset` — that
+    /// would silently corrupt the incremental state.
+    pub fn observe_layer(&mut self, store: &ExpertMapStore, distribution: &[f64]) {
+        assert_eq!(
+            self.dots.len(),
+            store.len(),
+            "store mutated mid-iteration; call reset() first"
+        );
+        let l = self.layers_observed;
+        for (dot, entry) in self.dots.iter_mut().zip(store.entries()) {
+            let j = entry.map.experts_per_layer();
+            if (l + 1) * j <= entry.flat().len() {
+                let row = &entry.flat()[l * j..(l + 1) * j];
+                for (a, b) in distribution.iter().zip(row) {
+                    *dot += a * b;
+                }
+            }
+        }
+        self.query_norm2 += distribution.iter().map(|p| p * p).sum::<f64>();
+        self.layers_observed += 1;
+    }
+
+    /// The best-matching entry for the observed prefix, or `None` when
+    /// the store is empty or nothing has been observed.
+    #[must_use]
+    pub fn best(&self, store: &ExpertMapStore) -> Option<MatchResult> {
+        if self.layers_observed == 0 || store.is_empty() || self.query_norm2 <= 0.0 {
+            return None;
+        }
+        let qn = self.query_norm2.sqrt();
+        let mut best: Option<MatchResult> = None;
+        for (i, entry) in store.entries().enumerate() {
+            let en2 = entry.prefix_norm2(self.layers_observed);
+            let score = if en2 <= 0.0 {
+                0.0
+            } else {
+                (self.dots[i] / (qn * en2.sqrt())).clamp(-1.0, 1.0)
+            };
+            if best.is_none_or(|b| score > b.score) {
+                best = Some(MatchResult {
+                    entry_index: i,
+                    score,
+                });
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::ExpertMap;
+
+    fn peaked(l_count: usize, j: usize, peaks: &[usize]) -> ExpertMap {
+        ExpertMap::new(
+            (0..l_count)
+                .map(|l| {
+                    let mut row = vec![0.01; j];
+                    row[peaks[l % peaks.len()]] = 1.0 - 0.01 * (j as f64 - 1.0);
+                    row
+                })
+                .collect(),
+        )
+    }
+
+    fn store_with(entries: Vec<(Vec<f64>, ExpertMap)>) -> ExpertMapStore {
+        let l = entries[0].1.num_layers();
+        let j = entries[0].1.experts_per_layer();
+        let mut s = ExpertMapStore::new(entries.len().max(1), l, j, 1);
+        for (e, m) in entries {
+            s.insert(e, m);
+        }
+        s
+    }
+
+    #[test]
+    fn semantic_match_picks_closest_embedding() {
+        let s = store_with(vec![
+            (vec![1.0, 0.0], peaked(2, 4, &[0])),
+            (vec![0.0, 1.0], peaked(2, 4, &[1])),
+        ]);
+        let m = Matcher::semantic_match(&s, &[0.1, 0.99]).unwrap();
+        assert_eq!(m.entry_index, 1);
+        assert!(m.score > 0.95);
+    }
+
+    #[test]
+    fn semantic_match_on_empty_store_is_none() {
+        let s = ExpertMapStore::new(4, 2, 4, 1);
+        assert!(Matcher::semantic_match(&s, &[1.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn trajectory_match_uses_prefix_only() {
+        // Two stored maps agree at layer 0 but diverge at layer 1.
+        let a = ExpertMap::new(vec![vec![0.9, 0.1, 0.0, 0.0], vec![0.9, 0.1, 0.0, 0.0]]);
+        let b = ExpertMap::new(vec![vec![0.9, 0.1, 0.0, 0.0], vec![0.0, 0.0, 0.1, 0.9]]);
+        let s = store_with(vec![(vec![1.0, 0.0], a), (vec![0.0, 1.0], b)]);
+        // Observed prefix matching layer-1 divergence of b.
+        let observed = vec![vec![0.9, 0.1, 0.0, 0.0], vec![0.0, 0.0, 0.2, 0.8]];
+        let m = Matcher::trajectory_match(&s, &observed).unwrap();
+        assert_eq!(m.entry_index, 1);
+        assert!(m.score > 0.95);
+    }
+
+    #[test]
+    fn empty_prefix_matches_nothing() {
+        let s = store_with(vec![(vec![1.0, 0.0], peaked(2, 4, &[0]))]);
+        assert!(Matcher::trajectory_match(&s, &[]).is_none());
+    }
+
+    #[test]
+    fn incremental_tracker_agrees_with_one_shot_search() {
+        let maps: Vec<ExpertMap> = (0..5)
+            .map(|i| peaked(4, 4, &[i % 4, (i + 1) % 4]))
+            .collect();
+        let s = store_with(
+            maps.iter()
+                .enumerate()
+                .map(|(i, m)| (vec![i as f64, 1.0], m.clone()))
+                .collect(),
+        );
+        let query = peaked(4, 4, &[2, 3]);
+        let mut tracker = TrajectoryTracker::new();
+        tracker.reset(&s);
+        for l in 0..4 {
+            tracker.observe_layer(&s, query.layer(l));
+            let inc = tracker.best(&s).unwrap();
+            let prefix: Vec<Vec<f64>> = (0..=l).map(|x| query.layer(x).to_vec()).collect();
+            let one_shot = Matcher::trajectory_match(&s, &prefix).unwrap();
+            assert_eq!(inc.entry_index, one_shot.entry_index, "layer {l}");
+            assert!((inc.score - one_shot.score).abs() < 1e-9, "layer {l}");
+        }
+    }
+
+    #[test]
+    fn tracker_reports_nothing_before_observations() {
+        let s = store_with(vec![(vec![1.0, 0.0], peaked(2, 4, &[0]))]);
+        let mut t = TrajectoryTracker::new();
+        t.reset(&s);
+        assert!(t.best(&s).is_none());
+        assert_eq!(t.layers_observed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "store mutated")]
+    fn tracker_detects_store_mutation() {
+        let mut s = store_with(vec![(vec![1.0, 0.0], peaked(2, 4, &[0]))]);
+        let mut t = TrajectoryTracker::new();
+        t.reset(&s);
+        // Mutating the store between reset and observe must be caught.
+        let mut bigger = ExpertMapStore::new(8, 2, 4, 1);
+        std::mem::swap(&mut s, &mut bigger);
+        s.insert(vec![0.0, 1.0], peaked(2, 4, &[1]));
+        s.insert(vec![0.5, 0.5], peaked(2, 4, &[2]));
+        s.insert(vec![0.5, -0.5], peaked(2, 4, &[3]));
+        t.observe_layer(&s, &[0.25, 0.25, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn higher_scores_for_true_continuations() {
+        // A tracker observing a's prefix should score a above b.
+        let a = peaked(6, 4, &[0, 1]);
+        let b = peaked(6, 4, &[2, 3]);
+        let s = store_with(vec![(vec![1.0, 0.0], a.clone()), (vec![0.0, 1.0], b)]);
+        let mut t = TrajectoryTracker::new();
+        t.reset(&s);
+        for l in 0..3 {
+            t.observe_layer(&s, a.layer(l));
+        }
+        let m = t.best(&s).unwrap();
+        assert_eq!(m.entry_index, 0);
+        assert!(m.score > 0.99);
+    }
+}

@@ -1,0 +1,549 @@
+//! [`FmoePredictor`]: the full fMoE policy behind the `fmoe-serving`
+//! predictor interface.
+//!
+//! Per iteration (paper §3.2 workflow):
+//!
+//! * `begin_iteration` — **semantic search** over the Expert Map Store
+//!   selects the best historical iteration by embedding similarity; its
+//!   map's layers `1…d` drive prefetch plans for the window the
+//!   trajectory cannot reach yet.
+//! * `observe_gate(l)` — the realized distribution extends the
+//!   **incremental trajectory search**; the best match's layer `l + d`
+//!   drives that target layer's plans.
+//! * Both paths size their selections with the **similarity-aware
+//!   threshold** `δ = clip(1 − score)` and order plans by
+//!   `PRI = p / (l − l_now)`.
+//! * `end_iteration` — the realized map and embedding are inserted into
+//!   the store (redundancy-deduplicated at capacity).
+//!
+//! Every ingredient can be ablated through [`FmoeConfig`], reproducing
+//! the paper's Fig. 12a variants.
+
+use crate::config::FmoeConfig;
+use crate::map::ExpertMap;
+use crate::matcher::{Matcher, TrajectoryTracker};
+use crate::selection::{prefetch_priority, select_experts, select_top_n, SelectedExpert};
+use crate::store::ExpertMapStore;
+use fmoe_model::gate::TokenSpan;
+use fmoe_model::{ExpertId, GateSimulator, ModelConfig, RequestRouting};
+use fmoe_serving::{ExpertPredictor, IterationContext, PredictorTiming, PrefetchPlan};
+use std::collections::HashMap;
+
+/// A historical request used to pre-populate the store offline (the
+/// paper's 70% split).
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryRequest {
+    /// Routing identity of the historical prompt.
+    pub routing: RequestRouting,
+    /// Prompt length in tokens.
+    pub prompt_tokens: u64,
+    /// Iterations to record (prefill + decodes).
+    pub iterations: u64,
+}
+
+#[derive(Debug, Default)]
+struct ElementState {
+    tracker: TrajectoryTracker,
+}
+
+/// The fMoE offloading policy.
+#[derive(Debug)]
+pub struct FmoePredictor {
+    model: ModelConfig,
+    config: FmoeConfig,
+    store: ExpertMapStore,
+    elements: HashMap<usize, ElementState>,
+}
+
+impl FmoePredictor {
+    /// Creates the policy with an empty Expert Map Store.
+    #[must_use]
+    pub fn new(model: ModelConfig, config: FmoeConfig) -> Self {
+        let store = ExpertMapStore::new(
+            config.store_capacity,
+            model.num_layers as usize,
+            model.experts_per_layer as usize,
+            config.prefetch_distance,
+        )
+        .with_replacement(config.store_replacement);
+        Self {
+            model,
+            config,
+            store,
+            elements: HashMap::new(),
+        }
+    }
+
+    /// Number of maps currently stored.
+    #[must_use]
+    pub fn store_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Read access to the store (analysis/benches).
+    #[must_use]
+    pub fn store(&self) -> &ExpertMapStore {
+        &self.store
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &FmoeConfig {
+        &self.config
+    }
+
+    /// Saves the Expert Map Store to a file, so a later serving session
+    /// can start warm (see [`crate::persist`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors.
+    pub fn save_store_to_path(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.store.save_to_path(path)
+    }
+
+    /// Replaces the predictor's store with one loaded from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; `InvalidData` when the file's dimensions do
+    /// not match this predictor's model.
+    pub fn load_store_from_path(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<()> {
+        let store = ExpertMapStore::load_from_path(path)?;
+        if store.num_layers() != self.model.num_layers as usize
+            || store.experts_per_layer() != self.model.experts_per_layer as usize
+        {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "stored maps do not match this predictor's model dimensions",
+            ));
+        }
+        self.store = store;
+        self.elements.clear();
+        Ok(())
+    }
+
+    /// Pre-populates the store by replaying historical requests through
+    /// the router — the paper's offline setup, where 70% of each dataset's
+    /// context data is stored before evaluation (§6.1).
+    pub fn populate_from_history(
+        &mut self,
+        gate: &GateSimulator,
+        history: &[HistoryRequest],
+        max_iterations_per_request: u64,
+    ) {
+        let layers = self.model.num_layers;
+        for req in history {
+            let iters = req.iterations.min(max_iterations_per_request).max(1);
+            for iter in 0..iters {
+                let span = if iter == 0 {
+                    TokenSpan::prefill(req.prompt_tokens)
+                } else {
+                    TokenSpan::single(req.prompt_tokens + iter - 1)
+                };
+                let rows: Vec<Vec<f64>> = (0..layers)
+                    .map(|l| gate.iteration_distribution(req.routing, iter, l, span))
+                    .collect();
+                let embedding = gate.semantic_embedding(req.routing, iter);
+                self.store.insert(embedding, ExpertMap::new(rows));
+            }
+        }
+    }
+
+    /// Applies the configured selection rule to a searched distribution.
+    /// Prefill iterations floor the threshold mass (see
+    /// [`FmoeConfig::prefill_coverage_floor`]).
+    fn select(&self, distribution: &[f64], score: f64, is_prefill: bool) -> Vec<SelectedExpert> {
+        if self.config.use_dynamic_threshold {
+            let effective_score = if is_prefill {
+                score.min(1.0 - self.config.prefill_coverage_floor)
+            } else {
+                score
+            };
+            select_experts(
+                distribution,
+                effective_score,
+                self.config.min_prefetch_per_layer,
+                self.config.max_prefetch_per_layer,
+            )
+        } else {
+            select_top_n(distribution, self.config.fixed_prefetch_count)
+        }
+    }
+
+    /// Builds priority-ordered plans for a set of `(layer, selection)`
+    /// targets.
+    fn plans_for(
+        &self,
+        targets: &[(u32, Vec<SelectedExpert>)],
+        current_layer: i64,
+    ) -> Vec<PrefetchPlan> {
+        let mut scored: Vec<(f64, PrefetchPlan)> = Vec::new();
+        for (layer, selection) in targets {
+            for &(slot, p) in selection {
+                let plan = PrefetchPlan::fetch(ExpertId::new(*layer, slot as u32), p);
+                scored.push((prefetch_priority(p, *layer, current_layer), plan));
+            }
+        }
+        if self.config.use_priority_ordering {
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("priorities are finite"));
+        }
+        scored.into_iter().map(|(_, plan)| plan).collect()
+    }
+}
+
+impl ExpertPredictor for FmoePredictor {
+    fn name(&self) -> String {
+        if self.config.use_semantic_search && self.config.use_dynamic_threshold {
+            "fMoE".into()
+        } else if self.config.use_semantic_search {
+            "fMoE (T+S)".into()
+        } else {
+            "fMoE (T)".into()
+        }
+    }
+
+    fn timing(&self) -> PredictorTiming {
+        PredictorTiming {
+            latency_ns: self.config.matching_latency_ns,
+            synchronous: self.config.synchronous_matcher,
+            blocking_prefetch: false,
+            update_ns: self.config.update_latency_ns,
+        }
+    }
+
+    fn begin_iteration(&mut self, ctx: &IterationContext) -> Vec<PrefetchPlan> {
+        let state = self.elements.entry(ctx.element).or_default();
+        state.tracker.reset(&self.store);
+
+        if !self.config.use_semantic_search || self.store.is_empty() {
+            return Vec::new();
+        }
+        let Some(m) = Matcher::semantic_match(&self.store, &ctx.embedding) else {
+            return Vec::new();
+        };
+        let d = self.config.prefetch_distance.min(self.model.num_layers);
+        let entry = self.store.entry(m.entry_index);
+        let targets: Vec<(u32, Vec<SelectedExpert>)> = (0..d)
+            .map(|l| {
+                (
+                    l,
+                    self.select(entry.map.layer(l as usize), m.score, ctx.is_prefill),
+                )
+            })
+            .collect();
+        self.plans_for(&targets, -1)
+    }
+
+    fn observe_gate(
+        &mut self,
+        ctx: &IterationContext,
+        layer: u32,
+        distribution: &[f64],
+    ) -> Vec<PrefetchPlan> {
+        let state = self.elements.entry(ctx.element).or_default();
+        state.tracker.observe_layer(&self.store, distribution);
+
+        let target = layer + self.config.prefetch_distance;
+        if target >= self.model.num_layers || self.store.is_empty() {
+            return Vec::new();
+        }
+        let Some(m) = state.tracker.best(&self.store) else {
+            return Vec::new();
+        };
+        let entry = self.store.entry(m.entry_index);
+        let window_end = (target + self.config.prefetch_window).min(self.model.num_layers);
+        let neutral = 1.0 / f64::from(self.model.experts_per_layer);
+        let confidence = m.score.clamp(0.0, 1.0);
+        let mut targets: Vec<(u32, Vec<SelectedExpert>)> = Vec::new();
+        let mut advisories: Vec<PrefetchPlan> = Vec::new();
+        for t in target..window_end {
+            let searched = entry.map.layer(t as usize).to_vec();
+            let selection = self.select(&searched, m.score, ctx.is_prefill);
+            // §4.5: the searched map's probabilities also drive eviction
+            // priority for *cached* experts — advise the non-selected
+            // slots so unlikely residents become eviction candidates.
+            // The forecast is confidence-weighted: a dubious match must
+            // not confidently punish residents, so the advised value is
+            // pulled toward the neutral prior as the score drops.
+            for (slot, &p) in searched.iter().enumerate() {
+                if !selection.iter().any(|&(s, _)| s == slot) {
+                    let advised = confidence * p + (1.0 - confidence) * neutral;
+                    advisories.push(PrefetchPlan::advise(ExpertId::new(t, slot as u32), advised));
+                }
+            }
+            targets.push((t, selection));
+        }
+        let mut plans = self.plans_for(&targets, i64::from(layer));
+        plans.extend(advisories);
+        plans
+    }
+
+    fn end_iteration(&mut self, ctx: &IterationContext, realized_map: &[Vec<f64>]) {
+        if realized_map.len() == self.model.num_layers as usize {
+            self.store
+                .insert(ctx.embedding.clone(), ExpertMap::new(realized_map.to_vec()));
+        }
+    }
+
+    fn reset(&mut self) {
+        self.store.clear();
+        self.elements.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmoe_model::{presets, GateParams};
+
+    fn gate() -> GateSimulator {
+        let cfg = presets::small_test_model();
+        GateSimulator::new(cfg.clone(), GateParams::for_model(&cfg))
+    }
+
+    fn predictor() -> FmoePredictor {
+        let cfg = presets::small_test_model();
+        FmoePredictor::new(cfg.clone(), FmoeConfig::for_model(&cfg))
+    }
+
+    fn history(cluster: u64, n: u64) -> Vec<HistoryRequest> {
+        (0..n)
+            .map(|i| HistoryRequest {
+                routing: RequestRouting {
+                    cluster,
+                    request_seed: 1000 + i,
+                },
+                prompt_tokens: 16,
+                iterations: 6,
+            })
+            .collect()
+    }
+
+    fn ctx_for(g: &GateSimulator, routing: RequestRouting, iteration: u64) -> IterationContext {
+        IterationContext {
+            element: 0,
+            request_id: 7,
+            iteration,
+            is_prefill: iteration == 0,
+            span: TokenSpan::single(16 + iteration),
+            embedding: g.semantic_embedding(routing, iteration),
+            routing,
+        }
+    }
+
+    #[test]
+    fn empty_store_produces_no_plans() {
+        let g = gate();
+        let mut p = predictor();
+        let routing = RequestRouting {
+            cluster: 1,
+            request_seed: 7,
+        };
+        let ctx = ctx_for(&g, routing, 0);
+        assert!(p.begin_iteration(&ctx).is_empty());
+        let dist = g.iteration_distribution(routing, 0, 0, ctx.span);
+        assert!(p.observe_gate(&ctx, 0, &dist).is_empty());
+    }
+
+    #[test]
+    fn populate_fills_store_and_respects_capacity() {
+        let g = gate();
+        let mut p = predictor();
+        p.populate_from_history(&g, &history(1, 10), 4);
+        assert_eq!(p.store_len(), 40);
+        let cap = p.config().store_capacity;
+        p.populate_from_history(&g, &history(2, 2000), 1);
+        assert!(p.store_len() <= cap);
+    }
+
+    #[test]
+    fn semantic_window_covers_first_d_layers() {
+        let g = gate();
+        let mut p = predictor();
+        p.populate_from_history(&g, &history(3, 8), 4);
+        let routing = RequestRouting {
+            cluster: 3,
+            request_seed: 999_999,
+        };
+        let plans = p.begin_iteration(&ctx_for(&g, routing, 0));
+        assert!(!plans.is_empty());
+        let d = p.config().prefetch_distance;
+        assert!(plans.iter().all(|plan| plan.expert.layer < d));
+        // Constraint 8 floor: at least K+1 per covered layer.
+        let layer0 = plans.iter().filter(|pl| pl.expert.layer == 0).count();
+        assert!(layer0 >= p.config().min_prefetch_per_layer);
+    }
+
+    #[test]
+    fn trajectory_plans_target_layer_plus_d() {
+        let g = gate();
+        let mut p = predictor();
+        p.populate_from_history(&g, &history(4, 8), 4);
+        let routing = RequestRouting {
+            cluster: 4,
+            request_seed: 555_555,
+        };
+        let ctx = ctx_for(&g, routing, 1);
+        let _ = p.begin_iteration(&ctx);
+        let dist = g.iteration_distribution(routing, 1, 0, ctx.span);
+        let plans = p.observe_gate(&ctx, 0, &dist);
+        let d = p.config().prefetch_distance;
+        let w = p.config().prefetch_window;
+        assert!(!plans.is_empty());
+        // Fetch plans cover the window [d, d+w); advisories may also
+        // appear for the same layers.
+        assert!(plans
+            .iter()
+            .all(|plan| plan.expert.layer >= d && plan.expert.layer < d + w));
+        assert!(plans
+            .iter()
+            .any(|plan| !plan.advisory && plan.expert.layer == d));
+    }
+
+    #[test]
+    fn no_plans_beyond_last_layer() {
+        let g = gate();
+        let mut p = predictor();
+        p.populate_from_history(&g, &history(5, 4), 2);
+        let routing = RequestRouting {
+            cluster: 5,
+            request_seed: 1,
+        };
+        let ctx = ctx_for(&g, routing, 0);
+        let _ = p.begin_iteration(&ctx);
+        let last = g.config().num_layers - 1;
+        for l in 0..=last {
+            let dist = g.iteration_distribution(routing, 0, l, ctx.span);
+            let plans = p.observe_gate(&ctx, l, &dist);
+            if l + p.config().prefetch_distance >= g.config().num_layers {
+                assert!(plans.is_empty(), "layer {l} should have no target");
+            }
+        }
+    }
+
+    /// Coverage of the true activations by the predictor's plans, at a
+    /// *fixed* prefetch budget (dynamic threshold off), restricted to the
+    /// layers the given phase covers.
+    fn plan_coverage(
+        g: &GateSimulator,
+        store_cluster: u64,
+        query_cluster: u64,
+        semantic_window_only: bool,
+    ) -> f64 {
+        let cfg = presets::small_test_model();
+        let fc = FmoeConfig::for_model(&cfg).without_dynamic_threshold();
+        let d = fc.prefetch_distance;
+        let mut p = FmoePredictor::new(cfg, fc);
+        p.populate_from_history(g, &history(store_cluster, 12), 8);
+        let routing = RequestRouting {
+            cluster: query_cluster,
+            request_seed: 31337,
+        };
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for iter in 0..6u64 {
+            let ctx = ctx_for(g, routing, iter);
+            let mut planned: Vec<Vec<u32>> = vec![Vec::new(); g.config().num_layers as usize];
+            for plan in p.begin_iteration(&ctx) {
+                planned[plan.expert.layer as usize].push(plan.expert.slot);
+            }
+            for l in 0..g.config().num_layers {
+                let dist = g.iteration_distribution(routing, iter, l, ctx.span);
+                for plan in p.observe_gate(&ctx, l, &dist) {
+                    planned[plan.expert.layer as usize].push(plan.expert.slot);
+                }
+            }
+            for l in 0..g.config().num_layers {
+                if semantic_window_only && l >= d {
+                    continue;
+                }
+                let activated = g.activated_slots(routing, iter, l, ctx.span);
+                for slot in activated {
+                    total += 1;
+                    if planned[l as usize].contains(&slot) {
+                        hits += 1;
+                    }
+                }
+            }
+        }
+        hits as f64 / total.max(1) as f64
+    }
+
+    #[test]
+    fn same_cluster_semantic_window_beats_cross_cluster() {
+        // The semantic search claim (§4.2): for the first d layers — where
+        // no trajectory exists — history from the same semantic population
+        // predicts activations far better than history from an unrelated
+        // one, at an equal prefetch budget.
+        let g = gate();
+        let same = plan_coverage(&g, 6, 6, true);
+        let cross = plan_coverage(&g, 7, 6, true);
+        assert!(
+            same > cross + 0.15,
+            "same-cluster window coverage {same} vs cross-cluster {cross}"
+        );
+        assert!(same > 0.55, "same-cluster window coverage too weak: {same}");
+    }
+
+    #[test]
+    fn full_request_coverage_is_strong_with_matching_history() {
+        let g = gate();
+        let same = plan_coverage(&g, 6, 6, false);
+        assert!(same > 0.6, "full-request coverage too weak: {same}");
+    }
+
+    #[test]
+    fn end_iteration_grows_store() {
+        let g = gate();
+        let mut p = predictor();
+        let routing = RequestRouting {
+            cluster: 8,
+            request_seed: 2,
+        };
+        let ctx = ctx_for(&g, routing, 0);
+        let rows: Vec<Vec<f64>> = (0..g.config().num_layers)
+            .map(|l| g.iteration_distribution(routing, 0, l, ctx.span))
+            .collect();
+        p.end_iteration(&ctx, &rows);
+        assert_eq!(p.store_len(), 1);
+        // Incomplete maps (mid-iteration abort) are ignored.
+        p.end_iteration(&ctx, &rows[..2]);
+        assert_eq!(p.store_len(), 1);
+    }
+
+    #[test]
+    fn reset_empties_everything() {
+        let g = gate();
+        let mut p = predictor();
+        p.populate_from_history(&g, &history(9, 3), 2);
+        assert!(p.store_len() > 0);
+        p.reset();
+        assert_eq!(p.store_len(), 0);
+    }
+
+    #[test]
+    fn timing_is_asynchronous() {
+        let p = predictor();
+        let t = p.timing();
+        assert!(!t.synchronous);
+        assert!(t.latency_ns > 0);
+    }
+
+    #[test]
+    fn ablation_names() {
+        let cfg = presets::small_test_model();
+        let full = FmoePredictor::new(cfg.clone(), FmoeConfig::for_model(&cfg));
+        assert_eq!(full.name(), "fMoE");
+        let ts = FmoePredictor::new(
+            cfg.clone(),
+            FmoeConfig::for_model(&cfg).without_dynamic_threshold(),
+        );
+        assert_eq!(ts.name(), "fMoE (T+S)");
+        let t = FmoePredictor::new(cfg.clone(), FmoeConfig::for_model(&cfg).trajectory_only());
+        assert_eq!(t.name(), "fMoE (T)");
+    }
+}

@@ -1,0 +1,227 @@
+//! Property-based tests for the expert map, store, matcher and selection
+//! invariants.
+
+#![cfg(test)]
+
+use crate::map::ExpertMap;
+use crate::matcher::{Matcher, TrajectoryTracker};
+use crate::selection::{prefetch_priority, select_experts, select_top_n};
+use crate::store::ExpertMapStore;
+use proptest::prelude::*;
+
+const L: usize = 4;
+const J: usize = 6;
+
+/// A random normalized distribution of width `J`.
+fn row() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.001f64..1.0, J).prop_map(|mut v| {
+        let s: f64 = v.iter().sum();
+        v.iter_mut().for_each(|x| *x /= s);
+        v
+    })
+}
+
+/// A random L×J expert map.
+fn map() -> impl Strategy<Value = ExpertMap> {
+    prop::collection::vec(row(), L).prop_map(ExpertMap::new)
+}
+
+fn embedding() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0f64..1.0, 8)
+        .prop_filter("nonzero", |v| v.iter().any(|x| x.abs() > 1e-3))
+}
+
+proptest! {
+    #[test]
+    fn flatten_round_trips_layers(m in map()) {
+        let flat = m.flatten();
+        prop_assert_eq!(flat.len(), L * J);
+        for l in 0..L {
+            prop_assert_eq!(&flat[l * J..(l + 1) * J], m.layer(l));
+        }
+    }
+
+    #[test]
+    fn top_k_counts_sum_to_k_per_layer(m in map(), k in 1usize..=J) {
+        for row in m.to_top_k_counts(k) {
+            prop_assert_eq!(row.iter().sum::<u64>(), k as u64);
+        }
+    }
+
+    #[test]
+    fn store_never_exceeds_capacity(
+        entries in prop::collection::vec((embedding(), map()), 1..40),
+        capacity in 1usize..12,
+    ) {
+        let mut store = ExpertMapStore::new(capacity, L, J, 2);
+        for (e, m) in entries {
+            let idx = store.insert(e, m);
+            prop_assert!(idx < capacity);
+            prop_assert!(store.len() <= capacity);
+        }
+    }
+
+    #[test]
+    fn store_replacement_prefers_duplicates(
+        base in (embedding(), map()),
+        other in (embedding(), map()),
+    ) {
+        // A store holding [base, other] at capacity 2; inserting an exact
+        // copy of base must replace base (the most redundant entry), as
+        // long as the two entries are not themselves near-identical.
+        let mut store = ExpertMapStore::new(2, L, J, 2);
+        store.insert(base.0.clone(), base.1.clone());
+        store.insert(other.0.clone(), other.1.clone());
+        let r_base = store.redundancy(&base.0, &base.1.flatten(), 0);
+        let r_other = store.redundancy(&base.0, &base.1.flatten(), 1);
+        prop_assume!(r_base > r_other + 1e-9);
+        let idx = store.insert(base.0.clone(), base.1.clone());
+        prop_assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn redundancy_is_bounded(
+        a in (embedding(), map()),
+        b in (embedding(), map()),
+    ) {
+        let mut store = ExpertMapStore::new(2, L, J, 2);
+        store.insert(b.0.clone(), b.1.clone());
+        let r = store.redundancy(&a.0, &a.1.flatten(), 0);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "{}", r);
+    }
+
+    #[test]
+    fn semantic_match_finds_exact_copy(
+        entries in prop::collection::vec((embedding(), map()), 1..10),
+        pick in 0usize..10,
+    ) {
+        let mut store = ExpertMapStore::new(16, L, J, 2);
+        for (e, m) in &entries {
+            store.insert(e.clone(), m.clone());
+        }
+        let target = pick % entries.len();
+        let m = Matcher::semantic_match(&store, &entries[target].0).unwrap();
+        // The exact embedding scores 1.0; the winner must score at least
+        // as high (ties possible with colinear embeddings).
+        prop_assert!(m.score >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn incremental_tracker_equals_one_shot(
+        entries in prop::collection::vec((embedding(), map()), 1..8),
+        query in map(),
+    ) {
+        let mut store = ExpertMapStore::new(16, L, J, 2);
+        for (e, m) in &entries {
+            store.insert(e.clone(), m.clone());
+        }
+        let mut tracker = TrajectoryTracker::new();
+        tracker.reset(&store);
+        for l in 0..L {
+            tracker.observe_layer(&store, query.layer(l));
+            let inc = tracker.best(&store).unwrap();
+            let prefix: Vec<Vec<f64>> = (0..=l).map(|x| query.layer(x).to_vec()).collect();
+            let os = Matcher::trajectory_match(&store, &prefix).unwrap();
+            prop_assert!((inc.score - os.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn selection_respects_constraints(
+        dist in row(),
+        score in -1.0f64..1.0,
+        min_count in 1usize..=J,
+        max_count in 1usize..=J,
+    ) {
+        let sel = select_experts(&dist, score, min_count, max_count);
+        // Cap respected.
+        prop_assert!(sel.len() <= max_count);
+        // Floor respected whenever the cap allows it.
+        prop_assert!(sel.len() >= min_count.min(max_count));
+        // Coverage: selected probability mass reaches δ unless the cap
+        // cut selection short.
+        let delta = (1.0 - score).clamp(0.0, 1.0);
+        let mass: f64 = sel.iter().map(|s| s.1).sum();
+        if sel.len() < max_count {
+            prop_assert!(mass >= delta - 1e-9, "mass {} < delta {}", mass, delta);
+        }
+        // Distinct slots, sorted by probability.
+        let mut slots: Vec<usize> = sel.iter().map(|s| s.0).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        prop_assert_eq!(slots.len(), sel.len());
+        for w in sel.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn selection_is_greedy_minimal(
+        dist in row(),
+        score in -1.0f64..1.0,
+    ) {
+        // Dropping the last selected expert must leave the threshold
+        // unsatisfied (otherwise the selection was not minimal), unless
+        // the floor forced the size.
+        let min_count = 1;
+        let sel = select_experts(&dist, score, min_count, J);
+        let delta = (1.0 - score).clamp(0.0, 1.0);
+        if sel.len() > min_count {
+            let mass_without_last: f64 =
+                sel[..sel.len() - 1].iter().map(|s| s.1).sum();
+            prop_assert!(mass_without_last < delta + 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_n_orders_by_probability(dist in row(), n in 0usize..=J) {
+        let sel = select_top_n(&dist, n);
+        prop_assert_eq!(sel.len(), n.min(J));
+        for w in sel.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn persistence_round_trips_arbitrary_stores(
+        entries in prop::collection::vec((embedding(), map()), 0..12),
+        capacity in 1usize..16,
+    ) {
+        let mut store = ExpertMapStore::new(capacity.max(12), L, J, 2);
+        for (e, m) in entries {
+            store.insert(e, m);
+        }
+        let mut buf = Vec::new();
+        store.save_to(&mut buf).unwrap();
+        let loaded = ExpertMapStore::load_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(loaded.len(), store.len());
+        for (a, b) in store.entries().zip(loaded.entries()) {
+            for (x, y) in a.flat().iter().zip(b.flat()) {
+                prop_assert!((x - y).abs() < 1e-6);
+            }
+        }
+        // Any single-byte truncation must fail cleanly, never panic.
+        if !buf.is_empty() {
+            let truncated = &buf[..buf.len() - 1];
+            prop_assert!(ExpertMapStore::load_from(&mut &truncated[..]).is_err());
+        }
+    }
+
+    #[test]
+    fn priority_monotonicity(
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+        layer in 0u32..32,
+        current in -1i64..31,
+    ) {
+        prop_assume!(i64::from(layer) > current);
+        // Higher probability at the same target never loses.
+        let a = prefetch_priority(p1.max(p2), layer, current);
+        let b = prefetch_priority(p1.min(p2), layer, current);
+        prop_assert!(a >= b);
+        // Nearer target with equal probability never loses.
+        let near = prefetch_priority(p1, layer, current);
+        let far = prefetch_priority(p1, layer + 5, current);
+        prop_assert!(near >= far);
+    }
+}

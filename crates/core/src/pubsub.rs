@@ -1,0 +1,408 @@
+//! Live asynchronous matcher: the publisher/subscriber architecture of
+//! paper §4.3, realized with real threads.
+//!
+//! The discrete-event engine *models* the async matcher's latency; this
+//! module *implements* the architecture, demonstrating that matching and
+//! prefetch planning run off the inference thread:
+//!
+//! * The inference side **publishes** context messages — semantic
+//!   embeddings at iteration start, per-layer gate distributions, and
+//!   end-of-iteration map updates — into a crossbeam channel (the Expert
+//!   Map Store acting as message broker).
+//! * A **subscriber** thread consumes contexts, searches the shared store
+//!   (behind a `parking_lot::RwLock`, mirroring the paper's shared-memory
+//!   multithreading), and emits [`PlanMessage`]s carrying prefetch plans.
+//!
+//! Tests verify the async pipeline produces exactly the plans the
+//! synchronous matcher would, so the engine's latency-only model is
+//! faithful.
+
+use crate::config::FmoeConfig;
+use crate::map::ExpertMap;
+use crate::matcher::Matcher;
+use crate::selection::select_experts;
+use crate::store::ExpertMapStore;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fmoe_model::{ExpertId, ModelConfig};
+use fmoe_serving::PrefetchPlan;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Context messages published by the inference side.
+#[derive(Debug)]
+pub enum ContextMessage {
+    /// Iteration start: semantic embedding of request `request`.
+    Semantic {
+        /// Request identity (for plan correlation).
+        request: u64,
+        /// The iteration's semantic embedding.
+        embedding: Vec<f64>,
+    },
+    /// Layer `layer`'s realized gate distribution for request `request`.
+    Trajectory {
+        /// Request identity.
+        request: u64,
+        /// The layer that just ran its gate.
+        layer: u32,
+        /// The realized distribution.
+        distribution: Vec<f64>,
+    },
+    /// End of iteration: record the realized map in the store.
+    Update {
+        /// The iteration's embedding.
+        embedding: Vec<f64>,
+        /// The realized expert map.
+        map: ExpertMap,
+    },
+    /// Stop the subscriber thread.
+    Shutdown,
+}
+
+/// A batch of prefetch plans emitted by the matcher thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanMessage {
+    /// The request the plans belong to.
+    pub request: u64,
+    /// The layer window start these plans target.
+    pub target_layer: u32,
+    /// The plans, priority-ordered.
+    pub plans: Vec<PrefetchPlan>,
+}
+
+/// Handle to the live matcher: publish contexts, receive plans.
+#[derive(Debug)]
+pub struct AsyncMatcher {
+    context_tx: Sender<ContextMessage>,
+    plan_rx: Receiver<PlanMessage>,
+    store: Arc<RwLock<ExpertMapStore>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl AsyncMatcher {
+    /// Spawns the subscriber thread around a shared store.
+    #[must_use]
+    pub fn spawn(model: &ModelConfig, config: FmoeConfig) -> Self {
+        let store = Arc::new(RwLock::new(ExpertMapStore::new(
+            config.store_capacity,
+            model.num_layers as usize,
+            model.experts_per_layer as usize,
+            config.prefetch_distance,
+        )));
+        let (context_tx, context_rx) = unbounded::<ContextMessage>();
+        let (plan_tx, plan_rx) = unbounded::<PlanMessage>();
+        let worker_store = Arc::clone(&store);
+        let model = model.clone();
+        let worker = std::thread::spawn(move || {
+            subscriber_loop(&context_rx, &plan_tx, &worker_store, &model, &config);
+        });
+        Self {
+            context_tx,
+            plan_rx,
+            store,
+            worker: Some(worker),
+        }
+    }
+
+    /// Publishes one context message.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the subscriber thread has already shut down.
+    pub fn publish(&self, msg: ContextMessage) -> Result<(), &'static str> {
+        self.context_tx
+            .send(msg)
+            .map_err(|_| "matcher thread is gone")
+    }
+
+    /// Receives the next plan message, blocking until one arrives or the
+    /// worker hangs up.
+    #[must_use]
+    pub fn recv_plans(&self) -> Option<PlanMessage> {
+        self.plan_rx.recv().ok()
+    }
+
+    /// Non-blocking drain of all currently available plan messages.
+    #[must_use]
+    pub fn try_drain_plans(&self) -> Vec<PlanMessage> {
+        let mut out = Vec::new();
+        while let Ok(m) = self.plan_rx.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Shared read access to the store (the paper's shared-memory space).
+    #[must_use]
+    pub fn store(&self) -> Arc<RwLock<ExpertMapStore>> {
+        Arc::clone(&self.store)
+    }
+}
+
+impl Drop for AsyncMatcher {
+    fn drop(&mut self) {
+        let _ = self.context_tx.send(ContextMessage::Shutdown);
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn subscriber_loop(
+    context_rx: &Receiver<ContextMessage>,
+    plan_tx: &Sender<PlanMessage>,
+    store: &Arc<RwLock<ExpertMapStore>>,
+    model: &ModelConfig,
+    config: &FmoeConfig,
+) {
+    // Per-request observed prefixes for trajectory matching.
+    let mut prefixes: HashMap<u64, Vec<Vec<f64>>> = HashMap::new();
+    while let Ok(msg) = context_rx.recv() {
+        match msg {
+            ContextMessage::Semantic { request, embedding } => {
+                prefixes.insert(request, Vec::new());
+                let store = store.read();
+                let Some(m) = Matcher::semantic_match(&store, &embedding) else {
+                    continue;
+                };
+                let d = config.prefetch_distance.min(model.num_layers);
+                let entry = store.entry(m.entry_index);
+                let mut plans = Vec::new();
+                for l in 0..d {
+                    for (slot, p) in select_experts(
+                        entry.map.layer(l as usize),
+                        m.score,
+                        config.min_prefetch_per_layer,
+                        config.max_prefetch_per_layer,
+                    ) {
+                        plans.push(PrefetchPlan::fetch(ExpertId::new(l, slot as u32), p));
+                    }
+                }
+                let _ = plan_tx.send(PlanMessage {
+                    request,
+                    target_layer: 0,
+                    plans,
+                });
+            }
+            ContextMessage::Trajectory {
+                request,
+                layer,
+                distribution,
+            } => {
+                let prefix = prefixes.entry(request).or_default();
+                prefix.push(distribution);
+                let target = layer + config.prefetch_distance;
+                if target >= model.num_layers {
+                    continue;
+                }
+                let store = store.read();
+                let Some(m) = Matcher::trajectory_match(&store, prefix) else {
+                    continue;
+                };
+                let entry = store.entry(m.entry_index);
+                let plans: Vec<PrefetchPlan> = select_experts(
+                    entry.map.layer(target as usize),
+                    m.score,
+                    config.min_prefetch_per_layer,
+                    config.max_prefetch_per_layer,
+                )
+                .into_iter()
+                .map(|(slot, p)| PrefetchPlan::fetch(ExpertId::new(target, slot as u32), p))
+                .collect();
+                let _ = plan_tx.send(PlanMessage {
+                    request,
+                    target_layer: target,
+                    plans,
+                });
+            }
+            ContextMessage::Update { embedding, map } => {
+                store.write().insert(embedding, map);
+            }
+            ContextMessage::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmoe_model::gate::TokenSpan;
+    use fmoe_model::{presets, GateParams, GateSimulator, RequestRouting};
+
+    fn setup() -> (GateSimulator, AsyncMatcher, FmoeConfig) {
+        let cfg = presets::small_test_model();
+        let gate = GateSimulator::new(cfg.clone(), GateParams::for_model(&cfg));
+        let fc = FmoeConfig::for_model(&cfg);
+        let matcher = AsyncMatcher::spawn(&cfg, fc.clone());
+        (gate, matcher, fc)
+    }
+
+    fn record_iteration(
+        gate: &GateSimulator,
+        matcher: &AsyncMatcher,
+        routing: RequestRouting,
+        iter: u64,
+    ) {
+        let span = TokenSpan::single(16 + iter);
+        let rows: Vec<Vec<f64>> = (0..gate.config().num_layers)
+            .map(|l| gate.iteration_distribution(routing, iter, l, span))
+            .collect();
+        matcher
+            .publish(ContextMessage::Update {
+                embedding: gate.semantic_embedding(routing, iter),
+                map: ExpertMap::new(rows),
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn async_matcher_round_trip() {
+        let (gate, matcher, fc) = setup();
+        let hist = RequestRouting {
+            cluster: 1,
+            request_seed: 10,
+        };
+        for iter in 0..4 {
+            record_iteration(&gate, &matcher, hist, iter);
+        }
+        // Query with a same-cluster request.
+        let query = RequestRouting {
+            cluster: 1,
+            request_seed: 99,
+        };
+        matcher
+            .publish(ContextMessage::Semantic {
+                request: 7,
+                embedding: gate.semantic_embedding(query, 0),
+            })
+            .unwrap();
+        let plans = matcher.recv_plans().expect("worker alive");
+        assert_eq!(plans.request, 7);
+        assert!(!plans.plans.is_empty());
+        assert!(plans
+            .plans
+            .iter()
+            .all(|p| p.expert.layer < fc.prefetch_distance));
+    }
+
+    #[test]
+    fn trajectory_messages_produce_target_layer_plans() {
+        let (gate, matcher, fc) = setup();
+        let hist = RequestRouting {
+            cluster: 2,
+            request_seed: 20,
+        };
+        for iter in 0..4 {
+            record_iteration(&gate, &matcher, hist, iter);
+        }
+        let query = RequestRouting {
+            cluster: 2,
+            request_seed: 777,
+        };
+        let dist = gate.iteration_distribution(query, 0, 0, TokenSpan::single(5));
+        matcher
+            .publish(ContextMessage::Trajectory {
+                request: 3,
+                layer: 0,
+                distribution: dist,
+            })
+            .unwrap();
+        let plans = matcher.recv_plans().expect("worker alive");
+        assert_eq!(plans.target_layer, fc.prefetch_distance);
+        assert!(plans
+            .plans
+            .iter()
+            .all(|p| p.expert.layer == fc.prefetch_distance));
+    }
+
+    #[test]
+    fn async_plans_match_synchronous_matcher() {
+        let (gate, matcher, fc) = setup();
+        let hist = RequestRouting {
+            cluster: 3,
+            request_seed: 30,
+        };
+        for iter in 0..4 {
+            record_iteration(&gate, &matcher, hist, iter);
+        }
+        let query_emb = gate.semantic_embedding(
+            RequestRouting {
+                cluster: 3,
+                request_seed: 5,
+            },
+            0,
+        );
+        matcher
+            .publish(ContextMessage::Semantic {
+                request: 1,
+                embedding: query_emb.clone(),
+            })
+            .unwrap();
+        let async_plans = matcher.recv_plans().unwrap().plans;
+
+        // Replicate synchronously against the shared store.
+        let store = matcher.store();
+        let store = store.read();
+        let m = Matcher::semantic_match(&store, &query_emb).unwrap();
+        let mut sync_plans = Vec::new();
+        for l in 0..fc.prefetch_distance {
+            for (slot, p) in select_experts(
+                store.entry(m.entry_index).map.layer(l as usize),
+                m.score,
+                fc.min_prefetch_per_layer,
+                fc.max_prefetch_per_layer,
+            ) {
+                sync_plans.push(PrefetchPlan::fetch(ExpertId::new(l, slot as u32), p));
+            }
+        }
+        assert_eq!(async_plans, sync_plans);
+    }
+
+    #[test]
+    fn updates_are_visible_in_shared_store() {
+        let (gate, matcher, _) = setup();
+        let routing = RequestRouting {
+            cluster: 4,
+            request_seed: 40,
+        };
+        record_iteration(&gate, &matcher, routing, 0);
+        // Synchronize: a semantic query guarantees the update was consumed
+        // (the channel is FIFO and the worker is single-threaded).
+        matcher
+            .publish(ContextMessage::Semantic {
+                request: 0,
+                embedding: gate.semantic_embedding(routing, 0),
+            })
+            .unwrap();
+        let _ = matcher.recv_plans();
+        assert_eq!(matcher.store().read().len(), 1);
+    }
+
+    #[test]
+    fn empty_store_emits_no_plan_content() {
+        let (gate, matcher, _) = setup();
+        matcher
+            .publish(ContextMessage::Semantic {
+                request: 9,
+                embedding: gate.semantic_embedding(
+                    RequestRouting {
+                        cluster: 1,
+                        request_seed: 1,
+                    },
+                    0,
+                ),
+            })
+            .unwrap();
+        // The worker skips empty-store queries entirely; draining after a
+        // short settle must find nothing.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(matcher.try_drain_plans().is_empty());
+    }
+
+    #[test]
+    fn shutdown_is_clean_on_drop() {
+        let (_, matcher, _) = setup();
+        drop(matcher); // must not hang or panic
+    }
+}

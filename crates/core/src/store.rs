@@ -1,0 +1,422 @@
+//! The Expert Map Store (paper §4.4).
+//!
+//! A capacity-bounded collection of historical iterations, each stored as
+//! a `(semantic embedding, expert map)` pair. When full, an incoming
+//! iteration *replaces* its most redundant stored peer, where redundancy
+//! unifies the two search similarities with the paper's weighting:
+//!
+//! ```text
+//! RDY_{x,y} = d/L · score_sem(x,y)  +  (L−d)/L · score_traj(x,y)
+//! ```
+//!
+//! — the semantic score guides `d` of the `L` layers and the trajectory
+//! score the remaining `L−d`, so each contributes in proportion. Dropping
+//! the *most similar* stored entry preserves diversity, maximizing the
+//! chance any future prompt finds a useful map (the paper frames this as
+//! minimum sphere covering of the activation space).
+
+use crate::map::ExpertMap;
+use fmoe_stats::cosine_similarity;
+use fmoe_stats::SplitMix64;
+use serde::Serialize;
+
+/// How the store chooses which entry an incoming iteration replaces once
+/// the capacity is reached.
+///
+/// The paper's design is [`ReplacementPolicy::Redundancy`]; the other two
+/// exist for the ablation benches (`DESIGN.md` §6) that quantify what the
+/// redundancy-scored deduplication buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, serde::Deserialize)]
+pub enum ReplacementPolicy {
+    /// Replace the most redundant entry (max `RDY`) — the paper's §4.4
+    /// deduplication, which preserves diversity.
+    Redundancy,
+    /// Replace the oldest entry, ignoring content.
+    Fifo,
+    /// Replace a pseudo-random entry (seeded, deterministic).
+    Random,
+}
+
+/// One stored iteration.
+#[derive(Debug, Clone)]
+pub struct MapEntry {
+    /// Monotone insertion id (diagnostics).
+    pub id: u64,
+    /// The iteration's semantic embedding.
+    pub embedding: Vec<f64>,
+    /// The iteration's expert map.
+    pub map: ExpertMap,
+    /// Cached row-major flattening of `map`.
+    flat: Vec<f64>,
+    /// `prefix_norm2[l]` = squared L2 norm of the first `l` layers of
+    /// `flat` — lets the trajectory matcher compute prefix cosines
+    /// incrementally.
+    prefix_norm2: Vec<f64>,
+}
+
+impl MapEntry {
+    fn new(id: u64, embedding: Vec<f64>, map: ExpertMap) -> Self {
+        let flat = map.flatten();
+        let j = map.experts_per_layer();
+        let mut prefix_norm2 = Vec::with_capacity(map.num_layers() + 1);
+        prefix_norm2.push(0.0);
+        let mut acc = 0.0;
+        for l in 0..map.num_layers() {
+            for &p in &flat[l * j..(l + 1) * j] {
+                acc += p * p;
+            }
+            prefix_norm2.push(acc);
+        }
+        Self {
+            id,
+            embedding,
+            map,
+            flat,
+            prefix_norm2,
+        }
+    }
+
+    /// The flattened map.
+    #[must_use]
+    pub fn flat(&self) -> &[f64] {
+        &self.flat
+    }
+
+    /// Squared norm of the first `layers` layers of the flattened map.
+    #[must_use]
+    pub fn prefix_norm2(&self, layers: usize) -> f64 {
+        self.prefix_norm2[layers.min(self.prefix_norm2.len() - 1)]
+    }
+}
+
+/// Store bookkeeping counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StoreStats {
+    /// Entries appended while below capacity.
+    pub appended: u64,
+    /// Entries that replaced a redundant peer at capacity.
+    pub replaced: u64,
+}
+
+/// The Expert Map Store. See the module docs.
+///
+/// ```
+/// use fmoe::map::ExpertMap;
+/// use fmoe::matcher::Matcher;
+/// use fmoe::store::ExpertMapStore;
+///
+/// let mut store = ExpertMapStore::new(100, 2, 4, 1);
+/// store.insert(
+///     vec![1.0, 0.0],
+///     ExpertMap::new(vec![vec![0.7, 0.1, 0.1, 0.1], vec![0.1, 0.7, 0.1, 0.1]]),
+/// );
+/// let m = Matcher::semantic_match(&store, &[0.9, 0.1]).unwrap();
+/// assert_eq!(m.entry_index, 0);
+/// assert!(m.score > 0.95);
+/// ```
+#[derive(Debug)]
+pub struct ExpertMapStore {
+    capacity: usize,
+    num_layers: usize,
+    experts_per_layer: usize,
+    prefetch_distance: u32,
+    replacement: ReplacementPolicy,
+    rng_state: u64,
+    entries: Vec<MapEntry>,
+    next_id: u64,
+    stats: StoreStats,
+}
+
+impl ExpertMapStore {
+    /// Creates an empty store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or the model dimensions are zero.
+    #[must_use]
+    pub fn new(
+        capacity: usize,
+        num_layers: usize,
+        experts_per_layer: usize,
+        prefetch_distance: u32,
+    ) -> Self {
+        assert!(capacity > 0, "store capacity must be positive");
+        assert!(
+            num_layers > 0 && experts_per_layer > 0,
+            "model dims must be positive"
+        );
+        Self {
+            capacity,
+            num_layers,
+            experts_per_layer,
+            prefetch_distance,
+            replacement: ReplacementPolicy::Redundancy,
+            rng_state: 0x5EED_CAFE,
+            entries: Vec::new(),
+            next_id: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Switches the at-capacity replacement strategy (ablations only; the
+    /// paper's design is redundancy-scored deduplication).
+    #[must_use]
+    pub fn with_replacement(mut self, policy: ReplacementPolicy) -> Self {
+        self.replacement = policy;
+        self
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the store holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity `C`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of layers `L` each stored map spans.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Experts per layer `J` of each stored map.
+    #[must_use]
+    pub fn experts_per_layer(&self) -> usize {
+        self.experts_per_layer
+    }
+
+    /// The prefetch distance the redundancy weighting uses.
+    #[must_use]
+    pub fn prefetch_distance(&self) -> u32 {
+        self.prefetch_distance
+    }
+
+    /// Read access to a stored entry.
+    #[must_use]
+    pub fn entry(&self, index: usize) -> &MapEntry {
+        &self.entries[index]
+    }
+
+    /// Iterates over stored entries.
+    pub fn entries(&self) -> impl Iterator<Item = &MapEntry> {
+        self.entries.iter()
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The paper's unified redundancy score between a candidate
+    /// `(embedding, map)` and stored entry `y`.
+    #[must_use]
+    pub fn redundancy(&self, embedding: &[f64], flat_map: &[f64], y: usize) -> f64 {
+        let entry = &self.entries[y];
+        let sem = cosine_similarity(embedding, &entry.embedding);
+        let traj = cosine_similarity(flat_map, &entry.flat);
+        let d = f64::from(self.prefetch_distance).min(self.num_layers as f64);
+        let l = self.num_layers as f64;
+        (d / l) * sem + ((l - d) / l) * traj
+    }
+
+    /// Inserts an iteration. Below capacity it is appended; at capacity
+    /// it replaces the stored entry with the highest redundancy score
+    /// (the most similar, hence least diversity-preserving, peer).
+    ///
+    /// Returns the index the entry now occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's dimensions do not match the store's model.
+    pub fn insert(&mut self, embedding: Vec<f64>, map: ExpertMap) -> usize {
+        assert_eq!(map.num_layers(), self.num_layers, "layer count mismatch");
+        assert_eq!(
+            map.experts_per_layer(),
+            self.experts_per_layer,
+            "expert count mismatch"
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        if self.entries.len() < self.capacity {
+            self.entries.push(MapEntry::new(id, embedding, map));
+            self.stats.appended += 1;
+            return self.entries.len() - 1;
+        }
+        let victim = match self.replacement {
+            ReplacementPolicy::Redundancy => {
+                // Deduplicate: replace the most redundant stored entry.
+                let flat = map.flatten();
+                (0..self.entries.len())
+                    .max_by(|&a, &b| {
+                        self.redundancy(&embedding, &flat, a)
+                            .partial_cmp(&self.redundancy(&embedding, &flat, b))
+                            .expect("redundancy scores are finite")
+                    })
+                    .expect("store is non-empty at capacity")
+            }
+            ReplacementPolicy::Fifo => (0..self.entries.len())
+                .min_by_key(|&i| self.entries[i].id)
+                .expect("store is non-empty at capacity"),
+            ReplacementPolicy::Random => {
+                self.rng_state = SplitMix64::mix(self.rng_state.wrapping_add(id));
+                (self.rng_state % self.entries.len() as u64) as usize
+            }
+        };
+        self.entries[victim] = MapEntry::new(id, embedding, map);
+        self.stats.replaced += 1;
+        victim
+    }
+
+    /// Deployment memory footprint in bytes, assuming the paper's fp32
+    /// NumPy representation: `L·J` probabilities plus the embedding per
+    /// entry, 4 bytes each.
+    #[must_use]
+    pub fn memory_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| (e.map.storage_bytes() + e.embedding.len() * 4) as u64)
+            .sum()
+    }
+
+    /// Footprint a *full* store of this configuration would occupy — the
+    /// quantity the paper's Figure 16 plots against capacity.
+    #[must_use]
+    pub fn memory_bytes_at_capacity(&self, embedding_dim: usize) -> u64 {
+        let per_entry = (self.num_layers * self.experts_per_layer + embedding_dim) * 4;
+        (self.capacity * per_entry) as u64
+    }
+
+    /// Clears all entries (between experiments).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stats = StoreStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_peaked_at(l_count: usize, j: usize, peak: usize) -> ExpertMap {
+        ExpertMap::new(
+            (0..l_count)
+                .map(|_| {
+                    let mut row = vec![0.02; j];
+                    row[peak] = 1.0 - 0.02 * (j as f64 - 1.0);
+                    row
+                })
+                .collect(),
+        )
+    }
+
+    fn emb(dir: f64) -> Vec<f64> {
+        vec![dir.cos(), dir.sin(), 0.3, -0.1]
+    }
+
+    #[test]
+    fn appends_below_capacity() {
+        let mut s = ExpertMapStore::new(4, 2, 4, 1);
+        for i in 0..3 {
+            let idx = s.insert(emb(i as f64), map_peaked_at(2, 4, i));
+            assert_eq!(idx, i);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.stats().appended, 3);
+        assert_eq!(s.stats().replaced, 0);
+    }
+
+    #[test]
+    fn at_capacity_replaces_most_redundant() {
+        let mut s = ExpertMapStore::new(2, 2, 4, 1);
+        s.insert(emb(0.0), map_peaked_at(2, 4, 0));
+        s.insert(emb(1.5), map_peaked_at(2, 4, 2));
+        // New entry nearly identical to the first: it must replace index
+        // 0, not the diverse index 1.
+        let idx = s.insert(emb(0.05), map_peaked_at(2, 4, 0));
+        assert_eq!(idx, 0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.stats().replaced, 1);
+        // The diverse entry survived.
+        assert!(s.entry(1).map.layer(0)[2] > 0.5);
+    }
+
+    #[test]
+    fn redundancy_weights_follow_distance() {
+        let mut s = ExpertMapStore::new(4, 4, 4, 1);
+        s.insert(emb(0.0), map_peaked_at(4, 4, 0));
+        let same_map = map_peaked_at(4, 4, 0).flatten();
+        let anti_emb: Vec<f64> = emb(0.0).iter().map(|x| -x).collect();
+        // d=1, L=4: RDY = 0.25·sem + 0.75·traj. With sem = −1, traj = 1:
+        // RDY = 0.5.
+        let rdy = s.redundancy(&anti_emb, &same_map, 0);
+        assert!((rdy - 0.5).abs() < 1e-9, "rdy {rdy}");
+    }
+
+    #[test]
+    fn ids_keep_increasing_across_replacement() {
+        let mut s = ExpertMapStore::new(1, 2, 4, 1);
+        s.insert(emb(0.0), map_peaked_at(2, 4, 0));
+        s.insert(emb(0.1), map_peaked_at(2, 4, 1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.entry(0).id, 1);
+    }
+
+    #[test]
+    fn prefix_norms_are_cumulative() {
+        let mut s = ExpertMapStore::new(2, 2, 4, 1);
+        s.insert(
+            emb(0.0),
+            ExpertMap::new(vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]]),
+        );
+        let e = s.entry(0);
+        assert_eq!(e.prefix_norm2(0), 0.0);
+        assert!((e.prefix_norm2(1) - 1.0).abs() < 1e-12);
+        assert!((e.prefix_norm2(2) - 2.0).abs() < 1e-12);
+        // Clamped beyond L.
+        assert!((e.prefix_norm2(99) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut s = ExpertMapStore::new(10, 2, 4, 1);
+        assert_eq!(s.memory_bytes(), 0);
+        s.insert(emb(0.0), map_peaked_at(2, 4, 0));
+        // 2·4 probabilities + 4 embedding dims, 4 bytes each.
+        assert_eq!(s.memory_bytes(), (8 + 4) * 4);
+        assert_eq!(s.memory_bytes_at_capacity(4), 10 * (8 + 4) * 4);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = ExpertMapStore::new(2, 2, 4, 1);
+        s.insert(emb(0.0), map_peaked_at(2, 4, 0));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.stats(), StoreStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "layer count mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut s = ExpertMapStore::new(2, 3, 4, 1);
+        s.insert(emb(0.0), map_peaked_at(2, 4, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ExpertMapStore::new(0, 2, 4, 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Virtual time.
+
+use serde::{Deserialize, Serialize};
+
+/// Virtual nanoseconds since simulation start.
+pub type Nanos = u64;
+
+/// One millisecond in [`Nanos`].
+pub const MILLISECOND: Nanos = 1_000_000;
+
+/// One second in [`Nanos`].
+pub const SECOND: Nanos = 1_000_000_000;
+
+/// A monotonically advancing virtual clock.
+///
+/// The serving engine owns the clock and advances it as compute, transfer
+/// and queueing delays accrue; everything downstream (metrics, traces)
+/// reads time from here. Virtual time never goes backward — attempting to
+/// do so is a simulation bug and panics loudly rather than corrupting
+/// results.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualClock {
+    now: Nanos,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { now: 0 }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advances the clock by `delta` nanoseconds and returns the new time.
+    pub fn advance(&mut self, delta: Nanos) -> Nanos {
+        self.now += delta;
+        self.now
+    }
+
+    /// Moves the clock forward to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is in the past — the simulation must never
+    /// rewind.
+    pub fn advance_to(&mut self, target: Nanos) -> Nanos {
+        assert!(
+            target >= self.now,
+            "clock cannot rewind: now={}, target={}",
+            self.now,
+            target
+        );
+        self.now = target;
+        self.now
+    }
+
+    /// Convenience: the current time in fractional milliseconds.
+    #[must_use]
+    pub fn now_ms(&self) -> f64 {
+        self.now as f64 / MILLISECOND as f64
+    }
+}
+
+/// Converts virtual nanoseconds to fractional milliseconds.
+#[must_use]
+pub fn to_ms(t: Nanos) -> f64 {
+    t as f64 / MILLISECOND as f64
+}
+
+/// Converts virtual nanoseconds to fractional seconds.
+#[must_use]
+pub fn to_secs(t: Nanos) -> f64 {
+    t as f64 / SECOND as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(5), 5);
+        assert_eq!(c.advance_to(100), 100);
+        assert_eq!(c.now(), 100);
+    }
+
+    #[test]
+    fn advance_to_current_time_is_a_noop() {
+        let mut c = VirtualClock::new();
+        c.advance(10);
+        assert_eq!(c.advance_to(10), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn clock_refuses_to_rewind() {
+        let mut c = VirtualClock::new();
+        c.advance(10);
+        c.advance_to(9);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(to_ms(1_500_000), 1.5);
+        assert_eq!(to_secs(2_000_000_000), 2.0);
+        let mut c = VirtualClock::new();
+        c.advance(2 * MILLISECOND);
+        assert_eq!(c.now_ms(), 2.0);
+    }
+}

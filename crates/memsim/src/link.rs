@@ -1,0 +1,101 @@
+//! Interconnect link model.
+
+use crate::clock::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// A unidirectional data path with fixed bandwidth and per-transfer setup
+/// latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Fixed per-transfer setup latency in nanoseconds (driver + DMA
+    /// descriptor overhead).
+    pub setup_latency: Nanos,
+}
+
+impl Link {
+    /// PCIe 4.0 ×16 host↔GPU link as in the paper's testbed: 32 GB/s with
+    /// a 10 µs setup cost per transfer.
+    #[must_use]
+    pub fn pcie4_x16() -> Self {
+        Self {
+            bandwidth: 32e9,
+            setup_latency: 10_000,
+        }
+    }
+
+    /// Pairwise NVLink between GPUs (3090-class NVLink bridge, ~112 GB/s).
+    #[must_use]
+    pub fn nvlink() -> Self {
+        Self {
+            bandwidth: 112e9,
+            setup_latency: 5_000,
+        }
+    }
+
+    /// Pure wire time for `bytes`, excluding setup latency.
+    #[must_use]
+    pub fn wire_time(&self, bytes: u64) -> Nanos {
+        ((bytes as f64 / self.bandwidth) * 1e9).ceil() as Nanos
+    }
+
+    /// Total time for a single isolated transfer of `bytes`.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: u64) -> Nanos {
+        self.setup_latency + self.wire_time(bytes)
+    }
+
+    /// Bytes moved in `duration` nanoseconds of pure wire time.
+    #[must_use]
+    pub fn bytes_in(&self, duration: Nanos) -> f64 {
+        self.bandwidth * duration as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_expert_transfer_time_is_realistic() {
+        // A 352 MB Mixtral expert over 32 GB/s should take ~11 ms.
+        let link = Link::pcie4_x16();
+        let bytes = 352 * 1024 * 1024;
+        let ms = link.transfer_time(bytes) as f64 / 1e6;
+        assert!((10.0..13.0).contains(&ms), "{ms} ms");
+    }
+
+    #[test]
+    fn wire_time_is_linear_in_bytes() {
+        let link = Link::pcie4_x16();
+        let t1 = link.wire_time(1_000_000);
+        let t2 = link.wire_time(2_000_000);
+        assert!((t2 as f64 - 2.0 * t1 as f64).abs() <= 2.0);
+    }
+
+    #[test]
+    fn transfer_includes_setup() {
+        let link = Link {
+            bandwidth: 1e9,
+            setup_latency: 500,
+        };
+        assert_eq!(link.transfer_time(0), 500);
+        assert_eq!(link.transfer_time(1_000_000_000), 500 + 1_000_000_000);
+    }
+
+    #[test]
+    fn bytes_in_round_trips_wire_time() {
+        let link = Link::pcie4_x16();
+        let bytes = 64 * 1024 * 1024u64;
+        let t = link.wire_time(bytes);
+        let back = link.bytes_in(t);
+        assert!((back - bytes as f64).abs() / (bytes as f64) < 1e-3);
+    }
+
+    #[test]
+    fn nvlink_is_faster_than_pcie() {
+        let b = 100 * 1024 * 1024;
+        assert!(Link::nvlink().transfer_time(b) < Link::pcie4_x16().transfer_time(b));
+    }
+}

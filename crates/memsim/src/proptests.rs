@@ -1,0 +1,166 @@
+//! Property-based tests for the transfer engine: conservation, ordering
+//! and timing invariants under arbitrary schedules.
+
+#![cfg(test)]
+
+use crate::link::Link;
+use crate::topology::{GpuId, Topology};
+use crate::transfer::TransferEngine;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Prefetch { gpu: u8, bytes: u32 },
+    OnDemand { gpu: u8, bytes: u32 },
+    Advance { delta: u32 },
+    Cancel { gpu: u8, tag_back: u8 },
+    Promote { gpu: u8, tag_back: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0u8..3), (1u32..64_000_000)).prop_map(|(gpu, bytes)| Op::Prefetch { gpu, bytes }),
+        ((0u8..3), (1u32..64_000_000)).prop_map(|(gpu, bytes)| Op::OnDemand { gpu, bytes }),
+        (1u32..10_000_000).prop_map(|delta| Op::Advance { delta }),
+        ((0u8..3), (0u8..8)).prop_map(|(gpu, tag_back)| Op::Cancel { gpu, tag_back }),
+        ((0u8..3), (0u8..8)).prop_map(|(gpu, tag_back)| Op::Promote { gpu, tag_back }),
+    ]
+}
+
+fn topo() -> Topology {
+    Topology {
+        num_gpus: 3,
+        gpu_memory_bytes: 8 << 30,
+        host_link: Link::pcie4_x16(),
+        peer_link: Link::nvlink(),
+        host_memory_bytes: 64 << 30,
+    }
+}
+
+proptest! {
+    /// Every submitted prefetch is eventually either completed exactly
+    /// once or cancelled exactly once — nothing is lost or duplicated.
+    #[test]
+    fn jobs_are_conserved(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut engine = TransferEngine::new(&topo());
+        let mut now = 0u64;
+        let mut next_tag = 0u64;
+        let mut submitted = 0u64;
+        let mut completed = 0u64;
+        let mut live_tags: Vec<(u8, u64)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Prefetch { gpu, bytes } => {
+                    engine.submit_prefetch(GpuId(u32::from(gpu)), next_tag, u64::from(bytes), now);
+                    live_tags.push((gpu, next_tag));
+                    next_tag += 1;
+                    submitted += 1;
+                }
+                Op::OnDemand { gpu, bytes } => {
+                    let done = engine.on_demand_load(GpuId(u32::from(gpu)), u64::from(bytes), now);
+                    prop_assert!(done > now);
+                }
+                Op::Advance { delta } => {
+                    now += u64::from(delta);
+                    engine.advance_to(now);
+                }
+                Op::Cancel { gpu, tag_back } => {
+                    if let Some(&(g, tag)) =
+                        live_tags.iter().filter(|(g, _)| *g == gpu).rev().nth(usize::from(tag_back))
+                    {
+                        let _ = engine.cancel_prefetch(GpuId(u32::from(g)), tag, now);
+                    }
+                }
+                Op::Promote { gpu, tag_back } => {
+                    if let Some(&(g, tag)) =
+                        live_tags.iter().filter(|(g, _)| *g == gpu).rev().nth(usize::from(tag_back))
+                    {
+                        let _ = engine.promote_to_front(GpuId(u32::from(g)), tag, now);
+                    }
+                }
+            }
+            for c in engine.drain_completions() {
+                prop_assert!(c.completed_at <= now.max(c.completed_at));
+                completed += 1;
+            }
+        }
+        // Drain everything left.
+        now += 60_000_000_000;
+        engine.advance_to(now);
+        completed += engine.drain_completions().len() as u64;
+        let cancelled = engine.stats().cancelled_jobs;
+        prop_assert_eq!(completed + cancelled, submitted,
+            "completed {} + cancelled {} != submitted {}", completed, cancelled, submitted);
+    }
+
+    /// Completion timestamps are monotone within a drain, and never in
+    /// the future relative to the engine's synced time.
+    #[test]
+    fn completions_are_ordered(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut engine = TransferEngine::new(&topo());
+        let mut now = 0u64;
+        let mut next_tag = 0u64;
+        for op in ops {
+            match op {
+                Op::Prefetch { gpu, bytes } => {
+                    engine.submit_prefetch(GpuId(u32::from(gpu)), next_tag, u64::from(bytes), now);
+                    next_tag += 1;
+                }
+                Op::OnDemand { gpu, bytes } => {
+                    now = engine.on_demand_load(GpuId(u32::from(gpu)), u64::from(bytes), now);
+                }
+                Op::Advance { delta } => {
+                    now += u64::from(delta);
+                    engine.advance_to(now);
+                }
+                _ => {}
+            }
+            let completions = engine.drain_completions();
+            for w in completions.windows(2) {
+                prop_assert!(w[0].completed_at <= w[1].completed_at);
+            }
+        }
+    }
+
+    /// An isolated transfer's completion time equals the analytic
+    /// link formula, regardless of when we sample progress.
+    #[test]
+    fn isolated_transfer_timing_is_exact(
+        bytes in 1u64..1_000_000_000,
+        step_count in 1usize..20,
+    ) {
+        let mut engine = TransferEngine::new(&topo());
+        engine.submit_prefetch(GpuId(0), 7, bytes, 0);
+        let expected = Link::pcie4_x16().transfer_time(bytes);
+        let step = (expected / step_count as u64).max(1);
+        let mut t = 0;
+        while t < expected {
+            t += step;
+            engine.advance_to(t);
+        }
+        engine.advance_to(expected + 1_000_000);
+        let done = engine.drain_completions();
+        prop_assert_eq!(done.len(), 1);
+        // Allow rounding drift proportional to the number of partial
+        // advances.
+        let drift = done[0].completed_at.abs_diff(expected);
+        prop_assert!(drift <= 2 * step_count as u64 + 2, "drift {} ns", drift);
+    }
+
+    /// On-demand loads always take exactly setup + wire time, no matter
+    /// what background traffic exists.
+    #[test]
+    fn on_demand_duration_is_deterministic(
+        background in prop::collection::vec((0u8..3, 1u32..32_000_000), 0..10),
+        bytes in 1u64..500_000_000,
+        at in 0u64..1_000_000_000,
+    ) {
+        let mut engine = TransferEngine::new(&topo());
+        for (i, &(gpu, b)) in background.iter().enumerate() {
+            engine.submit_prefetch(GpuId(u32::from(gpu)), i as u64, u64::from(b), 0);
+        }
+        let done = engine.on_demand_load(GpuId(1), bytes, at);
+        prop_assert_eq!(done - at, Link::pcie4_x16().transfer_time(bytes));
+    }
+}

@@ -1,0 +1,111 @@
+//! Multi-GPU topology description.
+
+use crate::link::Link;
+use serde::{Deserialize, Serialize};
+
+/// Index of a GPU device in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GpuId(pub u32);
+
+impl GpuId {
+    /// The id as a `usize` for slice indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A host with `n` GPUs, each with its own host link and device memory.
+///
+/// Matches the paper's testbed shape: every GPU hangs off its own PCIe 4.0
+/// ×16 slot (so host→GPU transfers to different GPUs proceed in parallel),
+/// and GPUs are pairwise NVLink-connected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of GPUs.
+    pub num_gpus: u32,
+    /// Device memory per GPU, in bytes.
+    pub gpu_memory_bytes: u64,
+    /// Host↔GPU link (one independent instance per GPU).
+    pub host_link: Link,
+    /// GPU↔GPU link.
+    pub peer_link: Link,
+    /// Host (CPU) memory in bytes — capacity for offloaded experts.
+    pub host_memory_bytes: u64,
+}
+
+impl Topology {
+    /// The paper's six-GPU testbed: 6× RTX 3090 (24 GB), PCIe 4.0 ×16 to
+    /// host, pairwise NVLink, 480 GB host memory.
+    #[must_use]
+    pub fn paper_testbed() -> Self {
+        Self {
+            num_gpus: 6,
+            gpu_memory_bytes: 24 * (1u64 << 30),
+            host_link: Link::pcie4_x16(),
+            peer_link: Link::nvlink(),
+            host_memory_bytes: 480 * (1u64 << 30),
+        }
+    }
+
+    /// A single-GPU topology for unit tests and small examples.
+    #[must_use]
+    pub fn single_gpu(gpu_memory_bytes: u64) -> Self {
+        Self {
+            num_gpus: 1,
+            gpu_memory_bytes,
+            host_link: Link::pcie4_x16(),
+            peer_link: Link::nvlink(),
+            host_memory_bytes: 480 * (1u64 << 30),
+        }
+    }
+
+    /// Iterator over all GPU ids.
+    pub fn gpus(&self) -> impl Iterator<Item = GpuId> {
+        (0..self.num_gpus).map(GpuId)
+    }
+
+    /// Total GPU memory across the cluster.
+    #[must_use]
+    pub fn total_gpu_memory(&self) -> u64 {
+        u64::from(self.num_gpus) * self.gpu_memory_bytes
+    }
+
+    /// Round-robin home GPU for a dense expert index — the paper's expert-
+    /// parallel placement ("round-robin manner to balance the overall GPU
+    /// load", §5).
+    #[must_use]
+    pub fn round_robin_gpu(&self, dense_expert_index: usize) -> GpuId {
+        GpuId((dense_expert_index % self.num_gpus as usize) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.num_gpus, 6);
+        assert_eq!(t.total_gpu_memory(), 6 * 24 * (1u64 << 30));
+        assert_eq!(t.gpus().count(), 6);
+    }
+
+    #[test]
+    fn round_robin_balances() {
+        let t = Topology::paper_testbed();
+        let mut counts = [0u32; 6];
+        for i in 0..600 {
+            counts[t.round_robin_gpu(i).index()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 100));
+    }
+
+    #[test]
+    fn single_gpu_topology() {
+        let t = Topology::single_gpu(8 << 30);
+        assert_eq!(t.num_gpus, 1);
+        assert_eq!(t.round_robin_gpu(17), GpuId(0));
+    }
+}

@@ -1,0 +1,508 @@
+//! The transfer engine: per-GPU host↔device links with background
+//! prefetch queues and preemptive on-demand loads.
+//!
+//! Semantics (matching the paper's §4.5 "On-demand expert loading"):
+//!
+//! * Prefetch jobs are FIFO per link and consume bandwidth in the
+//!   background while virtual time advances.
+//! * An on-demand load **pauses** the link's prefetch queue, transfers
+//!   immediately, and the queue resumes afterward — "fMoE pauses all
+//!   expert prefetching tasks and immediately loads missed experts".
+//! * Jobs can be cancelled while still queued (e.g. the target layer has
+//!   already executed, or the expert arrived via an on-demand load).
+//!
+//! The engine is purely virtual-time driven: callers advance it explicitly
+//! and collect completion events. Job identity is an opaque `u64` tag.
+
+use crate::clock::Nanos;
+use crate::link::Link;
+use crate::topology::{GpuId, Topology};
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Class of a transfer, for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TransferClass {
+    /// Background prefetch (overlaps compute).
+    Prefetch,
+    /// Blocking on-demand load (expert miss).
+    OnDemand,
+}
+
+/// A completed prefetch job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The job's tag, as passed to `submit_prefetch`.
+    pub tag: u64,
+    /// GPU whose link carried the job.
+    pub gpu: GpuId,
+    /// Virtual time at which the last byte arrived.
+    pub completed_at: Nanos,
+    /// Size of the transferred payload.
+    pub bytes: u64,
+}
+
+/// Aggregate transfer statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct TransferStats {
+    /// Completed prefetch jobs.
+    pub prefetch_jobs: u64,
+    /// Bytes moved by completed prefetch jobs.
+    pub prefetch_bytes: u64,
+    /// On-demand loads performed.
+    pub on_demand_loads: u64,
+    /// Bytes moved on demand.
+    pub on_demand_bytes: u64,
+    /// Total virtual nanoseconds spent blocked on on-demand loads.
+    pub on_demand_blocked_ns: Nanos,
+    /// Prefetch jobs cancelled before completion.
+    pub cancelled_jobs: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Job {
+    tag: u64,
+    setup_remaining: Nanos,
+    bytes_remaining: f64,
+    total_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct LinkState {
+    link: Link,
+    queue: VecDeque<Job>,
+    synced_at: Nanos,
+}
+
+impl LinkState {
+    /// Simulates the link from `synced_at` to `target`, popping completed
+    /// jobs into `completions`.
+    fn advance_to(&mut self, target: Nanos, gpu: GpuId, completions: &mut Vec<Completion>) {
+        debug_assert!(target >= self.synced_at, "link time cannot rewind");
+        let mut now = self.synced_at;
+        while now < target {
+            let Some(job) = self.queue.front_mut() else {
+                break;
+            };
+            let budget = target - now;
+            // Pay setup first.
+            if job.setup_remaining > 0 {
+                let pay = job.setup_remaining.min(budget);
+                job.setup_remaining -= pay;
+                now += pay;
+                continue;
+            }
+            // Then wire time.
+            let wire_needed = self.link.wire_time(job.bytes_remaining.ceil() as u64);
+            if wire_needed > budget {
+                job.bytes_remaining -= self.link.bytes_in(budget);
+                job.bytes_remaining = job.bytes_remaining.max(0.0);
+                now = target;
+            } else {
+                now += wire_needed;
+                let job = self.queue.pop_front().expect("front exists");
+                completions.push(Completion {
+                    tag: job.tag,
+                    gpu,
+                    completed_at: now,
+                    bytes: job.total_bytes,
+                });
+            }
+        }
+        self.synced_at = target;
+    }
+}
+
+/// Per-GPU transfer simulation. See the module docs for semantics.
+///
+/// ```
+/// use fmoe_memsim::{GpuId, Topology, TransferEngine};
+///
+/// let mut engine = TransferEngine::new(&Topology::single_gpu(8 << 30));
+/// engine.submit_prefetch(GpuId(0), 1, 32 << 20, 0);
+/// // An on-demand load pauses the prefetch and runs immediately.
+/// let done = engine.on_demand_load(GpuId(0), 32 << 20, 0);
+/// engine.advance_to(done + 20_000_000);
+/// // The paused prefetch finished after the on-demand load.
+/// let completions = engine.drain_completions();
+/// assert_eq!(completions.len(), 1);
+/// assert!(completions[0].completed_at > done);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransferEngine {
+    links: Vec<LinkState>,
+    completions: Vec<Completion>,
+    stats: TransferStats,
+}
+
+impl TransferEngine {
+    /// Creates an engine with one independent host link per GPU in the
+    /// topology.
+    #[must_use]
+    pub fn new(topology: &Topology) -> Self {
+        let links = topology
+            .gpus()
+            .map(|_| LinkState {
+                link: topology.host_link,
+                queue: VecDeque::new(),
+                synced_at: 0,
+            })
+            .collect();
+        Self {
+            links,
+            completions: Vec::new(),
+            stats: TransferStats::default(),
+        }
+    }
+
+    fn link_mut(&mut self, gpu: GpuId) -> &mut LinkState {
+        &mut self.links[gpu.index()]
+    }
+
+    /// Advances every link to `now`, accruing prefetch progress.
+    pub fn advance_to(&mut self, now: Nanos) {
+        for (i, link) in self.links.iter_mut().enumerate() {
+            if now > link.synced_at {
+                link.advance_to(now, GpuId(i as u32), &mut self.completions);
+            }
+        }
+        // Account completed prefetches.
+        // (Stats are updated on drain to keep this hot path cheap.)
+    }
+
+    /// Enqueues a background prefetch of `bytes` to `gpu`.
+    ///
+    /// The engine is first advanced to `now`; the job then joins the tail
+    /// of the link's FIFO queue.
+    pub fn submit_prefetch(&mut self, gpu: GpuId, tag: u64, bytes: u64, now: Nanos) {
+        self.advance_to(now);
+        let setup = self.links[gpu.index()].link.setup_latency;
+        self.link_mut(gpu).queue.push_back(Job {
+            tag,
+            setup_remaining: setup,
+            bytes_remaining: bytes as f64,
+            total_bytes: bytes,
+        });
+    }
+
+    /// Performs a blocking on-demand load of `bytes` to `gpu` starting at
+    /// `now`, pausing the link's prefetch queue for its duration.
+    ///
+    /// Returns the virtual time at which the load completes.
+    pub fn on_demand_load(&mut self, gpu: GpuId, bytes: u64, now: Nanos) -> Nanos {
+        self.advance_to(now);
+        let link = self.link_mut(gpu);
+        let done = now + link.link.transfer_time(bytes);
+        // The prefetch queue is frozen during [now, done): simply declare
+        // the link already synced to `done` without giving jobs progress.
+        link.synced_at = done;
+        self.stats.on_demand_loads += 1;
+        self.stats.on_demand_bytes += bytes;
+        self.stats.on_demand_blocked_ns += done - now;
+        done
+    }
+
+    /// Promotes a queued job to the front of its link's queue (the
+    /// forward pass needs it *now*); the preempted front job keeps its
+    /// partial progress and resumes afterward. Returns `false` when the
+    /// tag is not queued (already completed or never submitted).
+    pub fn promote_to_front(&mut self, gpu: GpuId, tag: u64, now: Nanos) -> bool {
+        self.advance_to(now);
+        let link = self.link_mut(gpu);
+        let Some(pos) = link.queue.iter().position(|j| j.tag == tag) else {
+            return false;
+        };
+        if pos > 0 {
+            let job = link.queue.remove(pos).expect("position is valid");
+            link.queue.push_front(job);
+        }
+        true
+    }
+
+    /// Cancels a queued (or partially transferred) prefetch job by tag.
+    ///
+    /// Returns `true` if a job was removed. The engine is advanced to
+    /// `now` first, so a job that completed before `now` is *not*
+    /// cancellable.
+    pub fn cancel_prefetch(&mut self, gpu: GpuId, tag: u64, now: Nanos) -> bool {
+        self.advance_to(now);
+        let link = self.link_mut(gpu);
+        let before = link.queue.len();
+        link.queue.retain(|j| j.tag != tag);
+        let removed = link.queue.len() < before;
+        if removed {
+            self.stats.cancelled_jobs += 1;
+        }
+        removed
+    }
+
+    /// Cancels every queued prefetch on all links.
+    pub fn cancel_all_prefetches(&mut self, now: Nanos) {
+        self.advance_to(now);
+        for link in &mut self.links {
+            self.stats.cancelled_jobs += link.queue.len() as u64;
+            link.queue.clear();
+        }
+    }
+
+    /// Number of jobs currently queued (including in flight) on a GPU's
+    /// link.
+    #[must_use]
+    pub fn queued_jobs(&self, gpu: GpuId) -> usize {
+        self.links[gpu.index()].queue.len()
+    }
+
+    /// Virtual time at which the link would finish everything currently
+    /// queued, assuming no further traffic.
+    #[must_use]
+    pub fn drain_time(&self, gpu: GpuId) -> Nanos {
+        let link = &self.links[gpu.index()];
+        let mut t = link.synced_at;
+        for job in &link.queue {
+            t += job.setup_remaining + link.link.wire_time(job.bytes_remaining.ceil() as u64);
+        }
+        t
+    }
+
+    /// Estimated completion time of a specific queued job, accounting for
+    /// everything queued ahead of it. `None` when the tag is not queued
+    /// on this link (never submitted, already completed, or cancelled).
+    #[must_use]
+    pub fn completion_time_of(&self, gpu: GpuId, tag: u64) -> Option<Nanos> {
+        let link = &self.links[gpu.index()];
+        let mut t = link.synced_at;
+        for job in &link.queue {
+            t += job.setup_remaining + link.link.wire_time(job.bytes_remaining.ceil() as u64);
+            if job.tag == tag {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Takes all completion events accumulated since the last drain,
+    /// ordered by completion time.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        for c in &self.completions {
+            self.stats.prefetch_jobs += 1;
+            self.stats.prefetch_bytes += c.bytes;
+        }
+        let mut out = std::mem::take(&mut self.completions);
+        out.sort_by_key(|c| c.completed_at);
+        out
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> TransferStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(n: u32) -> TransferEngine {
+        let mut topo = Topology::paper_testbed();
+        topo.num_gpus = n;
+        TransferEngine::new(&topo)
+    }
+
+    const MB: u64 = 1024 * 1024;
+    fn link() -> Link {
+        Link::pcie4_x16()
+    }
+
+    #[test]
+    fn single_prefetch_completes_after_transfer_time() {
+        let mut e = engine(1);
+        e.submit_prefetch(GpuId(0), 1, 320 * MB, 0);
+        let t = link().transfer_time(320 * MB);
+        e.advance_to(t - 1);
+        assert!(e.drain_completions().is_empty());
+        e.advance_to(t);
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 1);
+        assert_eq!(done[0].completed_at, t);
+    }
+
+    #[test]
+    fn fifo_jobs_complete_in_order() {
+        let mut e = engine(1);
+        e.submit_prefetch(GpuId(0), 1, 100 * MB, 0);
+        e.submit_prefetch(GpuId(0), 2, 100 * MB, 0);
+        let t1 = link().transfer_time(100 * MB);
+        let t2 = t1 + link().transfer_time(100 * MB);
+        e.advance_to(t2 + 1);
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].tag, 1);
+        assert_eq!(done[1].tag, 2);
+        assert_eq!(done[0].completed_at, t1);
+        assert_eq!(done[1].completed_at, t2);
+    }
+
+    #[test]
+    fn gpus_have_independent_links() {
+        let mut e = engine(2);
+        e.submit_prefetch(GpuId(0), 1, 100 * MB, 0);
+        e.submit_prefetch(GpuId(1), 2, 100 * MB, 0);
+        let t = link().transfer_time(100 * MB);
+        e.advance_to(t);
+        let done = e.drain_completions();
+        // Both complete at the same time: no shared-bandwidth contention.
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|c| c.completed_at == t));
+    }
+
+    #[test]
+    fn on_demand_pauses_prefetch() {
+        let mut e = engine(1);
+        e.submit_prefetch(GpuId(0), 1, 100 * MB, 0);
+        // Let half the prefetch run, then preempt with an on-demand load.
+        let half = link().transfer_time(100 * MB) / 2;
+        let od_done = e.on_demand_load(GpuId(0), 50 * MB, half);
+        assert_eq!(od_done, half + link().transfer_time(50 * MB));
+        // The prefetch resumes after od_done and finishes late by exactly
+        // the on-demand duration.
+        let expected = link().transfer_time(100 * MB) + link().transfer_time(50 * MB);
+        e.advance_to(expected + 1);
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].completed_at, expected);
+    }
+
+    #[test]
+    fn on_demand_tracks_blocking_stats() {
+        let mut e = engine(1);
+        let done = e.on_demand_load(GpuId(0), 64 * MB, 1000);
+        let s = e.stats();
+        assert_eq!(s.on_demand_loads, 1);
+        assert_eq!(s.on_demand_bytes, 64 * MB);
+        assert_eq!(s.on_demand_blocked_ns, done - 1000);
+    }
+
+    #[test]
+    fn cancel_removes_queued_job() {
+        let mut e = engine(1);
+        e.submit_prefetch(GpuId(0), 1, 100 * MB, 0);
+        e.submit_prefetch(GpuId(0), 2, 100 * MB, 0);
+        assert!(e.cancel_prefetch(GpuId(0), 2, 0));
+        assert!(!e.cancel_prefetch(GpuId(0), 2, 0));
+        e.advance_to(link().transfer_time(100 * MB) * 3);
+        assert_eq!(e.drain_completions().len(), 1);
+        assert_eq!(e.stats().cancelled_jobs, 1);
+    }
+
+    #[test]
+    fn cancel_after_completion_fails() {
+        let mut e = engine(1);
+        e.submit_prefetch(GpuId(0), 1, 10 * MB, 0);
+        let t = link().transfer_time(10 * MB);
+        assert!(!e.cancel_prefetch(GpuId(0), 1, t));
+        assert_eq!(e.drain_completions().len(), 1);
+    }
+
+    #[test]
+    fn cancel_all_clears_every_link() {
+        let mut e = engine(2);
+        e.submit_prefetch(GpuId(0), 1, 10 * MB, 0);
+        e.submit_prefetch(GpuId(1), 2, 10 * MB, 0);
+        e.cancel_all_prefetches(0);
+        assert_eq!(e.queued_jobs(GpuId(0)), 0);
+        assert_eq!(e.queued_jobs(GpuId(1)), 0);
+        assert_eq!(e.stats().cancelled_jobs, 2);
+    }
+
+    #[test]
+    fn drain_time_accounts_queue() {
+        let mut e = engine(1);
+        assert_eq!(e.drain_time(GpuId(0)), 0);
+        e.submit_prefetch(GpuId(0), 1, 100 * MB, 0);
+        e.submit_prefetch(GpuId(0), 2, 100 * MB, 0);
+        assert_eq!(e.drain_time(GpuId(0)), 2 * link().transfer_time(100 * MB));
+    }
+
+    #[test]
+    fn partial_progress_is_preserved_across_advances() {
+        let mut e = engine(1);
+        e.submit_prefetch(GpuId(0), 1, 100 * MB, 0);
+        let total = link().transfer_time(100 * MB);
+        // Advance in many tiny steps; the completion time must not drift
+        // by more than rounding.
+        let steps = 97;
+        for i in 1..=steps {
+            e.advance_to(total * i / steps);
+        }
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 1);
+        let drift = done[0].completed_at.abs_diff(total);
+        assert!(drift < 1_000, "drift {drift} ns");
+    }
+
+    #[test]
+    fn promote_reorders_the_queue() {
+        let mut e = engine(1);
+        e.submit_prefetch(GpuId(0), 1, 100 * MB, 0);
+        e.submit_prefetch(GpuId(0), 2, 100 * MB, 0);
+        e.submit_prefetch(GpuId(0), 3, 100 * MB, 0);
+        // Promote the tail job to the front at time zero.
+        assert!(e.promote_to_front(GpuId(0), 3, 0));
+        e.advance_to(3 * link().transfer_time(100 * MB) + 1);
+        let done = e.drain_completions();
+        let order: Vec<u64> = done.iter().map(|c| c.tag).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn promote_preserves_partial_progress_of_the_preempted_job() {
+        let mut e = engine(1);
+        e.submit_prefetch(GpuId(0), 1, 100 * MB, 0);
+        e.submit_prefetch(GpuId(0), 2, 100 * MB, 0);
+        // Let job 1 transfer half, then promote job 2 past it.
+        let half = link().transfer_time(100 * MB) / 2;
+        assert!(e.promote_to_front(GpuId(0), 2, half));
+        // completion_time_of reflects the new order: job 2 finishes a
+        // full transfer after `half`, then job 1's remaining half.
+        let c2 = e.completion_time_of(GpuId(0), 2).unwrap();
+        let c1 = e.completion_time_of(GpuId(0), 1).unwrap();
+        assert_eq!(c2, half + link().transfer_time(100 * MB));
+        // Job 1 already paid its setup and half its wire time.
+        let remaining_wire = link().wire_time(100 * MB) - (half - link().setup_latency);
+        assert!(c1.abs_diff(c2 + remaining_wire) < 1000, "c1={c1}, c2={c2}");
+        e.advance_to(c1 + 1);
+        assert_eq!(e.drain_completions().len(), 2);
+    }
+
+    #[test]
+    fn promote_missing_or_front_tags() {
+        let mut e = engine(1);
+        assert!(!e.promote_to_front(GpuId(0), 9, 0));
+        e.submit_prefetch(GpuId(0), 1, 10 * MB, 0);
+        // Promoting the current front is a no-op that reports success.
+        assert!(e.promote_to_front(GpuId(0), 1, 0));
+        let t = link().transfer_time(10 * MB);
+        e.advance_to(t);
+        assert_eq!(e.drain_completions().len(), 1);
+    }
+
+    #[test]
+    fn completion_time_of_accounts_queue_order() {
+        let mut e = engine(1);
+        e.submit_prefetch(GpuId(0), 1, 50 * MB, 0);
+        e.submit_prefetch(GpuId(0), 2, 50 * MB, 0);
+        let t = link().transfer_time(50 * MB);
+        assert_eq!(e.completion_time_of(GpuId(0), 1), Some(t));
+        assert_eq!(e.completion_time_of(GpuId(0), 2), Some(2 * t));
+        assert_eq!(e.completion_time_of(GpuId(0), 3), None);
+    }
+
+    #[test]
+    fn zero_byte_transfer_costs_setup_only() {
+        let mut e = engine(1);
+        let done = e.on_demand_load(GpuId(0), 0, 0);
+        assert_eq!(done, link().setup_latency);
+    }
+}

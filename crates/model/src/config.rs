@@ -1,0 +1,224 @@
+//! Architectural configuration of an MoE model.
+
+use crate::expert::ExpertId;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per parameter for fp16/bf16 weights, the precision the paper
+/// serves at.
+pub const BYTES_PER_PARAM_FP16: u64 = 2;
+
+/// Architectural description of a decoder-only MoE LLM.
+///
+/// Mirrors the quantities in the paper's Table 1 plus the dimensions the
+/// cost model needs. All byte figures assume fp16 weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable model name (e.g. `"Mixtral-8x7B"`).
+    pub name: String,
+    /// Number of MoE (transformer) layers, `L`.
+    pub num_layers: u32,
+    /// Routed (offloadable) experts per layer, `J`.
+    pub experts_per_layer: u32,
+    /// Experts activated per token per layer, `K` (top-K routing).
+    pub top_k: u32,
+    /// Always-on shared experts per layer (not offloadable; e.g. 4 for
+    /// Qwen1.5-MoE). These participate in compute cost but never in
+    /// cache/offload decisions, per the paper's footnote 3.
+    pub shared_experts_per_layer: u32,
+    /// Hidden (model) dimension `h`; also the semantic-embedding width.
+    pub hidden_dim: u32,
+    /// Expert FFN intermediate dimension.
+    pub expert_ffn_dim: u32,
+    /// Intermediate dimension of a shared expert (0 when none).
+    pub shared_expert_ffn_dim: u32,
+    /// Number of attention heads (for documentation; the cost model works
+    /// from `hidden_dim`).
+    pub num_attention_heads: u32,
+    /// Grouped-query KV heads.
+    pub num_kv_heads: u32,
+    /// Vocabulary size (embedding + LM head parameter accounting).
+    pub vocab_size: u32,
+}
+
+impl ModelConfig {
+    /// Parameters in one routed expert: three projection matrices
+    /// (`gate`, `up`, `down`) of shape `hidden × ffn`.
+    #[must_use]
+    pub fn params_per_expert(&self) -> u64 {
+        3 * u64::from(self.hidden_dim) * u64::from(self.expert_ffn_dim)
+    }
+
+    /// Weight bytes of one routed expert at fp16.
+    #[must_use]
+    pub fn expert_bytes(&self) -> u64 {
+        self.params_per_expert() * BYTES_PER_PARAM_FP16
+    }
+
+    /// Total routed experts in the model, `L·J`.
+    #[must_use]
+    pub fn total_experts(&self) -> u64 {
+        u64::from(self.num_layers) * u64::from(self.experts_per_layer)
+    }
+
+    /// Bytes of all routed expert weights.
+    #[must_use]
+    pub fn total_expert_bytes(&self) -> u64 {
+        self.total_experts() * self.expert_bytes()
+    }
+
+    /// Parameters of the attention stack in one layer (QKV + output
+    /// projections, grouped-query aware).
+    #[must_use]
+    pub fn attention_params_per_layer(&self) -> u64 {
+        let h = u64::from(self.hidden_dim);
+        let head_dim = h / u64::from(self.num_attention_heads.max(1));
+        let kv_dim = head_dim * u64::from(self.num_kv_heads);
+        // Q and O are h×h; K and V are h×kv_dim.
+        2 * h * h + 2 * h * kv_dim
+    }
+
+    /// Parameters of shared (always-on) experts in one layer.
+    #[must_use]
+    pub fn shared_expert_params_per_layer(&self) -> u64 {
+        3 * u64::from(self.hidden_dim)
+            * u64::from(self.shared_expert_ffn_dim)
+            * u64::from(self.shared_experts_per_layer)
+    }
+
+    /// Dense (non-offloadable) parameters: embeddings, LM head, attention,
+    /// shared experts, router weights.
+    #[must_use]
+    pub fn dense_params(&self) -> u64 {
+        let h = u64::from(self.hidden_dim);
+        let embed = 2 * u64::from(self.vocab_size) * h; // embedding + LM head
+        let per_layer = self.attention_params_per_layer()
+            + self.shared_expert_params_per_layer()
+            + h * u64::from(self.experts_per_layer); // router
+        embed + u64::from(self.num_layers) * per_layer
+    }
+
+    /// Total parameters (dense + all routed experts).
+    #[must_use]
+    pub fn total_params(&self) -> u64 {
+        self.dense_params() + self.total_experts() * self.params_per_expert()
+    }
+
+    /// Parameters active for one token: dense per-token path + `K` routed
+    /// experts per layer.
+    #[must_use]
+    pub fn active_params(&self) -> u64 {
+        self.dense_params()
+            + u64::from(self.num_layers) * u64::from(self.top_k) * self.params_per_expert()
+    }
+
+    /// KV-cache bytes one token occupies across all layers at fp16:
+    /// keys + values for every grouped-query head.
+    #[must_use]
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        let head_dim = u64::from(self.hidden_dim / self.num_attention_heads.max(1));
+        2 * u64::from(self.num_layers)
+            * u64::from(self.num_kv_heads)
+            * head_dim
+            * BYTES_PER_PARAM_FP16
+    }
+
+    /// Iterator over every routed expert identifier in the model, layer-major.
+    pub fn all_experts(&self) -> impl Iterator<Item = ExpertId> + '_ {
+        let j = self.experts_per_layer;
+        (0..self.num_layers).flat_map(move |l| (0..j).map(move |s| ExpertId::new(l, s)))
+    }
+
+    /// Validates internal consistency. Returns a description of the first
+    /// violated invariant, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` when `K > J`, any dimension is zero, or the head
+    /// configuration is inconsistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_layers == 0 {
+            return Err("num_layers must be positive".into());
+        }
+        if self.experts_per_layer == 0 {
+            return Err("experts_per_layer must be positive".into());
+        }
+        if self.top_k == 0 || self.top_k > self.experts_per_layer {
+            return Err(format!(
+                "top_k must be in [1, {}], got {}",
+                self.experts_per_layer, self.top_k
+            ));
+        }
+        if self.hidden_dim == 0 || self.expert_ffn_dim == 0 {
+            return Err("hidden_dim and expert_ffn_dim must be positive".into());
+        }
+        if self.num_attention_heads == 0
+            || self.num_kv_heads == 0
+            || !self.num_attention_heads.is_multiple_of(self.num_kv_heads)
+            || !self.hidden_dim.is_multiple_of(self.num_attention_heads)
+        {
+            return Err("inconsistent attention head configuration".into());
+        }
+        if self.shared_experts_per_layer > 0 && self.shared_expert_ffn_dim == 0 {
+            return Err("shared experts declared but shared_expert_ffn_dim is zero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn expert_bytes_matches_hand_computation() {
+        let m = presets::mixtral_8x7b();
+        // 3 * 4096 * 14336 params * 2 bytes = 352,321,536 bytes ~= 352 MB.
+        assert_eq!(m.params_per_expert(), 3 * 4096 * 14336);
+        assert_eq!(m.expert_bytes(), 3 * 4096 * 14336 * 2);
+    }
+
+    #[test]
+    fn all_experts_enumerates_l_times_j() {
+        let m = presets::tiny_test_model();
+        let experts: Vec<_> = m.all_experts().collect();
+        assert_eq!(experts.len() as u64, m.total_experts());
+        assert_eq!(experts[0], ExpertId::new(0, 0));
+        assert_eq!(
+            *experts.last().unwrap(),
+            ExpertId::new(m.num_layers - 1, m.experts_per_layer - 1)
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut m = presets::tiny_test_model();
+        assert!(m.validate().is_ok());
+        m.top_k = m.experts_per_layer + 1;
+        assert!(m.validate().is_err());
+        let mut m2 = presets::tiny_test_model();
+        m2.num_layers = 0;
+        assert!(m2.validate().is_err());
+        let mut m3 = presets::tiny_test_model();
+        m3.num_kv_heads = 3; // does not divide num_attention_heads = 4
+        assert!(m3.validate().is_err());
+    }
+
+    #[test]
+    fn kv_bytes_per_token_matches_hand_computation() {
+        let m = presets::mixtral_8x7b();
+        // 2 (K+V) x 32 layers x 8 kv heads x 128 head dim x 2 bytes.
+        assert_eq!(m.kv_bytes_per_token(), 2 * 32 * 8 * 128 * 2);
+    }
+
+    #[test]
+    fn active_less_than_total_params() {
+        for m in [
+            presets::mixtral_8x7b(),
+            presets::qwen15_moe_a27b(),
+            presets::phi35_moe(),
+        ] {
+            assert!(m.active_params() < m.total_params());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the gate simulator and cost model.
+
+#![cfg(test)]
+
+use crate::compute::{CostModel, GpuSpec};
+use crate::config::ModelConfig;
+use crate::gate::{GateParams, GateSimulator, RequestRouting, TokenSpan};
+use crate::presets;
+use proptest::prelude::*;
+
+fn small_gate() -> GateSimulator {
+    let cfg = presets::small_test_model();
+    GateSimulator::new(cfg.clone(), GateParams::for_model(&cfg))
+}
+
+fn routing() -> impl Strategy<Value = RequestRouting> {
+    (0u64..64, any::<u64>()).prop_map(|(cluster, request_seed)| RequestRouting {
+        cluster,
+        request_seed,
+    })
+}
+
+proptest! {
+    #[test]
+    fn distributions_are_always_normalized(
+        req in routing(),
+        iteration in 0u64..1000,
+        layer in 0u32..8,
+        token in 0u64..4096,
+    ) {
+        let g = small_gate();
+        let d = g.token_distribution(req, iteration, layer, token);
+        prop_assert_eq!(d.len(), 8);
+        let sum: f64 = d.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(d.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn iteration_distribution_is_normalized_for_any_span(
+        req in routing(),
+        iteration in 0u64..100,
+        layer in 0u32..8,
+        start in 0u64..1000,
+        count in 1u64..600,
+    ) {
+        let g = small_gate();
+        let d = g.iteration_distribution(req, iteration, layer, TokenSpan { start, count });
+        let sum: f64 = d.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activated_slots_are_sorted_unique_and_cover_top_k(
+        req in routing(),
+        iteration in 0u64..100,
+        layer in 0u32..8,
+        prompt_len in 1u64..400,
+    ) {
+        let g = small_gate();
+        let slots = g.activated_slots(req, iteration, layer, TokenSpan::prefill(prompt_len));
+        prop_assert!(slots.len() >= g.config().top_k as usize);
+        prop_assert!(slots.len() <= g.config().experts_per_layer as usize);
+        for w in slots.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(slots.iter().all(|&s| s < g.config().experts_per_layer));
+    }
+
+    #[test]
+    fn router_is_a_pure_function(
+        req in routing(),
+        iteration in 0u64..100,
+        layer in 0u32..8,
+        token in 0u64..1024,
+    ) {
+        let g1 = small_gate();
+        let g2 = small_gate();
+        prop_assert_eq!(
+            g1.token_distribution(req, iteration, layer, token),
+            g2.token_distribution(req, iteration, layer, token)
+        );
+        prop_assert_eq!(
+            g1.semantic_embedding(req, iteration),
+            g2.semantic_embedding(req, iteration)
+        );
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm(req in routing(), iteration in 0u64..500) {
+        let g = small_gate();
+        let e = g.semantic_embedding(req, iteration);
+        let n: f64 = e.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!((n - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_model_is_monotone_in_tokens(
+        t1 in 1u64..2000,
+        t2 in 1u64..2000,
+        ctx in 1u64..4096,
+    ) {
+        let m = CostModel::new(presets::mixtral_8x7b(), GpuSpec::rtx_3090());
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        prop_assert!(m.expert_time(lo) <= m.expert_time(hi));
+        prop_assert!(m.attention_time(lo, ctx) <= m.attention_time(hi, ctx));
+        prop_assert!(m.gate_time(lo) <= m.gate_time(hi));
+        prop_assert!(m.embedding_time(lo) <= m.embedding_time(hi));
+    }
+
+    #[test]
+    fn parameter_accounting_is_consistent(
+        layers in 1u32..40,
+        j in 2u32..32,
+        k in 1u32..8,
+        hidden_exp in 5u32..9,
+        ffn_exp in 5u32..10,
+    ) {
+        let k = k.min(j);
+        let cfg = ModelConfig {
+            name: "prop".into(),
+            num_layers: layers,
+            experts_per_layer: j,
+            top_k: k,
+            shared_experts_per_layer: 0,
+            hidden_dim: 1 << hidden_exp,
+            expert_ffn_dim: 1 << ffn_exp,
+            shared_expert_ffn_dim: 0,
+            num_attention_heads: 4,
+            num_kv_heads: 2,
+            vocab_size: 1000,
+        };
+        prop_assert!(cfg.validate().is_ok());
+        prop_assert!(cfg.active_params() <= cfg.total_params());
+        prop_assert_eq!(cfg.total_experts(), u64::from(layers) * u64::from(j));
+        prop_assert_eq!(
+            cfg.total_expert_bytes(),
+            cfg.total_experts() * cfg.expert_bytes()
+        );
+        prop_assert_eq!(cfg.all_experts().count() as u64, cfg.total_experts());
+        // Dense params + expert params == total.
+        prop_assert_eq!(
+            cfg.dense_params() + cfg.total_experts() * cfg.params_per_expert(),
+            cfg.total_params()
+        );
+    }
+}

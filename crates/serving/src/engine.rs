@@ -1,0 +1,1102 @@
+//! The serving engine: a discrete-event simulation of MoE inference with
+//! expert offloading.
+//!
+//! One engine instance owns the simulated hardware (expert cache, PCIe
+//! transfer engine, virtual clock) and serves requests through a policy
+//! implementing [`ExpertPredictor`]. Per iteration it executes the
+//! paper's Step ①-⑤ loop (§3.2):
+//!
+//! 1. **Context collection** — semantic embedding + trajectory snapshot
+//!    (synchronous, charged to the critical path).
+//! 2. **Prediction** — `begin_iteration` before layer 0, `observe_gate`
+//!    after each gate. Synchronous policies block compute; asynchronous
+//!    policies only delay when their prefetches are *issued*.
+//! 3. **Prefetching** — plans stream to the per-GPU PCIe links and
+//!    overlap compute.
+//! 4. **Expert serving** — activated experts found resident are hits;
+//!    misses block on on-demand loads that pause prefetch traffic.
+//! 5. **Map update** — `end_iteration` with the realized expert map
+//!    (asynchronous).
+//!
+//! Experts execute in parallel across their home GPUs (expert
+//! parallelism); attention/gate/shared-expert compute is modeled with the
+//! roofline cost model.
+
+use crate::metrics::{Breakdown, RequestMetrics};
+use crate::predictor::{ExpertPredictor, IterationContext, PrefetchPlan};
+use crate::timeline::{Timeline, TimelineEvent};
+use fmoe_cache::{EvictionPolicy, ExpertCache, InsertOutcome};
+use fmoe_memsim::{GpuId, Nanos, Topology, TransferEngine, VirtualClock};
+use fmoe_model::gate::TokenSpan;
+use fmoe_model::{CostModel, ExpertId, GateSimulator, GpuSpec};
+use fmoe_workload::Prompt;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Total expert-cache budget across all GPUs, in bytes.
+    pub cache_budget_bytes: u64,
+    /// Load every expert into GPU memory up front (the No-offload
+    /// reference). Requires a budget that actually fits the model.
+    pub preload_all: bool,
+    /// Truncate decoding after this many iterations (experiment speed
+    /// cap); `None` serves the full answer.
+    pub max_decode_iterations: Option<u64>,
+    /// Synchronous per-iteration context-collection cost (paper Fig. 15).
+    pub context_collection_ns: Nanos,
+    /// Host-side framework overhead per transformer layer (kernel launch,
+    /// Python dispatch in the HF Transformers / MoE-Infinity substrate the
+    /// paper builds on — the paper notes all systems' latency "is
+    /// inherently impacted by MoE-Infinity's implementation", §6.2).
+    pub framework_overhead_per_layer_ns: Nanos,
+    /// Expert-parallel placement scheme (the paper's §5 round-robin by
+    /// default; `LayerContiguous` exists for the placement ablation).
+    pub placement: fmoe_cache::Placement,
+    /// KV-cache-aware budgeting (off by default): when set, the expert
+    /// cache's effective budget each iteration is `cache_budget_bytes`
+    /// minus the live KV-cache bytes of the active batch — experts yield
+    /// GPU memory to growing contexts and reclaim it as requests retire.
+    pub kv_aware_budget: bool,
+    /// Mixed-precision extension (Hobbit-style, off by default): prefetch
+    /// plans whose probability falls below this threshold are staged at
+    /// half precision — half the transfer time and half the cache bytes —
+    /// and accesses they serve count as `degraded_hits`. On-demand loads
+    /// are always full precision.
+    pub low_precision_threshold: Option<f64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl EngineConfig {
+    /// Defaults matching the paper's offline setup: 48 GB of expert cache
+    /// across the testbed and full answers.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            cache_budget_bytes: 48 * (1u64 << 30),
+            preload_all: false,
+            max_decode_iterations: None,
+            context_collection_ns: 1_200_000,           // 1.2 ms
+            framework_overhead_per_layer_ns: 3_000_000, // 3 ms/layer host dispatch
+            placement: fmoe_cache::Placement::RoundRobin,
+            kv_aware_budget: false,
+            low_precision_threshold: None,
+        }
+    }
+
+    /// Sets the cache budget in GiB.
+    #[must_use]
+    pub fn with_cache_gb(mut self, gb: u64) -> Self {
+        self.cache_budget_bytes = gb * (1u64 << 30);
+        self
+    }
+
+    /// Caps decode length.
+    #[must_use]
+    pub fn with_max_decode(mut self, iters: u64) -> Self {
+        self.max_decode_iterations = Some(iters);
+        self
+    }
+}
+
+/// Per-request bookkeeping during a batch run.
+#[derive(Debug)]
+struct Element {
+    prompt: Prompt,
+    /// Stable batch-slot id: the key predictors use for per-request
+    /// state. Slots are reused only after their occupant finishes.
+    slot: usize,
+    iteration: u64,
+    /// Tokens processed so far (context length).
+    position: u64,
+    /// Total iterations this element will run (after the decode cap).
+    total_iterations: u64,
+    done: bool,
+    start_ns: Nanos,
+    ttft_ns: Option<Nanos>,
+    finished_ns: Nanos,
+    decode_iterations: u64,
+    hits: u64,
+    misses: u64,
+    degraded_hits: u64,
+    /// Realized per-layer distributions of the current iteration.
+    realized_map: Vec<Vec<f64>>,
+    /// Semantic embedding of the current iteration.
+    embedding: Vec<f64>,
+    /// Activated expert slots per layer of the current iteration.
+    activated: Vec<Vec<u32>>,
+}
+
+impl Element {
+    fn span(&self) -> TokenSpan {
+        if self.iteration == 0 {
+            TokenSpan::prefill(self.prompt.prompt_tokens)
+        } else {
+            TokenSpan::single(self.position)
+        }
+    }
+
+    fn context(&self) -> IterationContext {
+        IterationContext {
+            element: self.slot,
+            request_id: self.prompt.id,
+            iteration: self.iteration,
+            is_prefill: self.iteration == 0,
+            span: self.span(),
+            embedding: self.embedding.clone(),
+            routing: self.prompt.routing,
+        }
+    }
+}
+
+/// The serving engine. See the module docs.
+///
+/// ```
+/// use fmoe_cache::LruPolicy;
+/// use fmoe_memsim::Topology;
+/// use fmoe_model::{presets, GateSimulator, GpuSpec};
+/// use fmoe_serving::{predictor::NoPrefetch, EngineConfig, ServingEngine};
+/// use fmoe_workload::DatasetSpec;
+///
+/// let model = presets::tiny_test_model();
+/// let mut engine = ServingEngine::new(
+///     GateSimulator::with_defaults(model.clone()),
+///     GpuSpec::rtx_3090(),
+///     Topology::single_gpu(8 << 30),
+///     Box::new(LruPolicy::new()),
+///     EngineConfig {
+///         cache_budget_bytes: model.expert_bytes() * 8,
+///         max_decode_iterations: Some(4),
+///         ..EngineConfig::paper_default()
+///     },
+/// );
+/// let metrics = engine.serve_request(DatasetSpec::tiny_test().prompt(0), &mut NoPrefetch);
+/// assert!(metrics.ttft_ns > 0);
+/// assert!(metrics.expert_hits + metrics.expert_misses > 0);
+/// ```
+pub struct ServingEngine {
+    gate: GateSimulator,
+    cost: CostModel,
+    topology: Topology,
+    cache: ExpertCache,
+    transfer: TransferEngine,
+    clock: VirtualClock,
+    in_flight: HashMap<u64, ExpertId>,
+    /// Requests currently in the continuous batch (see [`Self::admit`]).
+    active: Vec<Element>,
+    /// Reusable slot ids freed by finished continuous-batch requests.
+    free_slots: Vec<usize>,
+    /// Next fresh slot id for the continuous batch.
+    next_slot: usize,
+    /// Optional execution-timeline recorder.
+    timeline: Timeline,
+    /// Prefetched experts staged for a layer that has not executed yet:
+    /// pinned so eviction cannot undo a deliberate prefetch before use
+    /// (all real offloading runtimes protect staged weights this way).
+    staged: std::collections::HashSet<ExpertId>,
+    breakdown: Breakdown,
+    config: EngineConfig,
+}
+
+impl ServingEngine {
+    /// Builds an engine for one model on one topology.
+    #[must_use]
+    pub fn new(
+        gate: GateSimulator,
+        gpu: GpuSpec,
+        topology: Topology,
+        policy: Box<dyn EvictionPolicy>,
+        config: EngineConfig,
+    ) -> Self {
+        let model = gate.config().clone();
+        let cache = ExpertCache::new(&model, config.cache_budget_bytes, topology.num_gpus, policy)
+            .with_placement(config.placement);
+        let transfer = TransferEngine::new(&topology);
+        let cost = CostModel::new(model, gpu);
+        let mut engine = Self {
+            gate,
+            cost,
+            topology,
+            cache,
+            transfer,
+            clock: VirtualClock::new(),
+            in_flight: HashMap::new(),
+            active: Vec::new(),
+            free_slots: Vec::new(),
+            next_slot: 0,
+            timeline: Timeline::default(),
+            staged: std::collections::HashSet::new(),
+            breakdown: Breakdown::default(),
+            config,
+        };
+        if engine.config.preload_all {
+            engine.preload_all_experts();
+        }
+        engine
+    }
+
+    /// Inserts every routed expert into the cache at time zero (the
+    /// No-offload reference). Experts that do not fit are skipped.
+    fn preload_all_experts(&mut self) {
+        let experts: Vec<ExpertId> = self.gate.config().all_experts().collect();
+        for e in experts {
+            let _ = self.cache.insert(e, 0);
+        }
+    }
+
+    /// The model being served.
+    #[must_use]
+    pub fn model(&self) -> &fmoe_model::ModelConfig {
+        self.gate.config()
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    /// Advances the engine's idle time to `target` (used by the online
+    /// scheduler between arrivals). No-op if `target` is in the past.
+    pub fn idle_until(&mut self, target: Nanos) {
+        if target > self.clock.now() {
+            self.clock.advance_to(target);
+            self.absorb_completions();
+        }
+    }
+
+    /// Cache statistics so far.
+    #[must_use]
+    pub fn cache_stats(&self) -> fmoe_cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Transfer statistics so far.
+    #[must_use]
+    pub fn transfer_stats(&self) -> fmoe_memsim::TransferStats {
+        self.transfer.stats()
+    }
+
+    /// Takes the accumulated per-operation breakdown, resetting it.
+    pub fn take_breakdown(&mut self) -> Breakdown {
+        std::mem::take(&mut self.breakdown)
+    }
+
+    /// Enables or disables execution-timeline recording.
+    pub fn set_timeline_enabled(&mut self, enabled: bool) {
+        self.timeline.set_enabled(enabled);
+    }
+
+    /// Takes the recorded timeline entries.
+    pub fn take_timeline(&mut self) -> Vec<crate::timeline::TimelineEntry> {
+        self.timeline.take()
+    }
+
+    /// Retunes the expert-cache budget at runtime (SwapMoE-style tunable
+    /// memory). Evictions happen immediately; in-flight prefetches are
+    /// unaffected (they may be rejected at completion if the shrunken
+    /// budget cannot host them).
+    pub fn set_cache_budget(&mut self, total_bytes: u64) -> usize {
+        self.config.cache_budget_bytes = total_bytes;
+        self.cache.set_total_budget(total_bytes).len()
+    }
+
+    /// Current expert-cache budget in bytes.
+    #[must_use]
+    pub fn cache_budget(&self) -> u64 {
+        self.config.cache_budget_bytes
+    }
+
+    /// Admits a request into the engine's **continuous batch**: it joins
+    /// the running batch at the next [`Self::step`] boundary, prefilling
+    /// while earlier requests keep decoding — the scheduling modern
+    /// serving systems use instead of static batches. Returns the
+    /// request's stable slot id.
+    ///
+    /// TTFT is measured from admission; queueing before admission is the
+    /// scheduler's concern (see `online::serve_trace_continuous`).
+    pub fn admit(&mut self, prompt: Prompt) -> usize {
+        let slot = self.free_slots.pop().unwrap_or_else(|| {
+            let s = self.next_slot;
+            self.next_slot += 1;
+            s
+        });
+        let total = match self.config.max_decode_iterations {
+            Some(cap) => prompt.iterations().min(1 + cap),
+            None => prompt.iterations(),
+        };
+        self.active.push(Element {
+            prompt,
+            slot,
+            iteration: 0,
+            position: 0,
+            total_iterations: total,
+            done: false,
+            start_ns: self.clock.now(),
+            ttft_ns: None,
+            finished_ns: self.clock.now(),
+            decode_iterations: 0,
+            hits: 0,
+            misses: 0,
+            degraded_hits: 0,
+            realized_map: Vec::new(),
+            embedding: Vec::new(),
+            activated: Vec::new(),
+        });
+        slot
+    }
+
+    /// Runs **one** lockstep iteration over the continuous batch and
+    /// returns the metrics of every request that finished during it.
+    /// A no-op returning an empty vec when the batch is empty.
+    pub fn step(&mut self, predictor: &mut dyn ExpertPredictor) -> Vec<RequestMetrics> {
+        if self.active.is_empty() {
+            return Vec::new();
+        }
+        let mut elements = std::mem::take(&mut self.active);
+        self.run_iteration(&mut elements, predictor);
+        let mut finished = Vec::new();
+        for e in elements {
+            if e.done {
+                self.free_slots.push(e.slot);
+                let ttft = e.ttft_ns.unwrap_or(e.finished_ns - e.start_ns);
+                let total = e.finished_ns - e.start_ns;
+                finished.push(RequestMetrics {
+                    request_id: e.prompt.id,
+                    ttft_ns: ttft,
+                    decode_ns: total - ttft,
+                    decode_iterations: e.decode_iterations,
+                    total_ns: total,
+                    expert_hits: e.hits,
+                    expert_misses: e.misses,
+                    degraded_hits: e.degraded_hits,
+                });
+            } else {
+                self.active.push(e);
+            }
+        }
+        finished
+    }
+
+    /// Requests currently in the continuous batch.
+    #[must_use]
+    pub fn active_requests(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Serves one request (batch size 1).
+    pub fn serve_request(
+        &mut self,
+        prompt: Prompt,
+        predictor: &mut dyn ExpertPredictor,
+    ) -> RequestMetrics {
+        self.serve_batch(&[prompt], predictor).remove(0)
+    }
+
+    /// Serves a batch of requests in lockstep, returning per-request
+    /// metrics in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompts` is empty.
+    pub fn serve_batch(
+        &mut self,
+        prompts: &[Prompt],
+        predictor: &mut dyn ExpertPredictor,
+    ) -> Vec<RequestMetrics> {
+        assert!(
+            !prompts.is_empty(),
+            "batch must contain at least one prompt"
+        );
+        debug_assert!(
+            self.active.is_empty(),
+            "serve_batch must not run while a continuous batch is active"
+        );
+        let start = self.clock.now();
+        let mut elements: Vec<Element> = prompts
+            .iter()
+            .enumerate()
+            .map(|(slot, &prompt)| {
+                let total = match self.config.max_decode_iterations {
+                    Some(cap) => prompt.iterations().min(1 + cap),
+                    None => prompt.iterations(),
+                };
+                Element {
+                    prompt,
+                    slot,
+                    iteration: 0,
+                    position: 0,
+                    total_iterations: total,
+                    done: false,
+                    start_ns: start,
+                    ttft_ns: None,
+                    finished_ns: start,
+                    decode_iterations: 0,
+                    hits: 0,
+                    misses: 0,
+                    degraded_hits: 0,
+                    realized_map: Vec::new(),
+                    embedding: Vec::new(),
+                    activated: Vec::new(),
+                }
+            })
+            .collect();
+
+        while elements.iter().any(|e| !e.done) {
+            self.run_iteration(&mut elements, predictor);
+        }
+
+        elements
+            .into_iter()
+            .map(|e| {
+                let ttft = e.ttft_ns.unwrap_or(e.finished_ns - e.start_ns);
+                let total = e.finished_ns - e.start_ns;
+                RequestMetrics {
+                    request_id: e.prompt.id,
+                    ttft_ns: ttft,
+                    decode_ns: total - ttft,
+                    decode_iterations: e.decode_iterations,
+                    total_ns: total,
+                    expert_hits: e.hits,
+                    expert_misses: e.misses,
+                    degraded_hits: e.degraded_hits,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs one lockstep iteration over all live elements.
+    fn run_iteration(&mut self, elements: &mut [Element], predictor: &mut dyn ExpertPredictor) {
+        let iter_start = self.clock.now();
+        self.breakdown.iterations += 1;
+        self.timeline.record(
+            iter_start,
+            TimelineEvent::IterationStart {
+                iteration: elements
+                    .iter()
+                    .filter(|e| !e.done)
+                    .map(|e| e.iteration)
+                    .min()
+                    .unwrap_or(0),
+            },
+        );
+        let timing = predictor.timing();
+        self.breakdown.matching_synchronous = timing.synchronous;
+        let num_layers = self.gate.config().num_layers;
+
+        // Step 1: context collection (synchronous).
+        for el in elements.iter_mut() {
+            if el.done {
+                continue;
+            }
+            el.embedding = self
+                .gate
+                .semantic_embedding(el.prompt.routing, el.iteration);
+            el.realized_map.clear();
+            el.activated.clear();
+        }
+        self.clock.advance(self.config.context_collection_ns);
+        self.breakdown.context_collection_ns += self.config.context_collection_ns;
+
+        // Stale-prefetch pruning: jobs still queued from the previous
+        // iteration target a phase that has passed — drop them so the
+        // links start the iteration clean. Stage pins from the previous
+        // iteration are released likewise.
+        self.prune_stale_prefetches(None);
+        self.cache.unpin_all();
+        self.cache.notify_iteration_boundary();
+        self.staged.clear();
+
+        // KV-aware budgeting: growing contexts squeeze the expert cache.
+        if self.config.kv_aware_budget {
+            let kv_per_token = self.gate.config().kv_bytes_per_token();
+            let live_kv: u64 = elements
+                .iter()
+                .filter(|e| !e.done)
+                .map(|e| (e.position + e.span().count) * kv_per_token)
+                .sum();
+            let effective = self.config.cache_budget_bytes.saturating_sub(live_kv);
+            let _ = self.cache.set_total_budget(effective);
+        }
+
+        // Step 2a: iteration-start prediction (semantic search window).
+        let mut plans: Vec<PrefetchPlan> = Vec::new();
+        for el in elements.iter() {
+            if el.done {
+                continue;
+            }
+            plans.extend(predictor.begin_iteration(&el.context()));
+        }
+        if !plans.is_empty() {
+            self.apply_predictor_timing(&timing);
+            let issue_at = self.prefetch_issue_time(&timing);
+            let _ = self.issue_prefetches(&plans, issue_at);
+        }
+
+        let batch_tokens: u64 = elements
+            .iter()
+            .filter(|e| !e.done)
+            .map(|e| e.span().count)
+            .sum();
+        let context_len = elements
+            .iter()
+            .filter(|e| !e.done)
+            .map(|e| e.position + e.span().count)
+            .max()
+            .unwrap_or(1);
+
+        for layer in 0..num_layers {
+            // Drop queued prefetches whose target layer has already
+            // executed this iteration — they can no longer help.
+            if layer > 0 {
+                self.prune_stale_prefetches(Some(layer));
+            }
+            self.timeline
+                .record(self.clock.now(), TimelineEvent::LayerStart { layer });
+            // Attention + gate + always-on shared experts + host dispatch.
+            let compute = self.cost.attention_time(batch_tokens, context_len)
+                + self.cost.gate_time(batch_tokens)
+                + self.cost.shared_expert_time(batch_tokens)
+                + self.config.framework_overhead_per_layer_ns;
+            self.clock.advance(compute);
+            self.breakdown.compute_ns += compute;
+
+            // Gate ground truth per element; union of activated experts.
+            let mut union: BTreeSet<ExpertId> = BTreeSet::new();
+            let mut plans: Vec<PrefetchPlan> = Vec::new();
+            for el in elements.iter_mut() {
+                if el.done {
+                    continue;
+                }
+                let span = el.span();
+                let dist =
+                    self.gate
+                        .iteration_distribution(el.prompt.routing, el.iteration, layer, span);
+                let activated =
+                    self.gate
+                        .activated_slots(el.prompt.routing, el.iteration, layer, span);
+                for &slot in &activated {
+                    union.insert(ExpertId::new(layer, slot));
+                }
+                el.realized_map.push(dist.clone());
+                el.activated.push(activated);
+                plans.extend(predictor.observe_gate(&el.context(), layer, &dist));
+            }
+            if !plans.is_empty() {
+                self.apply_predictor_timing(&timing);
+                let issue_at = self.prefetch_issue_time(&timing);
+                let _ = self.issue_prefetches(&plans, issue_at);
+            }
+
+            // Absorb prefetches that have landed by now.
+            self.absorb_completions();
+
+            // Classify each needed expert: resident, in flight (a prefetch
+            // is mid-transfer — wait for the remainder rather than cancel
+            // and reload), or missing (full on-demand load).
+            let now = self.clock.now();
+            let j = self.gate.config().experts_per_layer;
+            let mut residency: BTreeMap<ExpertId, bool> = BTreeMap::new();
+            let mut waited_inflight: Vec<ExpertId> = Vec::new();
+            let mut missing: Vec<ExpertId> = Vec::new();
+            for &e in &union {
+                let resident = self.cache.contains(e);
+                if resident {
+                    residency.insert(e, true);
+                } else if self.in_flight.contains_key(&(e.dense_index(j) as u64)) {
+                    // For blocking policies (Mixtral-Offloading) the wait
+                    // is the design — the speculated expert counts as a
+                    // hit; for async policies a late prefetch is a miss.
+                    residency.insert(e, timing.blocking_prefetch);
+                    waited_inflight.push(e);
+                } else {
+                    residency.insert(e, false);
+                    missing.push(e);
+                }
+            }
+            // Expert-agnostic layer streaming (DeepSpeed-Inference): the
+            // policy cannot tell which experts are needed or resident, so
+            // any miss streams the layer's *entire* expert blob from host
+            // memory — resident experts included.
+            if predictor.loads_entire_layer() && !missing.is_empty() {
+                missing.clear();
+                for slot in 0..j {
+                    missing.push(ExpertId::new(layer, slot));
+                }
+            }
+            for el in elements.iter_mut() {
+                if el.done {
+                    continue;
+                }
+                for &slot in &el.activated[layer as usize] {
+                    let e = ExpertId::new(layer, slot);
+                    // Stats + policy bookkeeping recorded once per
+                    // (element, expert) access, against pre-load residency.
+                    if residency[&e] {
+                        el.hits += 1;
+                        if self.cache.is_degraded(e) {
+                            el.degraded_hits += 1;
+                        }
+                    } else {
+                        el.misses += 1;
+                    }
+                    self.cache.record_access(e, now);
+                }
+            }
+
+            // Pin resident activated experts before loading the rest, so
+            // insertions cannot evict what this layer is about to run.
+            for &e in &union {
+                self.cache.pin(e);
+            }
+
+            // Step 4: wait for needed in-flight transfers and issue
+            // blocking on-demand loads, chained per GPU link, parallel
+            // across GPUs. Prefetch queues pause during on-demand loads.
+            if !waited_inflight.is_empty() || !missing.is_empty() {
+                let start = self.clock.now();
+                let bytes = self.cache.expert_bytes();
+                // Per-GPU start times: on-demand loads on a link begin
+                // after the needed in-flight jobs on that link complete.
+                let mut per_gpu_now: HashMap<u32, Nanos> = HashMap::new();
+                let mut inflight_done = start;
+                // Promote every needed transfer first; estimating completion
+                // before all promotions are in would go stale as soon as a
+                // second job jumps the same link's queue.
+                for &e in &waited_inflight {
+                    let gpu = self.cache.home_gpu(e);
+                    let tag = e.dense_index(j) as u64;
+                    self.timeline
+                        .record(start, TimelineEvent::InFlightWait { expert: e });
+                    // The forward pass needs this transfer now: jump it
+                    // ahead of background prefetch traffic on its link.
+                    self.transfer.promote_to_front(GpuId(gpu), tag, start);
+                }
+                for &e in &waited_inflight {
+                    let gpu = self.cache.home_gpu(e);
+                    let tag = e.dense_index(j) as u64;
+                    if let Some(done) = self.transfer.completion_time_of(GpuId(gpu), tag) {
+                        let entry = per_gpu_now.entry(gpu).or_insert(start);
+                        *entry = (*entry).max(done);
+                        inflight_done = inflight_done.max(done);
+                    }
+                }
+                for &e in &missing {
+                    let gpu = self.cache.home_gpu(e);
+                    let gpu_now = *per_gpu_now.get(&gpu).unwrap_or(&start);
+                    self.timeline.record(
+                        gpu_now.max(start),
+                        TimelineEvent::OnDemandLoad { expert: e },
+                    );
+                    let done = self
+                        .transfer
+                        .on_demand_load(GpuId(gpu), bytes, gpu_now.max(start));
+                    per_gpu_now.insert(gpu, done);
+                }
+                let done = per_gpu_now
+                    .values()
+                    .copied()
+                    .max()
+                    .unwrap_or(start)
+                    .max(start);
+                // Breakdown: the in-flight portion of the stall is the
+                // policy's synchronous-prefetch cost when it blocks by
+                // design; everything else is on-demand waiting.
+                let inflight_stall = inflight_done.saturating_sub(start);
+                if timing.blocking_prefetch {
+                    self.breakdown.blocking_prefetch_ns += inflight_stall;
+                    self.breakdown.on_demand_wait_ns += (done - start) - inflight_stall;
+                } else {
+                    self.breakdown.on_demand_wait_ns += done - start;
+                }
+                self.clock.advance_to(done);
+                // Fold arrived prefetches (including the waited ones) in.
+                self.absorb_completions();
+                let now = self.clock.now();
+                for &e in &waited_inflight {
+                    self.cache.pin(e);
+                }
+                for &e in &missing {
+                    match self.cache.insert(e, now) {
+                        InsertOutcome::Inserted { .. } | InsertOutcome::AlreadyResident => {
+                            self.cache.pin(e);
+                        }
+                        InsertOutcome::Rejected => {
+                            // Budget cannot hold this layer's working set:
+                            // the expert streams through a staging buffer
+                            // and is not resident afterward.
+                        }
+                    }
+                }
+            }
+
+            // Expert FFN compute: per-GPU serial, cross-GPU parallel.
+            let expert_compute = self.expert_compute_time(&union, batch_tokens);
+            self.clock.advance(expert_compute);
+            self.breakdown.compute_ns += expert_compute;
+            // Release this layer's pins; staged experts for *future*
+            // layers stay protected until their layer executes.
+            for &e in &union {
+                self.cache.unpin(e);
+                self.staged.remove(&e);
+            }
+            let passed: Vec<ExpertId> = self
+                .staged
+                .iter()
+                .copied()
+                .filter(|e| e.layer <= layer)
+                .collect();
+            for e in passed {
+                self.cache.unpin(e);
+                self.staged.remove(&e);
+            }
+            self.cache.notify_layer_done(layer);
+        }
+
+        // LM head / embedding.
+        let head = self.cost.embedding_time(batch_tokens);
+        self.clock.advance(head);
+        self.breakdown.compute_ns += head;
+
+        // Step 5: map update (asynchronous).
+        for el in elements.iter_mut() {
+            if el.done {
+                continue;
+            }
+            let ctx = el.context();
+            predictor.end_iteration(&ctx, &el.realized_map);
+            self.breakdown.update_async_ns += timing.update_ns;
+
+            // Advance element bookkeeping.
+            if el.iteration == 0 {
+                el.position = el.prompt.prompt_tokens;
+                el.ttft_ns = Some(self.clock.now() - el.start_ns);
+            } else {
+                el.position += 1;
+                el.decode_iterations += 1;
+            }
+            el.iteration += 1;
+            if el.iteration >= el.total_iterations {
+                el.done = true;
+                el.finished_ns = self.clock.now();
+            }
+        }
+
+        self.breakdown.iteration_total_ns += self.clock.now() - iter_start;
+        self.timeline
+            .record(self.clock.now(), TimelineEvent::IterationEnd);
+    }
+
+    /// Expert FFN time for a layer: experts grouped by home GPU run
+    /// serially per GPU and in parallel across GPUs.
+    fn expert_compute_time(&self, union: &BTreeSet<ExpertId>, batch_tokens: u64) -> Nanos {
+        if union.is_empty() {
+            return 0;
+        }
+        let k = u64::from(self.gate.config().top_k);
+        let tokens_per_expert = ((batch_tokens * k) as f64 / union.len() as f64)
+            .ceil()
+            .max(1.0) as u64;
+        let mut per_gpu: HashMap<u32, Nanos> = HashMap::new();
+        for &e in union {
+            let gpu = self.cache.home_gpu(e);
+            *per_gpu.entry(gpu).or_insert(0) += self.cost.expert_time(tokens_per_expert);
+        }
+        per_gpu.values().copied().max().unwrap_or(0)
+    }
+
+    /// Charges synchronous predictor latency to the critical path; always
+    /// records it in the breakdown.
+    fn apply_predictor_timing(&mut self, timing: &crate::predictor::PredictorTiming) {
+        if timing.latency_ns == 0 {
+            return;
+        }
+        self.breakdown.matching_ns += timing.latency_ns;
+        if timing.synchronous {
+            self.clock.advance(timing.latency_ns);
+        }
+    }
+
+    /// When prefetch issuance happens: immediately for synchronous
+    /// policies (the stall already paid), after the matching latency for
+    /// asynchronous ones.
+    fn prefetch_issue_time(&self, timing: &crate::predictor::PredictorTiming) -> Nanos {
+        if timing.synchronous {
+            self.clock.now()
+        } else {
+            self.clock.now() + timing.latency_ns
+        }
+    }
+
+    /// Submits prefetch plans to the transfer engine. Returns the GPUs
+    /// whose links received new jobs.
+    fn issue_prefetches(&mut self, plans: &[PrefetchPlan], at: Nanos) -> Vec<GpuId> {
+        let j = self.gate.config().experts_per_layer;
+        let full_bytes = self.cache.expert_bytes();
+        let mut touched = Vec::new();
+        for plan in plans {
+            self.cache.update_probability(plan.expert, plan.probability);
+            if plan.advisory || self.cache.contains(plan.expert) {
+                continue;
+            }
+            let tag = plan.expert.dense_index(j) as u64;
+            if self.in_flight.contains_key(&tag) {
+                continue;
+            }
+            // Mixed-precision extension: dubious experts load quantized.
+            let bytes = match self.config.low_precision_threshold {
+                Some(threshold) if plan.probability < threshold => full_bytes / 2,
+                _ => full_bytes,
+            };
+            if bytes > self.cache.per_gpu_budget() {
+                continue; // can never be cached
+            }
+            let gpu = GpuId(self.cache.home_gpu(plan.expert));
+            self.transfer.submit_prefetch(gpu, tag, bytes, at);
+            self.timeline.record(
+                at,
+                TimelineEvent::PrefetchIssued {
+                    expert: plan.expert,
+                },
+            );
+            self.in_flight.insert(tag, plan.expert);
+            if !touched.contains(&gpu) {
+                touched.push(gpu);
+            }
+        }
+        touched
+    }
+
+    /// Cancels queued prefetch jobs that can no longer be useful: with
+    /// `before_layer = Some(l)`, jobs targeting layers `< l` of the
+    /// current iteration; with `None`, every queued job (iteration
+    /// boundary — a new iteration routes differently).
+    fn prune_stale_prefetches(&mut self, before_layer: Option<u32>) {
+        self.absorb_completions();
+        let now = self.clock.now();
+        let stale: Vec<(u64, ExpertId)> = self
+            .in_flight
+            .iter()
+            .filter(|(_, e)| before_layer.is_none_or(|l| e.layer < l))
+            .map(|(&tag, &e)| (tag, e))
+            .collect();
+        for (tag, expert) in stale {
+            let gpu = GpuId(self.cache.home_gpu(expert));
+            if self.transfer.cancel_prefetch(gpu, tag, now) {
+                self.in_flight.remove(&tag);
+            }
+        }
+        self.absorb_completions();
+    }
+
+    /// Folds completed prefetch transfers into the cache, stage-pinning
+    /// them until their target layer executes.
+    fn absorb_completions(&mut self) {
+        self.transfer.advance_to(self.clock.now());
+        for c in self.transfer.drain_completions() {
+            let Some(expert) = self.in_flight.remove(&c.tag) else {
+                continue;
+            };
+            self.breakdown.prefetch_async_ns += self.topology.host_link.wire_time(c.bytes);
+            self.timeline
+                .record(c.completed_at, TimelineEvent::PrefetchArrived { expert });
+            if matches!(
+                self.cache.insert_sized(expert, c.bytes, c.completed_at),
+                InsertOutcome::Inserted { .. } | InsertOutcome::AlreadyResident
+            ) && self.cache.pin(expert)
+            {
+                self.staged.insert(expert);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::NoPrefetch;
+    use fmoe_cache::LruPolicy;
+    use fmoe_model::{presets, GateParams};
+    use fmoe_workload::DatasetSpec;
+
+    fn tiny_engine(cache_slots_total: u64, preload: bool) -> ServingEngine {
+        let cfg = presets::tiny_test_model();
+        let gate = GateSimulator::new(cfg.clone(), GateParams::for_model(&cfg));
+        let topology = Topology::single_gpu(8 << 30);
+        let budget = cfg.expert_bytes() * cache_slots_total;
+        let config = EngineConfig {
+            cache_budget_bytes: budget,
+            preload_all: preload,
+            max_decode_iterations: Some(8),
+            context_collection_ns: 1000,
+            framework_overhead_per_layer_ns: 10_000,
+            ..EngineConfig::paper_default()
+        };
+        ServingEngine::new(
+            gate,
+            GpuSpec::rtx_3090(),
+            topology,
+            Box::new(LruPolicy::new()),
+            config,
+        )
+    }
+
+    fn prompt(id: u64) -> Prompt {
+        DatasetSpec::tiny_test().prompt(id)
+    }
+
+    #[test]
+    fn serves_a_request_and_reports_metrics() {
+        let mut e = tiny_engine(8, false);
+        let m = e.serve_request(prompt(0), &mut NoPrefetch);
+        assert!(m.ttft_ns > 0);
+        assert!(m.total_ns >= m.ttft_ns);
+        assert_eq!(m.total_ns - m.ttft_ns, m.decode_ns);
+        assert!(m.expert_hits + m.expert_misses > 0);
+        // Every iteration touches at least top_k experts per layer.
+        let min_accesses = (1 + m.decode_iterations) * 4 /*layers*/ * 2 /*top_k*/;
+        assert!(m.expert_hits + m.expert_misses >= min_accesses);
+    }
+
+    #[test]
+    fn preloaded_cache_never_misses() {
+        // Budget covers all 16 experts of the tiny model.
+        let mut e = tiny_engine(16, true);
+        let m = e.serve_request(prompt(1), &mut NoPrefetch);
+        assert_eq!(m.expert_misses, 0);
+        assert!(m.expert_hits > 0);
+    }
+
+    #[test]
+    fn cold_cache_misses_then_warms_up() {
+        let mut e = tiny_engine(16, false);
+        let first = e.serve_request(prompt(2), &mut NoPrefetch);
+        assert!(first.expert_misses > 0);
+        // Second identical request: the cache now holds everything it
+        // touched (capacity fits the whole model).
+        let second = e.serve_request(prompt(2), &mut NoPrefetch);
+        assert!(second.hit_rate() > first.hit_rate());
+    }
+
+    #[test]
+    fn smaller_cache_is_slower() {
+        let mut large = tiny_engine(16, false);
+        let mut small = tiny_engine(2, false);
+        let p = prompt(3);
+        // Warm both with one pass, then measure.
+        let _ = large.serve_request(p, &mut NoPrefetch);
+        let _ = small.serve_request(p, &mut NoPrefetch);
+        let ml = large.serve_request(p, &mut NoPrefetch);
+        let ms = small.serve_request(p, &mut NoPrefetch);
+        assert!(ms.total_ns >= ml.total_ns);
+        assert!(ms.hit_rate() <= ml.hit_rate());
+    }
+
+    #[test]
+    fn decode_cap_limits_iterations() {
+        let mut e = tiny_engine(8, false);
+        let m = e.serve_request(prompt(4), &mut NoPrefetch);
+        assert!(m.decode_iterations <= 8);
+    }
+
+    #[test]
+    fn clock_advances_monotonically_across_requests() {
+        let mut e = tiny_engine(8, false);
+        let t0 = e.now();
+        let _ = e.serve_request(prompt(5), &mut NoPrefetch);
+        let t1 = e.now();
+        assert!(t1 > t0);
+        let _ = e.serve_request(prompt(6), &mut NoPrefetch);
+        assert!(e.now() > t1);
+    }
+
+    #[test]
+    fn batch_returns_metrics_per_request() {
+        let mut e = tiny_engine(8, false);
+        let ps = [prompt(7), prompt(8), prompt(9)];
+        let ms = e.serve_batch(&ps, &mut NoPrefetch);
+        assert_eq!(ms.len(), 3);
+        for (m, p) in ms.iter().zip(&ps) {
+            assert_eq!(m.request_id, p.id);
+            assert!(m.total_ns > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prompt")]
+    fn empty_batch_panics() {
+        let mut e = tiny_engine(8, false);
+        let _ = e.serve_batch(&[], &mut NoPrefetch);
+    }
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut e = tiny_engine(8, false);
+        let _ = e.serve_request(prompt(10), &mut NoPrefetch);
+        let b = e.take_breakdown();
+        assert!(b.iterations > 0);
+        assert!(b.compute_ns > 0);
+        assert!(b.context_collection_ns > 0);
+        assert!(b.on_demand_wait_ns > 0, "cold cache must wait on loads");
+        // take_breakdown resets.
+        let b2 = e.take_breakdown();
+        assert_eq!(b2.iterations, 0);
+    }
+
+    #[test]
+    fn timeline_records_a_consistent_execution_trace() {
+        use crate::timeline::TimelineEvent;
+        let mut e = tiny_engine(8, false);
+        e.set_timeline_enabled(true);
+        let _ = e.serve_request(prompt(12), &mut NoPrefetch);
+        let entries = e.take_timeline();
+        assert!(!entries.is_empty());
+        // Timestamps are monotone.
+        for w in entries.windows(2) {
+            assert!(w[0].at_ns <= w[1].at_ns);
+        }
+        // Iteration starts and ends pair up; layers appear in order
+        // within each iteration; a cold cache shows on-demand loads.
+        let starts = entries
+            .iter()
+            .filter(|x| matches!(x.event, TimelineEvent::IterationStart { .. }))
+            .count();
+        let ends = entries
+            .iter()
+            .filter(|x| matches!(x.event, TimelineEvent::IterationEnd))
+            .count();
+        assert_eq!(starts, ends);
+        assert!(entries
+            .iter()
+            .any(|x| matches!(x.event, TimelineEvent::OnDemandLoad { .. })));
+        // Disabled again: nothing accrues.
+        e.set_timeline_enabled(false);
+        let _ = e.serve_request(prompt(13), &mut NoPrefetch);
+        assert!(e.take_timeline().is_empty());
+    }
+
+    #[test]
+    fn idle_until_advances_clock() {
+        let mut e = tiny_engine(8, false);
+        e.idle_until(1_000_000);
+        assert_eq!(e.now(), 1_000_000);
+        // Idle into the past is a no-op.
+        e.idle_until(10);
+        assert_eq!(e.now(), 1_000_000);
+    }
+
+    #[test]
+    fn ttft_reflects_prefill_and_decode_cost_accrues() {
+        let mut e = tiny_engine(8, false);
+        let m = e.serve_request(prompt(11), &mut NoPrefetch);
+        if m.decode_iterations > 0 {
+            assert!(m.decode_ns > 0);
+            assert!(m.tpot_ns() > 0.0);
+        }
+    }
+}

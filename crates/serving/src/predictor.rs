@@ -1,0 +1,211 @@
+//! The policy interface: what offloading systems observe and decide.
+//!
+//! A predictor is driven by the engine through three callbacks per
+//! iteration:
+//!
+//! 1. [`ExpertPredictor::begin_iteration`] — before layer 0 executes,
+//!    with the iteration's semantic embedding. This is where fMoE's
+//!    *semantic* map search guides prefetching for the first `d` layers
+//!    (paper §4.2), and where history-less baselines fall back to
+//!    popularity rules.
+//! 2. [`ExpertPredictor::observe_gate`] — after each layer's gate emits
+//!    its probability distribution. This is where *trajectory*-based
+//!    search predicts layer `l + d`, and where speculative baselines
+//!    reuse the current distribution for the next layer.
+//! 3. [`ExpertPredictor::end_iteration`] — after the iteration, with the
+//!    realized expert map, for store/matrix updates.
+//!
+//! Plans returned from callbacks are submitted to the transfer engine by
+//! the serving engine; the predictor never touches hardware state
+//! directly, so every policy pays identical costs for identical decisions.
+
+use fmoe_model::gate::TokenSpan;
+use fmoe_model::{ExpertId, RequestRouting};
+use serde::Serialize;
+
+/// A request by the policy to prefetch one expert, or (when `advisory`)
+/// a pure belief update for the cache's eviction priorities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchPlan {
+    /// Which expert to stage into GPU memory.
+    pub expert: ExpertId,
+    /// The policy's belief that this expert will be activated — used for
+    /// issue ordering and pushed into probability-aware eviction policies.
+    pub probability: f64,
+    /// `true` = do not transfer anything; only update the eviction
+    /// policy's probability belief (fMoE's §4.5 `PRI^evict = 1/(p·freq)`
+    /// needs `p` for *cached* experts too, including ones the searched
+    /// map considers unlikely).
+    pub advisory: bool,
+}
+
+impl PrefetchPlan {
+    /// A plan that stages `expert` with belief `probability`.
+    #[must_use]
+    pub fn fetch(expert: ExpertId, probability: f64) -> Self {
+        Self {
+            expert,
+            probability,
+            advisory: false,
+        }
+    }
+
+    /// A belief-only update for eviction prioritization.
+    #[must_use]
+    pub fn advise(expert: ExpertId, probability: f64) -> Self {
+        Self {
+            expert,
+            probability,
+            advisory: true,
+        }
+    }
+}
+
+/// How a predictor's decision latency interacts with the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PredictorTiming {
+    /// Time to produce a prediction + issue prefetches, per callback.
+    pub latency_ns: u64,
+    /// `true` when prediction blocks the forward pass (MoE-Infinity,
+    /// Mixtral-Offloading); `false` when it runs on a side thread and only
+    /// delays *prefetch issuance* (fMoE's pub/sub matcher, ProMoE).
+    pub synchronous: bool,
+    /// `true` when the policy also *waits for its prefetches to land*
+    /// before compute proceeds — Mixtral-Offloading's synchronous
+    /// speculative loading. This buys a near-speculation-accuracy hit
+    /// rate at the price of serialized transfers (the paper's Fig. 9:
+    /// best baseline hit rate, second-worst latency).
+    pub blocking_prefetch: bool,
+    /// Asynchronous per-iteration store/matrix update cost (never on the
+    /// critical path; reported in the Fig. 15 breakdown).
+    pub update_ns: u64,
+}
+
+impl PredictorTiming {
+    /// A free predictor (no prediction machinery at all).
+    #[must_use]
+    pub fn free() -> Self {
+        Self {
+            latency_ns: 0,
+            synchronous: false,
+            blocking_prefetch: false,
+            update_ns: 0,
+        }
+    }
+}
+
+/// Everything a policy may observe about one (batch element, iteration).
+#[derive(Debug, Clone)]
+pub struct IterationContext {
+    /// Batch slot of this element.
+    pub element: usize,
+    /// The request's dataset-unique id.
+    pub request_id: u64,
+    /// Iteration number within the request; `0` is the prefill.
+    pub iteration: u64,
+    /// `true` for the prefill iteration.
+    pub is_prefill: bool,
+    /// Token positions this iteration processes.
+    pub span: TokenSpan,
+    /// Semantic embedding of the iteration (the model's embedding-layer
+    /// output) — the signal fMoE's semantic search consumes.
+    pub embedding: Vec<f64>,
+    /// Ground-truth routing identity. **Reference predictors only**
+    /// (Oracle); honest policies must not read this — real systems cannot
+    /// observe it.
+    pub routing: RequestRouting,
+}
+
+/// An offloading policy.
+pub trait ExpertPredictor: Send {
+    /// Display name for reports (e.g. `"fMoE"`, `"MoE-Infinity"`).
+    fn name(&self) -> String;
+
+    /// Latency model of the policy's decision machinery.
+    fn timing(&self) -> PredictorTiming;
+
+    /// Called once per (element, iteration) before layer 0. Returns
+    /// prefetch plans for the initial layers.
+    fn begin_iteration(&mut self, ctx: &IterationContext) -> Vec<PrefetchPlan>;
+
+    /// Called after layer `layer`'s gate emits `distribution` (and the
+    /// engine resolves its experts). Returns plans for upcoming layers.
+    fn observe_gate(
+        &mut self,
+        ctx: &IterationContext,
+        layer: u32,
+        distribution: &[f64],
+    ) -> Vec<PrefetchPlan>;
+
+    /// Called after the iteration completes with the realized expert map
+    /// (`realized_map[l]` is layer `l`'s gate distribution).
+    fn end_iteration(&mut self, ctx: &IterationContext, realized_map: &[Vec<f64>]);
+
+    /// Clears accumulated history (between experiments).
+    fn reset(&mut self) {}
+
+    /// `true` for expert-agnostic layer-wise offloading (DeepSpeed-
+    /// Inference): reaching a layer loads *all* of its non-resident
+    /// experts, not just the activated ones. Hit/miss accounting still
+    /// covers only activated experts.
+    fn loads_entire_layer(&self) -> bool {
+        false
+    }
+}
+
+/// A trivial predictor that never prefetches: pure on-demand loading.
+/// This is the expert-agnostic DeepSpeed-Inference behaviour and a useful
+/// floor in tests.
+#[derive(Debug, Default)]
+pub struct NoPrefetch;
+
+impl ExpertPredictor for NoPrefetch {
+    fn name(&self) -> String {
+        "NoPrefetch".into()
+    }
+
+    fn timing(&self) -> PredictorTiming {
+        PredictorTiming::free()
+    }
+
+    fn begin_iteration(&mut self, _ctx: &IterationContext) -> Vec<PrefetchPlan> {
+        Vec::new()
+    }
+
+    fn observe_gate(
+        &mut self,
+        _ctx: &IterationContext,
+        _layer: u32,
+        _distribution: &[f64],
+    ) -> Vec<PrefetchPlan> {
+        Vec::new()
+    }
+
+    fn end_iteration(&mut self, _ctx: &IterationContext, _realized_map: &[Vec<f64>]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_prefetch_returns_empty_plans() {
+        let mut p = NoPrefetch;
+        let ctx = IterationContext {
+            element: 0,
+            request_id: 1,
+            iteration: 0,
+            is_prefill: true,
+            span: TokenSpan::prefill(8),
+            embedding: vec![0.0; 4],
+            routing: RequestRouting {
+                cluster: 0,
+                request_seed: 0,
+            },
+        };
+        assert!(p.begin_iteration(&ctx).is_empty());
+        assert!(p.observe_gate(&ctx, 0, &[0.5, 0.5]).is_empty());
+        assert_eq!(p.timing(), PredictorTiming::free());
+        assert_eq!(p.name(), "NoPrefetch");
+    }
+}

@@ -1,0 +1,186 @@
+//! Execution timeline recording — the observability surface a real
+//! serving runtime exposes for debugging offloading behaviour.
+//!
+//! When enabled on the engine, every scheduling-relevant event is recorded
+//! with its virtual timestamp: iteration and layer boundaries, prefetch
+//! issue/arrival, on-demand loads, in-flight waits, evictions-by-budget.
+//! The recording is strictly ordered by time within a request, making it
+//! suitable both for human inspection (`fmoe_sim timeline`) and for
+//! assertions in tests.
+
+use fmoe_memsim::Nanos;
+use fmoe_model::ExpertId;
+use serde::Serialize;
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TimelineEvent {
+    /// An iteration began (value: iteration index of the oldest live
+    /// request).
+    IterationStart {
+        /// Iteration index.
+        iteration: u64,
+    },
+    /// A layer's gate fired.
+    LayerStart {
+        /// The layer.
+        layer: u32,
+    },
+    /// A prefetch was submitted to a link.
+    PrefetchIssued {
+        /// Target expert.
+        expert: ExpertId,
+    },
+    /// A prefetch finished and the expert became resident.
+    PrefetchArrived {
+        /// The expert.
+        expert: ExpertId,
+    },
+    /// The forward pass blocked on an on-demand load.
+    OnDemandLoad {
+        /// The missed expert.
+        expert: ExpertId,
+    },
+    /// The forward pass waited for an in-flight prefetch to finish.
+    InFlightWait {
+        /// The expert being waited for.
+        expert: ExpertId,
+    },
+    /// An iteration completed.
+    IterationEnd,
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TimelineEntry {
+    /// Virtual time of the event.
+    pub at_ns: Nanos,
+    /// What happened.
+    pub event: TimelineEvent,
+}
+
+/// Append-only recorder; disabled recorders cost one branch per event.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    enabled: bool,
+    entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// Enables or disables recording (disabling keeps entries).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether events are currently recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn record(&mut self, at_ns: Nanos, event: TimelineEvent) {
+        if self.enabled {
+            self.entries.push(TimelineEntry { at_ns, event });
+        }
+    }
+
+    /// Takes all recorded entries.
+    pub fn take(&mut self) -> Vec<TimelineEntry> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Number of recorded entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Renders entries as human-readable lines (`+12.345 ms  event`), with
+/// times relative to the first entry.
+#[must_use]
+pub fn render(entries: &[TimelineEntry]) -> String {
+    use std::fmt::Write as _;
+    let base = entries.first().map_or(0, |e| e.at_ns);
+    let mut out = String::new();
+    for e in entries {
+        let ms = (e.at_ns - base) as f64 / 1e6;
+        let desc = match e.event {
+            TimelineEvent::IterationStart { iteration } => {
+                format!("iteration {iteration} start")
+            }
+            TimelineEvent::LayerStart { layer } => format!("  layer {layer}"),
+            TimelineEvent::PrefetchIssued { expert } => {
+                format!("    prefetch issued   {expert}")
+            }
+            TimelineEvent::PrefetchArrived { expert } => {
+                format!("    prefetch arrived  {expert}")
+            }
+            TimelineEvent::OnDemandLoad { expert } => {
+                format!("    ON-DEMAND load    {expert}")
+            }
+            TimelineEvent::InFlightWait { expert } => {
+                format!("    wait in-flight    {expert}")
+            }
+            TimelineEvent::IterationEnd => "iteration end".to_string(),
+        };
+        let _ = writeln!(out, "+{ms:>10.3} ms  {desc}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut t = Timeline::default();
+        t.record(5, TimelineEvent::IterationEnd);
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record(6, TimelineEvent::IterationEnd);
+        assert_eq!(t.len(), 1);
+        t.set_enabled(false);
+        t.record(7, TimelineEvent::IterationEnd);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn take_drains() {
+        let mut t = Timeline::default();
+        t.set_enabled(true);
+        t.record(1, TimelineEvent::IterationStart { iteration: 0 });
+        t.record(2, TimelineEvent::IterationEnd);
+        let taken = t.take();
+        assert_eq!(taken.len(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn render_is_relative_and_ordered() {
+        let entries = vec![
+            TimelineEntry {
+                at_ns: 1_000_000,
+                event: TimelineEvent::IterationStart { iteration: 3 },
+            },
+            TimelineEntry {
+                at_ns: 3_500_000,
+                event: TimelineEvent::OnDemandLoad {
+                    expert: ExpertId::new(2, 1),
+                },
+            },
+        ];
+        let text = render(&entries);
+        assert!(text.contains("+     0.000 ms  iteration 3 start"));
+        assert!(text.contains("+     2.500 ms"));
+        assert!(text.contains("E[2,1]"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Used for the online-serving request-latency CDFs of the paper's
+//! Figure 10 and for percentile reporting throughout the benches.
+
+use serde::Serialize;
+
+/// An empirical CDF built from a finite sample.
+///
+/// Construction sorts the sample once; queries are `O(log n)`.
+#[derive(Debug, Clone, Serialize)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from a sample. Non-finite values are dropped.
+    #[must_use]
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        sample.retain(|v| v.is_finite());
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Self { sorted: sample }
+    }
+
+    /// Number of points backing the CDF.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when the CDF holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: fraction of the sample that is `<= x`. Returns `0.0` for an
+    /// empty sample.
+    #[must_use]
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) using nearest-rank interpolation.
+    /// Returns `None` for an empty sample; `q` outside `[0, 1]` is clamped.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac)
+    }
+
+    /// Convenience: the median (`quantile(0.5)`).
+    #[must_use]
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Renders the CDF as `(value, F(value))` points, thinned to at most
+    /// `max_points` entries — the series a plotting tool would consume.
+    #[must_use]
+    pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        let step = (n as f64 / max_points as f64).max(1.0);
+        let mut out = Vec::new();
+        let mut i = 0.0;
+        while (i as usize) < n {
+            let idx = i as usize;
+            out.push((self.sorted[idx], (idx + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(v, _)| v) != self.sorted.last().copied() {
+            out.push((self.sorted[n - 1], 1.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_queries() {
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((cdf.fraction_at_or_below(0.5) - 0.0).abs() < 1e-12);
+        assert!((cdf.fraction_at_or_below(2.0) - 0.5).abs() < 1e-12);
+        assert!((cdf.fraction_at_or_below(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let cdf = EmpiricalCdf::new(vec![0.0, 10.0]);
+        assert!((cdf.quantile(0.5).unwrap() - 5.0).abs() < 1e-12);
+        assert_eq!(cdf.quantile(0.0).unwrap(), 0.0);
+        assert_eq!(cdf.quantile(1.0).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn empty_cdf_behaves() {
+        let cdf = EmpiricalCdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert!(cdf.quantile(0.5).is_none());
+        assert!(cdf.points(10).is_empty());
+    }
+
+    #[test]
+    fn non_finite_values_dropped() {
+        let cdf = EmpiricalCdf::new(vec![f64::NAN, 1.0, f64::INFINITY, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn points_cover_full_range() {
+        let cdf = EmpiricalCdf::new((0..100).map(f64::from).collect());
+        let pts = cdf.points(10);
+        assert!(pts.len() >= 10);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        // Monotone non-decreasing in both coordinates.
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range() {
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(cdf.quantile(-1.0).unwrap(), 1.0);
+        assert_eq!(cdf.quantile(2.0).unwrap(), 3.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Cosine similarity, including the pairwise batched form used by the
+//! Expert Map Matcher (paper Equations 4 and 5).
+
+/// Cosine similarity between two vectors, in `[-1, 1]`.
+///
+/// Returns `0.0` when either vector has zero norm or when the lengths
+/// differ by trailing zeros; if the lengths differ, only the common prefix
+/// is compared (this mirrors the matcher's comparison of *partial*
+/// trajectories against full stored maps).
+#[must_use]
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for i in 0..n {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+    }
+    if na <= 0.0 || nb <= 0.0 {
+        return 0.0;
+    }
+    (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Pairwise cosine similarity between a batch of query vectors and a batch
+/// of candidate vectors: `result[x][y] = cos(queries[x], candidates[y])`.
+///
+/// This is the `score ∈ R^{B×C}` computation from the paper's Equations 4
+/// (semantic search) and 5 (trajectory search), where `B` is the batch size
+/// and `C` the Expert Map Store capacity.
+#[must_use]
+pub fn pairwise_cosine(queries: &[Vec<f64>], candidates: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    queries
+        .iter()
+        .map(|q| candidates.iter().map(|c| cosine_similarity(q, c)).collect())
+        .collect()
+}
+
+/// Index and score of the best-scoring candidate for a single query, or
+/// `None` when `candidates` is empty.
+#[must_use]
+pub fn argmax_cosine(query: &[f64], candidates: &[Vec<f64>]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in candidates.iter().enumerate() {
+        let s = cosine_similarity(query, c);
+        match best {
+            Some((_, bs)) if bs >= s => {}
+            _ => best = Some((i, s)),
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_similarity_one() {
+        let v = [1.0, 2.0, 3.0];
+        assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_vectors_have_similarity_zero() {
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_vectors_have_similarity_minus_one() {
+        assert!((cosine_similarity(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_yields_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(cosine_similarity(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn partial_prefix_comparison() {
+        // A 2-element query against a 4-element candidate compares only the
+        // first two entries.
+        let q = [1.0, 0.0];
+        let c = [1.0, 0.0, 9.0, 9.0];
+        assert!((cosine_similarity(&q, &c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_shape_and_values() {
+        let queries = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let candidates = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+        let m = pairwise_cosine(&queries, &candidates);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].len(), 3);
+        assert!((m[0][0] - 1.0).abs() < 1e-12);
+        assert!(m[0][1].abs() < 1e-12);
+        assert!((m[1][2] - (0.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_picks_the_best_candidate() {
+        let q = [1.0, 0.1];
+        let candidates = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![-1.0, 0.0]];
+        let (idx, score) = argmax_cosine(&q, &candidates).unwrap();
+        assert_eq!(idx, 1);
+        assert!(score > 0.9);
+        assert!(argmax_cosine(&q, &[]).is_none());
+    }
+}

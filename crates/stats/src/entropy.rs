@@ -1,0 +1,122 @@
+//! Shannon entropy of probability distributions and count vectors.
+//!
+//! The paper (§2.4, Figure 3) quantifies the predictability of expert
+//! activation patterns with Shannon entropy: a balanced distribution (e.g.
+//! `[0.25, 0.25, 0.25, 0.25]`) has maximal entropy and is the hardest to
+//! predict, while a peaked per-iteration gate output has low entropy. We
+//! reproduce that analysis with the functions here.
+
+/// Shannon entropy `H(p) = -Σ p_i · log2(p_i)` in bits.
+///
+/// Zero-probability entries contribute nothing (the standard `0·log 0 = 0`
+/// convention). The input is *not* required to be normalized; callers that
+/// hold unnormalized weights should use [`shannon_entropy_of_counts`], which
+/// normalizes first.
+///
+/// Returns `0.0` for an empty slice.
+#[must_use]
+pub fn shannon_entropy(probabilities: &[f64]) -> f64 {
+    let mut h = 0.0;
+    for &p in probabilities {
+        if p > 0.0 {
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Shannon entropy of a count (or unnormalized weight) vector.
+///
+/// Counts are normalized by their sum before computing the entropy. An
+/// all-zero or empty vector has entropy `0.0`.
+#[must_use]
+pub fn shannon_entropy_of_counts(counts: &[f64]) -> f64 {
+    let total: f64 = counts.iter().copied().filter(|c| *c > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0.0 {
+            let p = c / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Entropy normalized by the maximum achievable for the support size,
+/// `H(p) / log2(n)`, yielding a value in `[0, 1]`.
+///
+/// A return of `1.0` means perfectly balanced (unpredictable) and `0.0`
+/// means fully deterministic. Returns `0.0` when the support has fewer than
+/// two entries (entropy is degenerate there).
+#[must_use]
+pub fn normalized_shannon_entropy(probabilities: &[f64]) -> f64 {
+    if probabilities.len() < 2 {
+        return 0.0;
+    }
+    let max = (probabilities.len() as f64).log2();
+    (shannon_entropy(probabilities) / max).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn uniform_distribution_has_log2_n_entropy() {
+        let p = [0.25; 4];
+        assert!((shannon_entropy(&p) - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn deterministic_distribution_has_zero_entropy() {
+        let p = [1.0, 0.0, 0.0, 0.0];
+        assert!(shannon_entropy(&p).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_slice_has_zero_entropy() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_counts_normalizes() {
+        // Counts [2, 2, 2, 2] are the same distribution as [0.25; 4].
+        let c = [2.0; 4];
+        assert!((shannon_entropy_of_counts(&c) - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn entropy_of_zero_counts_is_zero() {
+        assert_eq!(shannon_entropy_of_counts(&[0.0, 0.0]), 0.0);
+        assert_eq!(shannon_entropy_of_counts(&[]), 0.0);
+    }
+
+    #[test]
+    fn normalized_entropy_bounds() {
+        assert!((normalized_shannon_entropy(&[0.5, 0.5]) - 1.0).abs() < EPS);
+        assert!(normalized_shannon_entropy(&[1.0, 0.0]).abs() < EPS);
+        assert_eq!(normalized_shannon_entropy(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn peaked_less_than_balanced() {
+        let peaked = [0.9, 0.05, 0.03, 0.02];
+        let balanced = [0.25; 4];
+        assert!(shannon_entropy(&peaked) < shannon_entropy(&balanced));
+    }
+
+    #[test]
+    fn negative_entries_are_ignored() {
+        // Defensive: negative "probabilities" (from numeric error) must not
+        // produce NaN.
+        let p = [-1e-9, 0.5, 0.5];
+        let h = shannon_entropy(&p);
+        assert!(h.is_finite());
+        assert!((h - 1.0).abs() < 1e-6);
+    }
+}

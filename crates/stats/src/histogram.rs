@@ -1,0 +1,139 @@
+//! Fixed-bin histograms for latency distributions.
+
+use serde::Serialize;
+
+/// A histogram with uniform bins over `[lo, hi)`; values outside the range
+/// land in saturating under/overflow bins.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi` or either bound is non-finite —
+    /// these are programming errors in bench code, not runtime conditions.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation. NaN is ignored.
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.total += 1;
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((value - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total recorded observations, including under/overflow.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in the under-range bucket.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count in the over-range bucket.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bin `(bin_center, count)` pairs.
+    #[must_use]
+    pub fn bins(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(5.0);
+        let bins = h.bins();
+        assert_eq!(bins[0].1, 1);
+        assert_eq!(bins[9].1, 1);
+        assert_eq!(bins[5].1, 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_flow_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-1.0);
+        h.record(1.0); // hi is exclusive
+        h.record(100.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(f64::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn bin_centers_are_uniform() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let centers: Vec<f64> = h.bins().iter().map(|&(c, _)| c).collect();
+        assert_eq!(centers, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+}

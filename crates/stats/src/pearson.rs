@@ -1,0 +1,82 @@
+//! Pearson correlation coefficient.
+//!
+//! Used to reproduce the paper's Figure 8, which correlates expert-map
+//! similarity scores with the expert hit rates achieved when following the
+//! matched maps.
+
+/// Pearson correlation coefficient between two equally-sized samples.
+///
+/// Returns `None` when the inputs have different lengths, fewer than two
+/// points, or when either sample has zero variance (the coefficient is
+/// undefined in those cases).
+#[must_use]
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        let r = pearson_correlation(&xs, &ys).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        let r = pearson_correlation(&xs, &ys).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_symmetric_data() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, -1.0, 1.0];
+        let r = pearson_correlation(&xs, &ys).unwrap();
+        assert!(r.abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(pearson_correlation(&[1.0], &[1.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 2.0], &[1.0]).is_none());
+        // Zero variance in x.
+        assert!(pearson_correlation(&[5.0, 5.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn correlation_is_scale_invariant() {
+        let xs = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let ys = [2.0, 7.0, 4.0, 11.0, 8.0];
+        let r1 = pearson_correlation(&xs, &ys).unwrap();
+        let xs_scaled: Vec<f64> = xs.iter().map(|x| 100.0 * x + 7.0).collect();
+        let r2 = pearson_correlation(&xs_scaled, &ys).unwrap();
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Multi-turn conversation workloads.
+//!
+//! LMSYS-Chat-1M — the paper's primary dataset — is conversational: a
+//! user's follow-up turn carries the whole dialogue as context and lands
+//! in the same semantic neighbourhood as the turns before it. That is the
+//! friendliest possible structure for fMoE's semantic map search (turn
+//! `t`'s maps are near-perfect predictors for turn `t+1`), and the
+//! structure request-level trackers cannot exploit.
+//!
+//! A conversation here keeps one routing identity (same cluster, same
+//! request seed — the model of "the same dialogue continuing") while its
+//! prompt grows turn over turn: each turn appends the previous answer and
+//! a new user message, so token positions (and with them the router's
+//! positional drift) advance exactly as a real re-prefilled dialogue's
+//! would.
+
+use crate::dataset::{DatasetSpec, Prompt};
+use fmoe_stats::rng::hash_to_unit;
+use serde::{Deserialize, Serialize};
+
+/// One turn of one conversation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Turn {
+    /// Conversation index.
+    pub conversation: u64,
+    /// Turn index within the conversation (0-based).
+    pub turn: u64,
+    /// The request to serve for this turn (prompt includes all context).
+    pub prompt: Prompt,
+}
+
+/// Generator for conversation workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConversationSpec {
+    /// Number of independent conversations.
+    pub num_conversations: u64,
+    /// Turns per conversation.
+    pub turns_per_conversation: u64,
+    /// Base dataset: supplies clusters and first-turn lengths.
+    pub base: DatasetSpec,
+    /// Mean tokens a user message adds per turn.
+    pub user_tokens_per_turn: u64,
+    /// Id offset so conversation prompts never collide with the base
+    /// dataset's.
+    pub id_offset: u64,
+}
+
+impl ConversationSpec {
+    /// A chat-like default over the given base dataset.
+    #[must_use]
+    pub fn chat(base: DatasetSpec, conversations: u64, turns: u64) -> Self {
+        Self {
+            num_conversations: conversations,
+            turns_per_conversation: turns,
+            base,
+            user_tokens_per_turn: 24,
+            id_offset: 10_000_000,
+        }
+    }
+
+    /// Generates all turns, ordered conversation-major (the natural
+    /// serving order of a single user's dialogue).
+    #[must_use]
+    pub fn turns(&self) -> Vec<Turn> {
+        let mut out = Vec::new();
+        for c in 0..self.num_conversations {
+            // The opening turn borrows the base dataset's statistics.
+            let opener = self.base.prompt(c);
+            let mut context = opener.prompt_tokens;
+            for t in 0..self.turns_per_conversation {
+                if t > 0 {
+                    // Previous answer + new user message join the context.
+                    let prev_answer = opener.output_tokens;
+                    let jitter = (hash_to_unit(&[self.base.seed, c, t, 0xC0])
+                        * 2.0
+                        * self.user_tokens_per_turn as f64)
+                        .round() as u64;
+                    context += prev_answer + jitter.max(1);
+                }
+                out.push(Turn {
+                    conversation: c,
+                    turn: t,
+                    prompt: Prompt {
+                        id: self.id_offset + c * self.turns_per_conversation + t,
+                        // Same dialogue, same routing identity: the
+                        // semantic embedding stays in the conversation's
+                        // neighbourhood while positions advance.
+                        routing: opener.routing,
+                        prompt_tokens: context,
+                        output_tokens: opener.output_tokens,
+                    },
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ConversationSpec {
+        ConversationSpec::chat(DatasetSpec::tiny_test(), 4, 3)
+    }
+
+    #[test]
+    fn turn_counts_and_ordering() {
+        let turns = spec().turns();
+        assert_eq!(turns.len(), 12);
+        // Conversation-major order, turns ascending within.
+        for w in turns.windows(2) {
+            if w[0].conversation == w[1].conversation {
+                assert_eq!(w[0].turn + 1, w[1].turn);
+            } else {
+                assert_eq!(w[0].conversation + 1, w[1].conversation);
+                assert_eq!(w[1].turn, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn context_grows_monotonically_within_a_conversation() {
+        let turns = spec().turns();
+        for w in turns.windows(2) {
+            if w[0].conversation == w[1].conversation {
+                assert!(w[1].prompt.prompt_tokens > w[0].prompt.prompt_tokens);
+            }
+        }
+    }
+
+    #[test]
+    fn a_conversation_keeps_its_routing_identity() {
+        let turns = spec().turns();
+        for w in turns.windows(2) {
+            if w[0].conversation == w[1].conversation {
+                assert_eq!(w[0].prompt.routing, w[1].prompt.routing);
+            } else {
+                assert_ne!(w[0].prompt.routing, w[1].prompt.routing);
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_offset() {
+        let turns = spec().turns();
+        let mut ids: Vec<u64> = turns.iter().map(|t| t.prompt.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), turns.len());
+        assert!(ids.iter().all(|&i| i >= 10_000_000));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(spec().turns(), spec().turns());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for dataset generation, splitting and traces.
+
+#![cfg(test)]
+
+use crate::dataset::DatasetSpec;
+use crate::split::train_test_split;
+use crate::trace::AzureTraceSpec;
+use proptest::prelude::*;
+
+fn spec() -> impl Strategy<Value = DatasetSpec> {
+    (
+        2u64..64,     // clusters
+        0.0f64..2.0,  // zipf
+        2.0f64..6.0,  // prompt mu
+        0.1f64..1.5,  // prompt sigma
+        2.0f64..6.0,  // output mu
+        0.1f64..1.5,  // output sigma
+        any::<u64>(), // seed
+    )
+        .prop_map(|(clusters, zipf, pmu, psig, omu, osig, seed)| DatasetSpec {
+            name: "prop".into(),
+            num_clusters: clusters,
+            cluster_zipf: zipf,
+            prompt_len_mu: pmu,
+            prompt_len_sigma: psig,
+            prompt_len_range: (4, 2048),
+            output_len_mu: omu,
+            output_len_sigma: osig,
+            output_len_range: (2, 512),
+            seed,
+        })
+}
+
+proptest! {
+    #[test]
+    fn prompts_respect_invariants(d in spec(), n in 1u64..200) {
+        let prompts = d.prompts(n);
+        prop_assert_eq!(prompts.len() as u64, n);
+        for (i, p) in prompts.iter().enumerate() {
+            prop_assert_eq!(p.id, i as u64);
+            prop_assert!((d.prompt_len_range.0..=d.prompt_len_range.1)
+                .contains(&p.prompt_tokens));
+            prop_assert!((d.output_len_range.0..=d.output_len_range.1)
+                .contains(&p.output_tokens));
+            prop_assert!(p.iterations() >= 1);
+            // Deterministic regeneration.
+            prop_assert_eq!(*p, d.prompt(p.id));
+        }
+    }
+
+    #[test]
+    fn split_is_a_partition(
+        d in spec(),
+        n in 1u64..300,
+        frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let prompts = d.prompts(n);
+        let (a, b) = train_test_split(&prompts, frac, seed);
+        prop_assert_eq!(a.len() + b.len(), prompts.len());
+        let mut ids: Vec<u64> = a.iter().chain(&b).map(|p| p.id).collect();
+        ids.sort_unstable();
+        let expected: Vec<u64> = (0..n).collect();
+        prop_assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn traces_are_sorted_and_deterministic(
+        d in spec(),
+        n in 0u64..100,
+        quiet in 10.0f64..5000.0,
+        burst in 1.0f64..100.0,
+        p_burst in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let t = AzureTraceSpec {
+            num_requests: n,
+            quiet_interarrival_ms: quiet,
+            burst_interarrival_ms: burst,
+            burst_start_probability: p_burst,
+            mean_burst_length: 4.0,
+            dataset: d,
+            seed,
+        };
+        let a = t.generate();
+        let b = t.generate();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len() as u64, n);
+        for w in a.windows(2) {
+            prop_assert!(w[0].arrival_ns <= w[1].arrival_ns);
+        }
+    }
+
+    #[test]
+    fn cluster_ids_stay_in_namespace(d in spec(), n in 1u64..200) {
+        // All prompts of one dataset share the seed-derived namespace and
+        // stay within num_clusters distinct values.
+        let clusters: std::collections::HashSet<u64> =
+            d.prompts(n).iter().map(|p| p.routing.cluster).collect();
+        prop_assert!(clusters.len() as u64 <= d.num_clusters);
+    }
+}

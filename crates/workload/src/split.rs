@@ -1,0 +1,87 @@
+//! Train/test splitting.
+//!
+//! The paper's offline experiments split sampled datasets 7:3 — 70% of
+//! prompts populate fMoE's Expert Map Store (and MoE-Infinity's activation
+//! matrix collection), 30% drive the measured serving run (§6.1).
+
+use crate::dataset::Prompt;
+use fmoe_stats::rng::hash_to_unit;
+
+/// Splits prompts into `(history, test)` with `history_fraction` of the
+/// population going to history.
+///
+/// The split is deterministic per prompt id (hash-based), so adding more
+/// prompts never reshuffles earlier assignments.
+#[must_use]
+pub fn train_test_split(
+    prompts: &[Prompt],
+    history_fraction: f64,
+    seed: u64,
+) -> (Vec<Prompt>, Vec<Prompt>) {
+    let f = history_fraction.clamp(0.0, 1.0);
+    let mut history = Vec::new();
+    let mut test = Vec::new();
+    for &p in prompts {
+        if hash_to_unit(&[seed, p.id, 0x5b11]) < f {
+            history.push(p);
+        } else {
+            test.push(p);
+        }
+    }
+    (history, test)
+}
+
+/// The paper's standard 7:3 split.
+#[must_use]
+pub fn paper_split(prompts: &[Prompt]) -> (Vec<Prompt>, Vec<Prompt>) {
+    train_test_split(prompts, 0.7, 0x73_73)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+
+    #[test]
+    fn split_fractions_are_approximate() {
+        let prompts = DatasetSpec::lmsys_chat().prompts(2000);
+        let (hist, test) = paper_split(&prompts);
+        assert_eq!(hist.len() + test.len(), 2000);
+        let frac = hist.len() as f64 / 2000.0;
+        assert!((frac - 0.7).abs() < 0.05, "history fraction {frac}");
+    }
+
+    #[test]
+    fn split_is_deterministic_and_stable_under_growth() {
+        let d = DatasetSpec::sharegpt();
+        let small = d.prompts(100);
+        let large = d.prompts(200);
+        let (h1, _) = paper_split(&small);
+        let (h2, _) = paper_split(&large);
+        // Every id assigned to history in the small run stays there.
+        let ids1: std::collections::HashSet<u64> = h1.iter().map(|p| p.id).collect();
+        let ids2: std::collections::HashSet<u64> = h2.iter().map(|p| p.id).collect();
+        assert!(ids1.is_subset(&ids2));
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let prompts = DatasetSpec::tiny_test().prompts(50);
+        let (h, t) = train_test_split(&prompts, 0.0, 1);
+        assert!(h.is_empty());
+        assert_eq!(t.len(), 50);
+        let (h, t) = train_test_split(&prompts, 1.0, 1);
+        assert_eq!(h.len(), 50);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn no_prompt_is_duplicated_or_lost() {
+        let prompts = DatasetSpec::tiny_test().prompts(333);
+        let (h, t) = train_test_split(&prompts, 0.4, 9);
+        let mut ids: Vec<u64> = h.iter().chain(&t).map(|p| p.id).collect();
+        ids.sort_unstable();
+        let expected: Vec<u64> = (0..333).collect();
+        assert_eq!(ids, expected);
+    }
+}

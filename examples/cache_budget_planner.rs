@@ -1,0 +1,65 @@
+//! Capacity planning: sweep the expert-cache budget for a model and see
+//! where fMoE lands on the latency–memory trade-off (the paper's Fig. 11
+//! viewpoint, turned into a what-if tool).
+//!
+//! ```sh
+//! cargo run --release --example cache_budget_planner [model] [target_tpot_ms]
+//! ```
+
+use fmoe_bench::harness::{CellConfig, System};
+use fmoe_model::presets;
+use fmoe_workload::DatasetSpec;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let model = match args.next().as_deref() {
+        None | Some("mixtral") => presets::mixtral_8x7b(),
+        Some("qwen") => presets::qwen15_moe_a27b(),
+        Some("phi") => presets::phi35_moe(),
+        Some(other) => {
+            eprintln!("unknown model '{other}': use mixtral | qwen | phi");
+            std::process::exit(1);
+        }
+    };
+    let target_tpot_ms: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(250.0);
+
+    let total_gb = model.total_expert_bytes() as f64 / (1u64 << 30) as f64;
+    println!(
+        "{}: {:.0} GB of routed experts at fp16; target TPOT {:.0} ms",
+        model.name, total_gb, target_tpot_ms
+    );
+    println!(
+        "\n{:>9}  {:>10}  {:>9}  {:>12}",
+        "cache", "TPOT", "hit rate", "meets target"
+    );
+
+    let mut needed: Option<u64> = None;
+    for budget_gb in [6u64, 12, 24, 48, 72, 96] {
+        let mut cell = CellConfig::new(model.clone(), DatasetSpec::lmsys_chat(), System::Fmoe);
+        cell.cache_budget_bytes = budget_gb << 30;
+        cell.test_requests = 8;
+        cell.max_decode = 20;
+        let out = cell.run_offline();
+        let tpot = out.aggregate.mean_tpot_ms;
+        let ok = tpot <= target_tpot_ms;
+        if ok && needed.is_none() {
+            needed = Some(budget_gb);
+        }
+        println!(
+            "{:>6} GB  {:>7.1} ms  {:>8.1}%  {:>12}",
+            budget_gb,
+            tpot,
+            out.aggregate.hit_rate * 100.0,
+            if ok { "yes" } else { "no" }
+        );
+    }
+
+    match needed {
+        Some(gb) => println!(
+            "\n=> {} GB of expert cache ({:.0}% of the full expert set) meets the target with fMoE.",
+            gb,
+            gb as f64 / total_gb * 100.0
+        ),
+        None => println!("\n=> no swept budget meets the target; lower the target or add GPUs."),
+    }
+}

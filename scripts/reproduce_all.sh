@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regenerates every table, figure, and extension experiment of the fMoE
+# reproduction. Tables print to stdout and land in results/logs/; CSVs in
+# results/; curve figures also render results/*.svg.
+#
+# Usage: scripts/reproduce_all.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK_FLAG="${1:-}"
+mkdir -p results/logs
+
+PAPER_BINS=(
+  table1_models
+  fig3_entropy
+  fig4_prefetch_distance
+  fig8_pearson
+  fig9_overall
+  fig9_confidence
+  fig10_online_cdf
+  fig11_cache_limits
+  fig12_ablation
+  fig13_distance_sensitivity
+  fig14_sensitivity
+  fig15_breakdown
+  fig16_store_memory
+)
+EXTENSION_BINS=(
+  ablation_design_choices
+  ablation_placement
+  ext_tunable_budget
+  ext_mixed_precision
+  ext_continuous_batching
+  ext_conversations
+  ext_kv_budget
+  ext_theory_coverage
+)
+
+for bin in "${PAPER_BINS[@]}" "${EXTENSION_BINS[@]}"; do
+  echo "==> $bin"
+  if [[ "$QUICK_FLAG" == "--quick" ]]; then
+    cargo run --release -p fmoe-bench --bin "$bin" -- --quick \
+      | tee "results/logs/$bin.txt"
+  else
+    cargo run --release -p fmoe-bench --bin "$bin" \
+      | tee "results/logs/$bin.txt"
+  fi
+  echo
+done
+
+echo "All experiments regenerated. Tables: results/logs/, CSV: results/, SVG: results/*.svg"

@@ -1,0 +1,29 @@
+//! Umbrella crate for the fMoE reproduction workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); it re-exports every member
+//! crate so examples can use one coherent namespace:
+//!
+//! * [`fmoe`] — the paper's contribution: expert maps, the Expert Map
+//!   Store, hybrid semantic/trajectory matching, similarity-aware
+//!   prefetching.
+//! * [`fmoe_model`] — model presets, the synthetic router, compute costs.
+//! * [`fmoe_workload`] — datasets, splits, Azure-style traces.
+//! * [`fmoe_memsim`] — virtual clock, PCIe links, transfer engine.
+//! * [`fmoe_cache`] — the byte-budgeted expert cache and eviction policies.
+//! * [`fmoe_serving`] — the serving-engine simulator and metrics.
+//! * [`fmoe_baselines`] — DeepSpeed-Inference, Mixtral-Offloading, ProMoE,
+//!   MoE-Infinity, Oracle.
+//!
+//! Start with `examples/quickstart.rs`.
+
+#![forbid(unsafe_code)]
+
+pub use fmoe;
+pub use fmoe_baselines;
+pub use fmoe_cache;
+pub use fmoe_memsim;
+pub use fmoe_model;
+pub use fmoe_serving;
+pub use fmoe_stats;
+pub use fmoe_workload;

@@ -1,0 +1,126 @@
+//! Cross-crate integration: trace-driven online serving (the paper's
+//! §6.3 setting) — empty stores, FCFS queueing, warm state across
+//! requests.
+
+use fmoe::{FmoeConfig, FmoePredictor};
+use fmoe_cache::FmoePriorityPolicy;
+use fmoe_memsim::Topology;
+use fmoe_model::{presets, GateParams, GateSimulator, GpuSpec};
+use fmoe_serving::{serve_trace, EngineConfig, ServingEngine};
+use fmoe_workload::{AzureTraceSpec, DatasetSpec, TraceEvent};
+
+fn engine() -> ServingEngine {
+    let m = presets::small_test_model();
+    let gate = GateSimulator::new(m.clone(), GateParams::for_model(&m));
+    let mut topo = Topology::paper_testbed();
+    topo.num_gpus = 2;
+    ServingEngine::new(
+        gate,
+        GpuSpec::rtx_3090(),
+        topo,
+        Box::new(FmoePriorityPolicy::new()),
+        EngineConfig {
+            cache_budget_bytes: m.expert_bytes() * 32,
+            preload_all: false,
+            max_decode_iterations: Some(8),
+            context_collection_ns: 10_000,
+            framework_overhead_per_layer_ns: 50_000,
+            ..EngineConfig::paper_default()
+        },
+    )
+}
+
+fn trace(n: u64) -> Vec<TraceEvent> {
+    let mut spec = AzureTraceSpec::paper_online_serving(DatasetSpec::tiny_test());
+    spec.num_requests = n;
+    spec.generate()
+}
+
+#[test]
+fn online_serving_from_cold_store() {
+    let m = presets::small_test_model();
+    let mut predictor = FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m));
+    assert_eq!(predictor.store_len(), 0);
+
+    let mut eng = engine();
+    let results = serve_trace(&mut eng, &trace(12), &mut predictor);
+    assert_eq!(results.len(), 12);
+    // The store filled online (one map per served iteration, capped).
+    assert!(
+        predictor.store_len() > 12,
+        "store has {} maps",
+        predictor.store_len()
+    );
+    // FCFS invariants.
+    for r in &results {
+        assert!(r.start_ns >= r.arrival_ns);
+        assert!(r.finish_ns > r.start_ns);
+        assert!(r.request_latency_ns() >= r.metrics.total_ns);
+    }
+    for w in results.windows(2) {
+        assert!(w[0].finish_ns <= w[1].start_ns, "FCFS ordering violated");
+    }
+}
+
+#[test]
+fn online_hit_rate_improves_as_history_accumulates() {
+    let m = presets::small_test_model();
+    let mut predictor = FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m));
+    let mut eng = engine();
+    let results = serve_trace(&mut eng, &trace(24), &mut predictor);
+
+    // Compare the first third against the last third: the growing map
+    // store and warm cache should lift hit rates online.
+    let third = results.len() / 3;
+    let early: f64 = results[..third]
+        .iter()
+        .map(|r| r.metrics.hit_rate())
+        .sum::<f64>()
+        / third as f64;
+    let late: f64 = results[results.len() - third..]
+        .iter()
+        .map(|r| r.metrics.hit_rate())
+        .sum::<f64>()
+        / third as f64;
+    assert!(
+        late > early,
+        "late hit rate {late} should exceed early {early} as history accumulates"
+    );
+}
+
+#[test]
+fn queueing_latency_appears_under_bursts() {
+    let m = presets::small_test_model();
+    let mut predictor = FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m));
+    let mut eng = engine();
+    // Aggressive trace: everything arrives at time zero.
+    let mut t = trace(6);
+    for e in &mut t {
+        e.arrival_ns = 0;
+    }
+    let results = serve_trace(&mut eng, &t, &mut predictor);
+    // All but the first request queue.
+    assert_eq!(results[0].queueing_ns(), 0);
+    for r in &results[1..] {
+        assert!(r.queueing_ns() > 0);
+    }
+    // Queueing delays are cumulative: monotone nondecreasing.
+    for w in results.windows(2) {
+        assert!(w[1].queueing_ns() >= w[0].queueing_ns());
+    }
+}
+
+#[test]
+fn idle_gaps_do_not_corrupt_state() {
+    let m = presets::small_test_model();
+    let mut predictor = FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m));
+    let mut eng = engine();
+    // Trace with an enormous idle gap in the middle.
+    let mut t = trace(4);
+    t[2].arrival_ns += 3_600_000_000_000; // +1 hour
+    t[3].arrival_ns = t[2].arrival_ns + 1;
+    let results = serve_trace(&mut eng, &t, &mut predictor);
+    assert_eq!(results.len(), 4);
+    assert!(results[2].start_ns >= t[2].arrival_ns);
+    assert!(results[3].finish_ns > results[2].finish_ns);
+}
