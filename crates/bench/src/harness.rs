@@ -116,6 +116,9 @@ pub struct CellConfig {
     pub prefetch_distance: u32,
     /// Mixed-precision staging threshold (extension; `None` = lossless).
     pub low_precision_threshold: Option<f64>,
+    /// On-demand load deadline (failure model; `None` = block until
+    /// done). Deadline misses fall back to half-precision payloads.
+    pub on_demand_deadline_ns: Option<u64>,
     /// Router seed (vary for confidence runs).
     pub gate_seed: u64,
 }
@@ -145,6 +148,7 @@ impl CellConfig {
             batch_size: 1,
             prefetch_distance: 3,
             low_precision_threshold: None,
+            on_demand_deadline_ns: None,
             gate_seed: 0xF0E1_D2C3_B4A5_9687,
         }
     }
@@ -235,6 +239,7 @@ impl CellConfig {
             context_collection_ns: 1_200_000,
             framework_overhead_per_layer_ns: 3_000_000,
             low_precision_threshold: self.low_precision_threshold,
+            on_demand_deadline_ns: self.on_demand_deadline_ns,
             ..EngineConfig::paper_default()
         };
         ServingEngine::new(

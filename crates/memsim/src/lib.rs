@@ -28,7 +28,12 @@ pub mod transfer;
 pub use clock::{Nanos, VirtualClock};
 pub use link::Link;
 pub use topology::{GpuId, Topology};
-pub use transfer::{TransferClass, TransferEngine, TransferStats};
+pub use transfer::{
+    FailedTransfer, OnDemandOutcome, RetryPolicy, TransferClass, TransferEngine, TransferError,
+    TransferStats,
+};
+
+pub use fmoe_faults::FaultSchedule;
 
 #[cfg(test)]
 mod proptests;

@@ -5,7 +5,8 @@
 
 use crate::link::Link;
 use crate::topology::{GpuId, Topology};
-use crate::transfer::TransferEngine;
+use crate::transfer::{RetryPolicy, TransferEngine};
+use fmoe_faults::FaultSchedule;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -25,6 +26,15 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         ((0u8..3), (0u8..8)).prop_map(|(gpu, tag_back)| Op::Cancel { gpu, tag_back }),
         ((0u8..3), (0u8..8)).prop_map(|(gpu, tag_back)| Op::Promote { gpu, tag_back }),
     ]
+}
+
+/// Random but well-formed fault schedules: `synthetic` is the generator
+/// the chaos bench uses, so these tests cover exactly the schedules that
+/// run in anger. Intensity 0 yields the inert schedule.
+fn schedule_strategy() -> impl Strategy<Value = FaultSchedule> {
+    ((0u64..1_000_000), (0u32..101)).prop_map(|(seed, pct)| {
+        FaultSchedule::synthetic(seed, f64::from(pct) / 100.0, 60 * crate::clock::SECOND, 3)
+    })
 }
 
 fn topo() -> Topology {
@@ -162,5 +172,222 @@ proptest! {
         }
         let done = engine.on_demand_load(GpuId(1), bytes, at);
         prop_assert_eq!(done - at, Link::pcie4_x16().transfer_time(bytes));
+    }
+
+    /// Conservation survives the failure model: under an arbitrary fault
+    /// schedule, every submitted prefetch resolves exactly once — as a
+    /// completion, a cancellation, or a permanent failure. Retries never
+    /// lose a job or double-count one.
+    #[test]
+    fn jobs_are_conserved_under_faults(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        schedule in schedule_strategy(),
+    ) {
+        let mut engine = TransferEngine::new(&topo());
+        engine.set_fault_schedule(schedule);
+        let mut now = 0u64;
+        let mut next_tag = 0u64;
+        let mut submitted = 0u64;
+        let mut completed = 0u64;
+        let mut failed = 0u64;
+        let mut live_tags: Vec<(u8, u64)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Prefetch { gpu, bytes } => {
+                    engine.submit_prefetch(GpuId(u32::from(gpu)), next_tag, u64::from(bytes), now);
+                    live_tags.push((gpu, next_tag));
+                    next_tag += 1;
+                    submitted += 1;
+                }
+                Op::OnDemand { gpu, bytes } => {
+                    let done = engine.on_demand_load(GpuId(u32::from(gpu)), u64::from(bytes), now);
+                    prop_assert!(done > now);
+                }
+                Op::Advance { delta } => {
+                    now += u64::from(delta);
+                    engine.advance_to(now);
+                }
+                Op::Cancel { gpu, tag_back } => {
+                    if let Some(&(g, tag)) =
+                        live_tags.iter().filter(|(g, _)| *g == gpu).rev().nth(usize::from(tag_back))
+                    {
+                        let _ = engine.cancel_prefetch(GpuId(u32::from(g)), tag, now);
+                    }
+                }
+                Op::Promote { gpu, tag_back } => {
+                    if let Some(&(g, tag)) =
+                        live_tags.iter().filter(|(g, _)| *g == gpu).rev().nth(usize::from(tag_back))
+                    {
+                        let _ = engine.promote_to_front(GpuId(u32::from(g)), tag, now);
+                    }
+                }
+            }
+            completed += engine.drain_completions().len() as u64;
+            failed += engine.drain_failures().len() as u64;
+        }
+        // Drain everything left — long enough to outlast every fault
+        // window, retry backoff, and crippled-link transfer.
+        now += 600 * crate::clock::SECOND;
+        engine.advance_to(now);
+        completed += engine.drain_completions().len() as u64;
+        failed += engine.drain_failures().len() as u64;
+        let cancelled = engine.stats().cancelled_jobs;
+        prop_assert_eq!(completed + cancelled + failed, submitted,
+            "completed {} + cancelled {} + failed {} != submitted {}",
+            completed, cancelled, failed, submitted);
+    }
+
+    /// Completion timestamps stay monotone within each drain and never
+    /// run ahead of the engine's synced time, faults or not.
+    #[test]
+    fn completions_stay_ordered_under_faults(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+        schedule in schedule_strategy(),
+    ) {
+        let mut engine = TransferEngine::new(&topo());
+        engine.set_fault_schedule(schedule);
+        let mut now = 0u64;
+        let mut next_tag = 0u64;
+        for op in ops {
+            match op {
+                Op::Prefetch { gpu, bytes } => {
+                    engine.submit_prefetch(GpuId(u32::from(gpu)), next_tag, u64::from(bytes), now);
+                    next_tag += 1;
+                }
+                Op::OnDemand { gpu, bytes } => {
+                    now = engine.on_demand_load(GpuId(u32::from(gpu)), u64::from(bytes), now);
+                }
+                Op::Advance { delta } => {
+                    now += u64::from(delta);
+                    engine.advance_to(now);
+                }
+                _ => {}
+            }
+            let completions = engine.drain_completions();
+            for w in completions.windows(2) {
+                prop_assert!(w[0].completed_at <= w[1].completed_at);
+            }
+            for c in &completions {
+                prop_assert!(c.completed_at <= now.max(c.completed_at));
+            }
+            for f in engine.drain_failures() {
+                prop_assert!(f.failed_at <= now, "failure reported from the future");
+            }
+        }
+    }
+
+    /// TransferStats totals reconcile exactly with the per-job events the
+    /// engine hands out: drained completions match `prefetch_jobs` and
+    /// `prefetch_bytes`, drained failures match `failed_jobs`, and every
+    /// failed job burned through the full retry budget.
+    #[test]
+    fn stats_reconcile_with_drained_events(
+        ops in prop::collection::vec(op_strategy(), 1..100),
+        schedule in schedule_strategy(),
+    ) {
+        let retry = RetryPolicy::default();
+        let mut engine = TransferEngine::new(&topo());
+        engine.set_fault_schedule(schedule);
+        engine.set_retry_policy(retry);
+        let mut now = 0u64;
+        let mut next_tag = 0u64;
+        let mut drained_jobs = 0u64;
+        let mut drained_bytes = 0u64;
+        let mut drained_failures = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Prefetch { gpu, bytes } => {
+                    engine.submit_prefetch(GpuId(u32::from(gpu)), next_tag, u64::from(bytes), now);
+                    next_tag += 1;
+                }
+                Op::OnDemand { gpu, bytes } => {
+                    now = engine.on_demand_load(GpuId(u32::from(gpu)), u64::from(bytes), now);
+                }
+                Op::Advance { delta } => {
+                    now += u64::from(delta);
+                    engine.advance_to(now);
+                }
+                _ => {}
+            }
+            for c in engine.drain_completions() {
+                drained_jobs += 1;
+                drained_bytes += c.bytes;
+            }
+            for f in engine.drain_failures() {
+                drained_failures += 1;
+                prop_assert_eq!(f.attempts, retry.max_retries + 1,
+                    "a permanent failure must have used every attempt");
+            }
+        }
+        now += 600 * crate::clock::SECOND;
+        engine.advance_to(now);
+        for c in engine.drain_completions() {
+            drained_jobs += 1;
+            drained_bytes += c.bytes;
+        }
+        drained_failures += engine.drain_failures().len() as u64;
+
+        let stats = engine.stats();
+        prop_assert_eq!(stats.prefetch_jobs, drained_jobs);
+        prop_assert_eq!(stats.prefetch_bytes, drained_bytes);
+        prop_assert_eq!(stats.failed_jobs, drained_failures);
+        prop_assert!(stats.faults_injected >= stats.retries,
+            "every retry was provoked by an injected fault");
+        if stats.retries > 0 {
+            prop_assert!(stats.backoff_ns > 0, "retries imply backoff time");
+        }
+    }
+
+    /// Installing an inert schedule is byte-identical to installing none:
+    /// same completions, same stats, for any operation sequence.
+    #[test]
+    fn inert_schedule_is_transparent(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut plain = TransferEngine::new(&topo());
+        let mut inert = TransferEngine::new(&topo());
+        inert.set_fault_schedule(FaultSchedule::none());
+        let mut now = 0u64;
+        let mut next_tag = 0u64;
+        for op in ops {
+            match op {
+                Op::Prefetch { gpu, bytes } => {
+                    plain.submit_prefetch(GpuId(u32::from(gpu)), next_tag, u64::from(bytes), now);
+                    inert.submit_prefetch(GpuId(u32::from(gpu)), next_tag, u64::from(bytes), now);
+                    next_tag += 1;
+                }
+                Op::OnDemand { gpu, bytes } => {
+                    let a = plain.on_demand_load(GpuId(u32::from(gpu)), u64::from(bytes), now);
+                    let b = inert.on_demand_load(GpuId(u32::from(gpu)), u64::from(bytes), now);
+                    prop_assert_eq!(a, b);
+                }
+                Op::Advance { delta } => {
+                    now += u64::from(delta);
+                    plain.advance_to(now);
+                    inert.advance_to(now);
+                }
+                Op::Cancel { gpu, tag_back } => {
+                    let tag = u64::from(tag_back);
+                    let a = plain.cancel_prefetch(GpuId(u32::from(gpu)), tag, now);
+                    let b = inert.cancel_prefetch(GpuId(u32::from(gpu)), tag, now);
+                    prop_assert_eq!(a, b);
+                }
+                Op::Promote { gpu, tag_back } => {
+                    let tag = u64::from(tag_back);
+                    let a = plain.promote_to_front(GpuId(u32::from(gpu)), tag, now);
+                    let b = inert.promote_to_front(GpuId(u32::from(gpu)), tag, now);
+                    prop_assert_eq!(a, b);
+                }
+            }
+            let ca = plain.drain_completions();
+            let cb = inert.drain_completions();
+            prop_assert_eq!(ca.len(), cb.len());
+            for (x, y) in ca.iter().zip(&cb) {
+                prop_assert_eq!(x.tag, y.tag);
+                prop_assert_eq!(x.completed_at, y.completed_at);
+                prop_assert_eq!(x.bytes, y.bytes);
+            }
+        }
+        prop_assert_eq!(plain.stats(), inert.stats());
     }
 }

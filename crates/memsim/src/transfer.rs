@@ -13,12 +13,137 @@
 //!
 //! The engine is purely virtual-time driven: callers advance it explicitly
 //! and collect completion events. Job identity is an opaque `u64` tag.
+//!
+//! # Failure semantics
+//!
+//! An optional [`FaultSchedule`] (see [`TransferEngine::set_fault_schedule`])
+//! makes the link fabric imperfect:
+//!
+//! * bandwidth-degradation windows scale wire time; full stalls freeze the
+//!   link (including setup) until the window closes;
+//! * a job reaching its last byte may suffer a **transient failure**: its
+//!   bytes are discarded and it re-enqueues at the tail with capped
+//!   exponential backoff (virtual time, see [`RetryPolicy`]); after
+//!   `max_retries` it fails permanently and is reported via
+//!   [`TransferEngine::drain_failures`];
+//! * on-demand loads accept a deadline
+//!   ([`TransferEngine::on_demand_load_with_deadline`]): when the projected
+//!   completion overshoots it, the engine falls back to a smaller degraded
+//!   payload (e.g. half precision) instead of blocking indefinitely.
+//!
+//! With no schedule installed — or [`FaultSchedule::none`] — every code
+//! path below is byte-identical to the fault-free engine.
 
 use crate::clock::Nanos;
 use crate::link::Link;
 use crate::topology::{GpuId, Topology};
+use fmoe_faults::FaultSchedule;
 use serde::Serialize;
 use std::collections::VecDeque;
+use std::fmt;
+
+/// Bandwidth factors below this are treated as a full stall to avoid
+/// astronomically scaled wire times.
+const STALL_EPSILON: f64 = 1e-6;
+
+/// Typed error for fallible transfer operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferError {
+    /// The GPU index is outside the engine's topology.
+    UnknownGpu {
+        /// The offending GPU index.
+        gpu: u32,
+        /// Number of GPUs the engine was built with.
+        num_gpus: usize,
+    },
+    /// A load could not finish by its deadline, even degraded.
+    DeadlineExceeded {
+        /// Projected completion time of the (possibly degraded) load.
+        projected: Nanos,
+        /// The deadline that was missed.
+        deadline: Nanos,
+    },
+}
+
+impl fmt::Display for TransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferError::UnknownGpu { gpu, num_gpus } => {
+                write!(f, "GPU {gpu} outside topology of {num_gpus} GPUs")
+            }
+            TransferError::DeadlineExceeded {
+                projected,
+                deadline,
+            } => write!(
+                f,
+                "load projected to finish at {projected} ns, past deadline {deadline} ns"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+/// Retry/backoff policy for transient transfer failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RetryPolicy {
+    /// Retries before a job fails permanently.
+    pub max_retries: u32,
+    /// Backoff before the first retry, virtual ns.
+    pub base_backoff_ns: Nanos,
+    /// Cap on the exponentially growing backoff, virtual ns.
+    pub max_backoff_ns: Nanos,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 6,
+            base_backoff_ns: 50_000,
+            max_backoff_ns: 5_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff after the `attempt`-th failed attempt (0-based), doubling
+    /// each time up to the cap.
+    #[must_use]
+    pub fn backoff_after(&self, attempt: u32) -> Nanos {
+        let shift = attempt.min(20);
+        self.base_backoff_ns
+            .saturating_mul(1 << shift)
+            .min(self.max_backoff_ns)
+    }
+}
+
+/// A prefetch job that exhausted its retries and failed permanently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailedTransfer {
+    /// The job's tag, as passed to `submit_prefetch`.
+    pub tag: u64,
+    /// GPU whose link carried the job.
+    pub gpu: GpuId,
+    /// Virtual time of the final failed attempt.
+    pub failed_at: Nanos,
+    /// Total attempts made (initial + retries).
+    pub attempts: u32,
+}
+
+/// Result of an on-demand load performed under a deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnDemandOutcome {
+    /// Virtual time at which the load completed.
+    pub completed_at: Nanos,
+    /// Bytes actually moved (the fallback size when degraded).
+    pub bytes_loaded: u64,
+    /// Whether the engine fell back to the degraded payload.
+    pub degraded: bool,
+    /// Whether even the final payload missed the deadline.
+    pub missed_deadline: bool,
+    /// Transient-failure retries absorbed by this load.
+    pub retries: u32,
+}
 
 /// Class of a transfer, for statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -57,6 +182,19 @@ pub struct TransferStats {
     pub on_demand_blocked_ns: Nanos,
     /// Prefetch jobs cancelled before completion.
     pub cancelled_jobs: u64,
+    /// Transient faults injected by the active fault schedule.
+    pub faults_injected: u64,
+    /// Retry attempts re-enqueued after transient failures.
+    pub retries: u64,
+    /// Prefetch jobs that exhausted retries and failed permanently.
+    pub failed_jobs: u64,
+    /// Total virtual nanoseconds of retry backoff delay.
+    pub backoff_ns: Nanos,
+    /// On-demand loads that fell back to a degraded payload to meet a
+    /// deadline.
+    pub degraded_on_demand: u64,
+    /// On-demand loads that missed their deadline outright.
+    pub missed_deadlines: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -65,6 +203,10 @@ struct Job {
     setup_remaining: Nanos,
     bytes_remaining: f64,
     total_bytes: u64,
+    /// 0-based attempt number (incremented on each transient failure).
+    attempt: u32,
+    /// Retry backoff: the job makes no progress before this instant.
+    not_before: Nanos,
 }
 
 #[derive(Debug, Clone)]
@@ -100,16 +242,167 @@ impl LinkState {
                 now = target;
             } else {
                 now += wire_needed;
-                let job = self.queue.pop_front().expect("front exists");
-                completions.push(Completion {
-                    tag: job.tag,
-                    gpu,
-                    completed_at: now,
-                    bytes: job.total_bytes,
-                });
+                if let Some(job) = self.queue.pop_front() {
+                    completions.push(Completion {
+                        tag: job.tag,
+                        gpu,
+                        completed_at: now,
+                        bytes: job.total_bytes,
+                    });
+                }
             }
         }
         self.synced_at = target;
+    }
+
+    /// Fault-aware variant of [`Self::advance_to`]: integrates link
+    /// progress piecewise over the schedule's bandwidth segments, honors
+    /// retry backoff, and injects transient failures at completion
+    /// instants.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_to_faulty(
+        &mut self,
+        target: Nanos,
+        gpu: GpuId,
+        completions: &mut Vec<Completion>,
+        failures: &mut Vec<FailedTransfer>,
+        schedule: &FaultSchedule,
+        retry: &RetryPolicy,
+        stats: &mut TransferStats,
+    ) {
+        debug_assert!(target >= self.synced_at, "link time cannot rewind");
+        let gpu_idx = gpu.index() as u32;
+        let mut now = self.synced_at;
+        while now < target {
+            if self.queue.is_empty() {
+                break;
+            }
+            let seg = schedule.link_segment(gpu_idx, now);
+            let seg_end = seg.until.min(target);
+            // A stall freezes the link — setup included — to the end of
+            // the window.
+            if seg.factor < STALL_EPSILON {
+                now = seg_end.max(now + 1).min(target);
+                continue;
+            }
+            let Some(job) = self.queue.front_mut() else {
+                break;
+            };
+            // Retry backoff: the head-of-line job sits idle until
+            // eligible (failed jobs re-enqueue at the tail, so this only
+            // stalls the link once the queue has drained to them).
+            if job.not_before > now {
+                now = job.not_before.min(seg_end);
+                continue;
+            }
+            let budget = seg_end - now;
+            if budget == 0 {
+                now = seg_end.max(now + 1).min(target);
+                continue;
+            }
+            // Setup latency runs at nominal speed under degradation.
+            if job.setup_remaining > 0 {
+                let pay = job.setup_remaining.min(budget);
+                job.setup_remaining -= pay;
+                now += pay;
+                continue;
+            }
+            // Wire time is stretched by the reciprocal bandwidth factor.
+            let wire_nominal = self.link.wire_time(job.bytes_remaining.ceil() as u64);
+            let wire_needed = scale_wire_time(wire_nominal, seg.factor);
+            if wire_needed > budget {
+                job.bytes_remaining -= self.link.bytes_in(budget) * seg.factor;
+                job.bytes_remaining = job.bytes_remaining.max(0.0);
+                now = seg_end;
+            } else {
+                now += wire_needed;
+                let Some(mut job) = self.queue.pop_front() else {
+                    break;
+                };
+                if schedule.fails_transfer(gpu_idx, job.tag, job.attempt) {
+                    stats.faults_injected += 1;
+                    if job.attempt >= retry.max_retries {
+                        stats.failed_jobs += 1;
+                        failures.push(FailedTransfer {
+                            tag: job.tag,
+                            gpu,
+                            failed_at: now,
+                            attempts: job.attempt + 1,
+                        });
+                    } else {
+                        let backoff = retry.backoff_after(job.attempt);
+                        stats.retries += 1;
+                        stats.backoff_ns += backoff;
+                        job.attempt += 1;
+                        job.setup_remaining = self.link.setup_latency;
+                        job.bytes_remaining = job.total_bytes as f64;
+                        job.not_before = now + backoff;
+                        self.queue.push_back(job);
+                    }
+                } else {
+                    completions.push(Completion {
+                        tag: job.tag,
+                        gpu,
+                        completed_at: now,
+                        bytes: job.total_bytes,
+                    });
+                }
+            }
+        }
+        self.synced_at = target;
+    }
+}
+
+/// Stretches nominal wire time by `1 / factor`, saturating.
+fn scale_wire_time(nominal: Nanos, factor: f64) -> Nanos {
+    if factor >= 1.0 {
+        return nominal;
+    }
+    let scaled = (nominal as f64 / factor).ceil();
+    if scaled >= Nanos::MAX as f64 {
+        Nanos::MAX
+    } else {
+        scaled as Nanos
+    }
+}
+
+/// Duration of an isolated (queue-frozen) transfer of `bytes` starting at
+/// `start`, integrating the schedule's bandwidth segments.
+fn faulty_transfer_duration(
+    link: &Link,
+    schedule: &FaultSchedule,
+    gpu: u32,
+    bytes: u64,
+    start: Nanos,
+) -> Nanos {
+    let mut t = start;
+    let mut setup = link.setup_latency;
+    let mut wire_remaining = link.wire_time(bytes) as f64;
+    loop {
+        let seg = schedule.link_segment(gpu, t);
+        let seg_end = seg.until;
+        if seg.factor < STALL_EPSILON {
+            // Stalled: jump to the end of the window (finite by
+            // construction — windows have bounded ends).
+            t = seg_end.max(t + 1);
+            continue;
+        }
+        if setup > 0 {
+            let span = seg_end.saturating_sub(t);
+            let pay = setup.min(span);
+            setup -= pay;
+            t += pay;
+            if setup > 0 {
+                continue;
+            }
+        }
+        let span_left = seg_end.saturating_sub(t);
+        let wire_here = span_left as f64 * seg.factor;
+        if wire_remaining <= wire_here {
+            return t + (wire_remaining / seg.factor).ceil() as Nanos;
+        }
+        wire_remaining -= wire_here;
+        t = seg_end;
     }
 }
 
@@ -132,7 +425,13 @@ impl LinkState {
 pub struct TransferEngine {
     links: Vec<LinkState>,
     completions: Vec<Completion>,
+    failures: Vec<FailedTransfer>,
     stats: TransferStats,
+    faults: Option<FaultSchedule>,
+    retry: RetryPolicy,
+    /// Sequence counter giving each on-demand load a distinct identity
+    /// for deterministic failure decisions.
+    on_demand_seq: u64,
 }
 
 impl TransferEngine {
@@ -151,19 +450,87 @@ impl TransferEngine {
         Self {
             links,
             completions: Vec::new(),
+            failures: Vec::new(),
             stats: TransferStats::default(),
+            faults: None,
+            retry: RetryPolicy::default(),
+            on_demand_seq: 0,
         }
+    }
+
+    /// Installs a fault schedule. An inert schedule
+    /// ([`FaultSchedule::is_inert`]) is normalized to "no schedule" so
+    /// the fault-free fast path stays byte-identical.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.faults = if schedule.is_inert() {
+            None
+        } else {
+            Some(schedule)
+        };
+    }
+
+    /// The active fault schedule, if any non-inert one is installed.
+    #[must_use]
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref()
+    }
+
+    /// Overrides the retry/backoff policy for transient failures.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry/backoff policy.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     fn link_mut(&mut self, gpu: GpuId) -> &mut LinkState {
         &mut self.links[gpu.index()]
     }
 
+    /// Validates a GPU index against the topology.
+    fn check_gpu(&self, gpu: GpuId) -> Result<(), TransferError> {
+        if gpu.index() < self.links.len() {
+            Ok(())
+        } else {
+            Err(TransferError::UnknownGpu {
+                gpu: gpu.0,
+                num_gpus: self.links.len(),
+            })
+        }
+    }
+
     /// Advances every link to `now`, accruing prefetch progress.
     pub fn advance_to(&mut self, now: Nanos) {
-        for (i, link) in self.links.iter_mut().enumerate() {
+        let Self {
+            links,
+            completions,
+            failures,
+            stats,
+            faults,
+            retry,
+            ..
+        } = self;
+        for (i, link) in links.iter_mut().enumerate() {
             if now > link.synced_at {
-                link.advance_to(now, GpuId(i as u32), &mut self.completions);
+                match faults {
+                    Some(schedule)
+                        if !schedule.link_is_clean(i as u32) || schedule.failure_rate() > 0.0 =>
+                    {
+                        link.advance_to_faulty(
+                            now,
+                            GpuId(i as u32),
+                            completions,
+                            failures,
+                            schedule,
+                            retry,
+                            stats,
+                        );
+                    }
+                    _ => link.advance_to(now, GpuId(i as u32), completions),
+                }
             }
         }
         // Account completed prefetches.
@@ -182,17 +549,30 @@ impl TransferEngine {
             setup_remaining: setup,
             bytes_remaining: bytes as f64,
             total_bytes: bytes,
+            attempt: 0,
+            not_before: 0,
         });
     }
 
     /// Performs a blocking on-demand load of `bytes` to `gpu` starting at
     /// `now`, pausing the link's prefetch queue for its duration.
     ///
-    /// Returns the virtual time at which the load completes.
+    /// Returns the virtual time at which the load completes. Under an
+    /// active fault schedule the duration reflects bandwidth windows and
+    /// transient-failure retries (without a deadline the load retries
+    /// until the policy's cap, then completes regardless — an on-demand
+    /// load cannot be abandoned, the forward pass needs the weights).
     pub fn on_demand_load(&mut self, gpu: GpuId, bytes: u64, now: Nanos) -> Nanos {
         self.advance_to(now);
+        let done = match &self.faults {
+            None => now + self.links[gpu.index()].link.transfer_time(bytes),
+            Some(_) => {
+                let (done, retries) = self.faulty_on_demand_completion(gpu, bytes, now);
+                self.stats.retries += u64::from(retries);
+                done
+            }
+        };
         let link = self.link_mut(gpu);
-        let done = now + link.link.transfer_time(bytes);
         // The prefetch queue is frozen during [now, done): simply declare
         // the link already synced to `done` without giving jobs progress.
         link.synced_at = done;
@@ -200,6 +580,92 @@ impl TransferEngine {
         self.stats.on_demand_bytes += bytes;
         self.stats.on_demand_blocked_ns += done - now;
         done
+    }
+
+    /// Like [`Self::on_demand_load`], but with a completion deadline and
+    /// a degraded fallback payload (typically half-precision weights).
+    ///
+    /// When the projected completion of the full payload overshoots
+    /// `deadline`, the engine loads `fallback_bytes` instead and flags
+    /// the outcome as degraded. If even the fallback misses the deadline
+    /// the load still runs to completion (the simulation must progress),
+    /// with `missed_deadline` set so callers can account an SLO
+    /// violation.
+    pub fn on_demand_load_with_deadline(
+        &mut self,
+        gpu: GpuId,
+        bytes: u64,
+        now: Nanos,
+        deadline: Nanos,
+        fallback_bytes: u64,
+    ) -> Result<OnDemandOutcome, TransferError> {
+        self.check_gpu(gpu)?;
+        self.advance_to(now);
+        let (full_done, full_retries) = match &self.faults {
+            None => (now + self.links[gpu.index()].link.transfer_time(bytes), 0),
+            Some(_) => self.faulty_on_demand_completion(gpu, bytes, now),
+        };
+        let (done, bytes_loaded, retries, degraded) =
+            if full_done > deadline && fallback_bytes < bytes {
+                let (fb_done, fb_retries) = match &self.faults {
+                    None => (
+                        now + self.links[gpu.index()].link.transfer_time(fallback_bytes),
+                        0,
+                    ),
+                    Some(_) => self.faulty_on_demand_completion(gpu, fallback_bytes, now),
+                };
+                (fb_done, fallback_bytes, fb_retries, true)
+            } else {
+                (full_done, bytes, full_retries, false)
+            };
+        let missed_deadline = done > deadline;
+        let link = self.link_mut(gpu);
+        link.synced_at = done;
+        self.stats.on_demand_loads += 1;
+        self.stats.on_demand_bytes += bytes_loaded;
+        self.stats.on_demand_blocked_ns += done - now;
+        self.stats.retries += u64::from(retries);
+        if degraded {
+            self.stats.degraded_on_demand += 1;
+        }
+        if missed_deadline {
+            self.stats.missed_deadlines += 1;
+        }
+        Ok(OnDemandOutcome {
+            completed_at: done,
+            bytes_loaded,
+            degraded,
+            missed_deadline,
+            retries,
+        })
+    }
+
+    /// Projects the completion time of an on-demand load under the
+    /// active fault schedule, absorbing transient-failure retries
+    /// (bounded by the retry policy). Returns `(completion, retries)`.
+    fn faulty_on_demand_completion(&mut self, gpu: GpuId, bytes: u64, now: Nanos) -> (Nanos, u32) {
+        let schedule = self.faults.clone().unwrap_or_else(FaultSchedule::none);
+        self.on_demand_seq += 1;
+        // High bit marks the tag space as on-demand so failure decisions
+        // never collide with prefetch tags.
+        let od_tag = self.on_demand_seq | (1 << 63);
+        let gpu_idx = gpu.index() as u32;
+        let link = self.links[gpu.index()].link;
+        let mut t = now;
+        let mut retries = 0u32;
+        loop {
+            let done = faulty_transfer_duration(&link, &schedule, gpu_idx, bytes, t);
+            if retries < self.retry.max_retries && schedule.fails_transfer(gpu_idx, od_tag, retries)
+            {
+                self.stats.faults_injected += 1;
+                let backoff = self.retry.backoff_after(retries);
+                self.stats.backoff_ns += backoff;
+                retries += 1;
+                t = done + backoff;
+            } else {
+                return (done, retries);
+            }
+        }
     }
 
     /// Promotes a queued job to the front of its link's queue (the
@@ -213,8 +679,9 @@ impl TransferEngine {
             return false;
         };
         if pos > 0 {
-            let job = link.queue.remove(pos).expect("position is valid");
-            link.queue.push_front(job);
+            if let Some(job) = link.queue.remove(pos) {
+                link.queue.push_front(job);
+            }
         }
         true
     }
@@ -289,6 +756,15 @@ impl TransferEngine {
         }
         let mut out = std::mem::take(&mut self.completions);
         out.sort_by_key(|c| c.completed_at);
+        out
+    }
+
+    /// Takes all permanent prefetch failures accumulated since the last
+    /// drain, ordered by failure time. Callers should stop waiting for
+    /// these tags — they will never complete.
+    pub fn drain_failures(&mut self) -> Vec<FailedTransfer> {
+        let mut out = std::mem::take(&mut self.failures);
+        out.sort_by_key(|f| f.failed_at);
         out
     }
 
@@ -504,5 +980,223 @@ mod tests {
         let mut e = engine(1);
         let done = e.on_demand_load(GpuId(0), 0, 0);
         assert_eq!(done, link().setup_latency);
+    }
+
+    #[test]
+    fn inert_schedule_is_normalized_away() {
+        let mut e = engine(1);
+        e.set_fault_schedule(FaultSchedule::none());
+        assert!(e.fault_schedule().is_none());
+    }
+
+    #[test]
+    fn inert_schedule_leaves_timings_identical() {
+        let mut plain = engine(2);
+        let mut faulty = engine(2);
+        faulty.set_fault_schedule(FaultSchedule::none());
+        for e in [&mut plain, &mut faulty] {
+            e.submit_prefetch(GpuId(0), 1, 100 * MB, 0);
+            e.submit_prefetch(GpuId(1), 2, 50 * MB, 0);
+            let od = e.on_demand_load(GpuId(0), 30 * MB, 500_000);
+            e.advance_to(od + link().transfer_time(200 * MB));
+        }
+        assert_eq!(plain.drain_completions(), faulty.drain_completions());
+        assert_eq!(plain.stats(), faulty.stats());
+    }
+
+    #[test]
+    fn degraded_window_stretches_wire_time() {
+        let mut e = engine(1);
+        // Half bandwidth over a window wide enough to cover everything.
+        e.set_fault_schedule(
+            FaultSchedule::builder(1)
+                .degrade_link(Some(0), 0, Nanos::MAX - 1, 0.5)
+                .build(),
+        );
+        e.submit_prefetch(GpuId(0), 1, 100 * MB, 0);
+        let nominal = link().transfer_time(100 * MB);
+        let expected = link().setup_latency + 2 * link().wire_time(100 * MB);
+        e.advance_to(2 * nominal + 1);
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert!(
+            done[0].completed_at.abs_diff(expected) < 1_000,
+            "completed {} vs expected {expected}",
+            done[0].completed_at
+        );
+    }
+
+    #[test]
+    fn stall_window_freezes_link() {
+        let stall_len = 2_000_000;
+        let mut e = engine(1);
+        e.set_fault_schedule(
+            FaultSchedule::builder(1)
+                .stall_link(Some(0), 0, stall_len)
+                .build(),
+        );
+        e.submit_prefetch(GpuId(0), 1, 10 * MB, 0);
+        let nominal = link().transfer_time(10 * MB);
+        e.advance_to(stall_len + nominal + 1);
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert!(
+            done[0].completed_at.abs_diff(stall_len + nominal) < 1_000,
+            "completed {}",
+            done[0].completed_at
+        );
+    }
+
+    #[test]
+    fn transient_failures_retry_and_eventually_complete() {
+        // Rate 1.0 fails every attempt: jobs exhaust retries and fail
+        // permanently — but never hang.
+        let mut e = engine(1);
+        e.set_fault_schedule(
+            FaultSchedule::builder(3)
+                .transient_failure_rate(1.0)
+                .build(),
+        );
+        e.submit_prefetch(GpuId(0), 7, 10 * MB, 0);
+        e.advance_to(60 * crate::clock::SECOND);
+        assert!(e.drain_completions().is_empty());
+        let failures = e.drain_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].tag, 7);
+        assert_eq!(failures[0].attempts, e.retry_policy().max_retries + 1);
+        let s = e.stats();
+        assert_eq!(s.failed_jobs, 1);
+        assert_eq!(s.retries, u64::from(e.retry_policy().max_retries));
+        assert_eq!(
+            s.faults_injected,
+            u64::from(e.retry_policy().max_retries) + 1
+        );
+        assert!(s.backoff_ns > 0);
+    }
+
+    #[test]
+    fn moderate_failure_rate_retries_then_completes() {
+        let mut e = engine(1);
+        e.set_fault_schedule(
+            FaultSchedule::builder(11)
+                .transient_failure_rate(0.5)
+                .build(),
+        );
+        for tag in 0..20 {
+            e.submit_prefetch(GpuId(0), tag, MB, 0);
+        }
+        e.advance_to(60 * crate::clock::SECOND);
+        let done = e.drain_completions();
+        let failed = e.drain_failures();
+        assert_eq!(done.len() + failed.len(), 20);
+        assert!(!done.is_empty(), "at 0.5 rate most jobs should complete");
+        assert!(e.stats().retries > 0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_to_cap() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff_ns: 1_000,
+            max_backoff_ns: 16_000,
+        };
+        assert_eq!(p.backoff_after(0), 1_000);
+        assert_eq!(p.backoff_after(1), 2_000);
+        assert_eq!(p.backoff_after(4), 16_000);
+        assert_eq!(p.backoff_after(9), 16_000);
+    }
+
+    #[test]
+    fn deadline_fallback_degrades_payload() {
+        let mut e = engine(1);
+        // Quarter bandwidth: the full 100 MB cannot make a deadline that
+        // the 50 MB fallback can.
+        e.set_fault_schedule(
+            FaultSchedule::builder(5)
+                .degrade_link(Some(0), 0, Nanos::MAX - 1, 0.25)
+                .build(),
+        );
+        let full_time = link().setup_latency + 4 * link().wire_time(100 * MB);
+        let half_time = link().setup_latency + 4 * link().wire_time(50 * MB);
+        let deadline = (full_time + half_time) / 2;
+        let out = e
+            .on_demand_load_with_deadline(GpuId(0), 100 * MB, 0, deadline, 50 * MB)
+            .unwrap();
+        assert!(out.degraded);
+        assert!(!out.missed_deadline, "degraded load should meet deadline");
+        assert_eq!(out.bytes_loaded, 50 * MB);
+        assert!(out.completed_at <= deadline);
+        let s = e.stats();
+        assert_eq!(s.degraded_on_demand, 1);
+        assert_eq!(s.missed_deadlines, 0);
+        assert_eq!(s.on_demand_bytes, 50 * MB);
+    }
+
+    #[test]
+    fn hopeless_deadline_is_flagged_not_hung() {
+        let mut e = engine(1);
+        e.set_fault_schedule(
+            FaultSchedule::builder(5)
+                .stall_link(Some(0), 0, 10_000_000)
+                .build(),
+        );
+        let out = e
+            .on_demand_load_with_deadline(GpuId(0), 100 * MB, 0, 1_000, 50 * MB)
+            .unwrap();
+        assert!(out.missed_deadline);
+        assert!(out.completed_at >= 10_000_000);
+        assert_eq!(e.stats().missed_deadlines, 1);
+    }
+
+    #[test]
+    fn deadline_load_without_faults_matches_plain_load() {
+        let mut a = engine(1);
+        let mut b = engine(1);
+        let plain = a.on_demand_load(GpuId(0), 64 * MB, 1000);
+        let out = b
+            .on_demand_load_with_deadline(GpuId(0), 64 * MB, 1000, Nanos::MAX, 32 * MB)
+            .unwrap();
+        assert_eq!(out.completed_at, plain);
+        assert!(!out.degraded);
+        assert!(!out.missed_deadline);
+        assert_eq!(out.retries, 0);
+    }
+
+    #[test]
+    fn unknown_gpu_is_a_typed_error() {
+        let mut e = engine(2);
+        let err = e
+            .on_demand_load_with_deadline(GpuId(9), MB, 0, Nanos::MAX, MB / 2)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TransferError::UnknownGpu {
+                gpu: 9,
+                num_gpus: 2
+            }
+        );
+        assert!(err.to_string().contains("GPU 9"));
+    }
+
+    #[test]
+    fn failed_jobs_count_as_resolved_in_conservation() {
+        // submitted == completed + cancelled + failed must hold so the
+        // serving engine can reconcile its in-flight map.
+        let mut e = engine(1);
+        e.set_fault_schedule(
+            FaultSchedule::builder(13)
+                .transient_failure_rate(0.7)
+                .build(),
+        );
+        for tag in 0..30 {
+            e.submit_prefetch(GpuId(0), tag, MB, 0);
+        }
+        e.cancel_prefetch(GpuId(0), 29, 0);
+        e.advance_to(120 * crate::clock::SECOND);
+        let done = e.drain_completions().len() as u64;
+        let failed = e.drain_failures().len() as u64;
+        let s = e.stats();
+        assert_eq!(done + failed + s.cancelled_jobs, 30);
+        assert_eq!(s.failed_jobs, failed);
     }
 }

@@ -26,7 +26,9 @@ use crate::metrics::{Breakdown, RequestMetrics};
 use crate::predictor::{ExpertPredictor, IterationContext, PrefetchPlan};
 use crate::timeline::{Timeline, TimelineEvent};
 use fmoe_cache::{EvictionPolicy, ExpertCache, InsertOutcome};
-use fmoe_memsim::{GpuId, Nanos, Topology, TransferEngine, VirtualClock};
+use fmoe_memsim::{
+    FaultSchedule, GpuId, Nanos, RetryPolicy, Topology, TransferEngine, TransferError, VirtualClock,
+};
 use fmoe_model::gate::TokenSpan;
 use fmoe_model::{CostModel, ExpertId, GateSimulator, GpuSpec};
 use fmoe_workload::Prompt;
@@ -64,6 +66,12 @@ pub struct EngineConfig {
     /// and accesses they serve count as `degraded_hits`. On-demand loads
     /// are always full precision.
     pub low_precision_threshold: Option<f64>,
+    /// Deadline for blocking on-demand loads (off by default): when set,
+    /// an on-demand load projected to finish later than `now + deadline`
+    /// (e.g. because link faults degraded the wire) falls back to a
+    /// half-precision payload instead of blocking indefinitely. Degraded
+    /// loads count as `degraded_loads` in [`RequestMetrics`].
+    pub on_demand_deadline_ns: Option<Nanos>,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +94,7 @@ impl EngineConfig {
             placement: fmoe_cache::Placement::RoundRobin,
             kv_aware_budget: false,
             low_precision_threshold: None,
+            on_demand_deadline_ns: None,
         }
     }
 
@@ -101,6 +110,61 @@ impl EngineConfig {
     pub fn with_max_decode(mut self, iters: u64) -> Self {
         self.max_decode_iterations = Some(iters);
         self
+    }
+
+    /// Sets the on-demand load deadline.
+    #[must_use]
+    pub fn with_on_demand_deadline(mut self, deadline_ns: Nanos) -> Self {
+        self.on_demand_deadline_ns = Some(deadline_ns);
+        self
+    }
+}
+
+/// Typed error for the fallible serving entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// `try_serve_batch` was handed an empty prompt slice.
+    EmptyBatch,
+    /// A lockstep batch was requested while a continuous batch is active.
+    BatchActive,
+    /// The transfer substrate rejected a load.
+    Transfer(TransferError),
+    /// Online-scheduler bookkeeping lost track of a request — an engine
+    /// invariant violation surfaced as an error instead of a panic.
+    UnknownRequest {
+        /// The request the scheduler could not account for.
+        request_id: u64,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyBatch => write!(f, "batch must contain at least one prompt"),
+            Self::BatchActive => write!(
+                f,
+                "lockstep batch cannot run while a continuous batch is active"
+            ),
+            Self::Transfer(e) => write!(f, "transfer failed: {e}"),
+            Self::UnknownRequest { request_id } => {
+                write!(f, "request {request_id} finished without being admitted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Transfer(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransferError> for ServeError {
+    fn from(e: TransferError) -> Self {
+        Self::Transfer(e)
     }
 }
 
@@ -124,6 +188,11 @@ struct Element {
     hits: u64,
     misses: u64,
     degraded_hits: u64,
+    /// On-demand loads that fell back to reduced precision for this
+    /// element (deadline misses or SLO-degraded serving).
+    degraded_loads: u64,
+    /// `true` when the request runs in SLO-degraded mode.
+    degraded: bool,
     /// Realized per-layer distributions of the current iteration.
     realized_map: Vec<Vec<f64>>,
     /// Semantic embedding of the current iteration.
@@ -201,6 +270,13 @@ pub struct ServingEngine {
     staged: std::collections::HashSet<ExpertId>,
     breakdown: Breakdown,
     config: EngineConfig,
+    /// Installed fault schedule (`None` when the failure model is off);
+    /// mirrors the transfer engine's copy so the iteration loop can apply
+    /// memory-pressure windows to the cache budget.
+    faults: Option<FaultSchedule>,
+    /// `true` while serving a request in SLO-degraded mode: on-demand
+    /// loads move half-precision payloads to cut the stall.
+    degraded_mode: bool,
 }
 
 impl ServingEngine {
@@ -233,6 +309,8 @@ impl ServingEngine {
             staged: std::collections::HashSet::new(),
             breakdown: Breakdown::default(),
             config,
+            faults: None,
+            degraded_mode: false,
         };
         if engine.config.preload_all {
             engine.preload_all_experts();
@@ -312,6 +390,27 @@ impl ServingEngine {
         self.config.cache_budget_bytes
     }
 
+    /// Installs a fault schedule: link degradations and transient
+    /// failures apply to the transfer engine, memory-pressure windows
+    /// squeeze the expert-cache budget at iteration boundaries. An inert
+    /// schedule is equivalent to not calling this at all.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.transfer.set_fault_schedule(schedule);
+        self.faults = self.transfer.fault_schedule().cloned();
+    }
+
+    /// The installed fault schedule, if any.
+    #[must_use]
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref()
+    }
+
+    /// Retunes the transfer engine's retry/backoff policy for transient
+    /// faults.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.transfer.set_retry_policy(retry);
+    }
+
     /// Admits a request into the engine's **continuous batch**: it joins
     /// the running batch at the next [`Self::step`] boundary, prefilling
     /// while earlier requests keep decoding — the scheduling modern
@@ -344,6 +443,8 @@ impl ServingEngine {
             hits: 0,
             misses: 0,
             degraded_hits: 0,
+            degraded_loads: 0,
+            degraded: self.degraded_mode,
             realized_map: Vec::new(),
             embedding: Vec::new(),
             activated: Vec::new(),
@@ -375,6 +476,8 @@ impl ServingEngine {
                     expert_hits: e.hits,
                     expert_misses: e.misses,
                     degraded_hits: e.degraded_hits,
+                    degraded_loads: e.degraded_loads,
+                    served_degraded: e.degraded,
                 });
             } else {
                 self.active.push(e);
@@ -398,12 +501,28 @@ impl ServingEngine {
         self.serve_batch(&[prompt], predictor).remove(0)
     }
 
+    /// Serves one request in **degraded mode**: on-demand loads move
+    /// half-precision payloads, trading output quality for latency. The
+    /// SLO-aware online scheduler uses this for requests whose queueing
+    /// delay already blew their budget (see `online::SloPolicy`).
+    pub fn serve_request_degraded(
+        &mut self,
+        prompt: Prompt,
+        predictor: &mut dyn ExpertPredictor,
+    ) -> RequestMetrics {
+        self.degraded_mode = true;
+        let metrics = self.serve_request(prompt, predictor);
+        self.degraded_mode = false;
+        metrics
+    }
+
     /// Serves a batch of requests in lockstep, returning per-request
     /// metrics in input order.
     ///
     /// # Panics
     ///
-    /// Panics if `prompts` is empty.
+    /// Panics if `prompts` is empty. See [`Self::try_serve_batch`] for
+    /// the non-panicking variant.
     pub fn serve_batch(
         &mut self,
         prompts: &[Prompt],
@@ -413,10 +532,30 @@ impl ServingEngine {
             !prompts.is_empty(),
             "batch must contain at least one prompt"
         );
-        debug_assert!(
-            self.active.is_empty(),
-            "serve_batch must not run while a continuous batch is active"
-        );
+        match self.try_serve_batch(prompts, predictor) {
+            Ok(metrics) => metrics,
+            Err(e) => panic!("serve_batch failed: {e}"),
+        }
+    }
+
+    /// Serves a batch of requests in lockstep, returning per-request
+    /// metrics in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptyBatch`] for an empty slice;
+    /// [`ServeError::BatchActive`] while a continuous batch is running.
+    pub fn try_serve_batch(
+        &mut self,
+        prompts: &[Prompt],
+        predictor: &mut dyn ExpertPredictor,
+    ) -> Result<Vec<RequestMetrics>, ServeError> {
+        if prompts.is_empty() {
+            return Err(ServeError::EmptyBatch);
+        }
+        if !self.active.is_empty() {
+            return Err(ServeError::BatchActive);
+        }
         let start = self.clock.now();
         let mut elements: Vec<Element> = prompts
             .iter()
@@ -440,6 +579,8 @@ impl ServingEngine {
                     hits: 0,
                     misses: 0,
                     degraded_hits: 0,
+                    degraded_loads: 0,
+                    degraded: self.degraded_mode,
                     realized_map: Vec::new(),
                     embedding: Vec::new(),
                     activated: Vec::new(),
@@ -451,7 +592,7 @@ impl ServingEngine {
             self.run_iteration(&mut elements, predictor);
         }
 
-        elements
+        Ok(elements
             .into_iter()
             .map(|e| {
                 let ttft = e.ttft_ns.unwrap_or(e.finished_ns - e.start_ns);
@@ -465,9 +606,11 @@ impl ServingEngine {
                     expert_hits: e.hits,
                     expert_misses: e.misses,
                     degraded_hits: e.degraded_hits,
+                    degraded_loads: e.degraded_loads,
+                    served_degraded: e.degraded,
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// Runs one lockstep iteration over all live elements.
@@ -512,15 +655,35 @@ impl ServingEngine {
         self.cache.notify_iteration_boundary();
         self.staged.clear();
 
-        // KV-aware budgeting: growing contexts squeeze the expert cache.
-        if self.config.kv_aware_budget {
-            let kv_per_token = self.gate.config().kv_bytes_per_token();
-            let live_kv: u64 = elements
-                .iter()
-                .filter(|e| !e.done)
-                .map(|e| (e.position + e.span().count) * kv_per_token)
-                .sum();
-            let effective = self.config.cache_budget_bytes.saturating_sub(live_kv);
+        // KV-aware budgeting and memory-pressure faults both squeeze the
+        // expert cache; the effective budget is recomputed every iteration
+        // so pressure windows release their squeeze when they close.
+        let pressure = self
+            .faults
+            .as_ref()
+            .map_or(1.0, |f| f.budget_factor(self.clock.now()));
+        if self.config.kv_aware_budget || self.faults.is_some() {
+            let mut effective = self.config.cache_budget_bytes;
+            if pressure < 1.0 {
+                effective = (effective as f64 * pressure) as u64;
+            }
+            if self.config.kv_aware_budget {
+                let kv_per_token = self.gate.config().kv_bytes_per_token();
+                let live_kv: u64 = elements
+                    .iter()
+                    .filter(|e| !e.done)
+                    .map(|e| (e.position + e.span().count) * kv_per_token)
+                    .sum();
+                effective = effective.saturating_sub(live_kv);
+            }
+            if pressure < 1.0 {
+                self.timeline.record(
+                    self.clock.now(),
+                    TimelineEvent::BudgetPressure {
+                        effective_bytes: effective,
+                    },
+                );
+            }
             let _ = self.cache.set_total_budget(effective);
         }
 
@@ -686,16 +849,48 @@ impl ServingEngine {
                         inflight_done = inflight_done.max(done);
                     }
                 }
+                // On-demand payload sizes: full precision normally, half
+                // precision when the request runs SLO-degraded or when a
+                // deadline miss forces the fallback. `loaded` records what
+                // actually moved so the cache insert matches the wire.
+                let mut loaded: BTreeMap<ExpertId, u64> = BTreeMap::new();
                 for &e in &missing {
                     let gpu = self.cache.home_gpu(e);
                     let gpu_now = *per_gpu_now.get(&gpu).unwrap_or(&start);
-                    self.timeline.record(
-                        gpu_now.max(start),
-                        TimelineEvent::OnDemandLoad { expert: e },
-                    );
-                    let done = self
-                        .transfer
-                        .on_demand_load(GpuId(gpu), bytes, gpu_now.max(start));
+                    let t0 = gpu_now.max(start);
+                    self.timeline
+                        .record(t0, TimelineEvent::OnDemandLoad { expert: e });
+                    let want = if self.degraded_mode { bytes / 2 } else { bytes };
+                    let done = match self.config.on_demand_deadline_ns {
+                        Some(deadline) => {
+                            match self.transfer.on_demand_load_with_deadline(
+                                GpuId(gpu),
+                                want,
+                                t0,
+                                t0.saturating_add(deadline),
+                                want / 2,
+                            ) {
+                                Ok(outcome) => {
+                                    if outcome.degraded {
+                                        loaded.insert(e, outcome.bytes_loaded);
+                                    }
+                                    outcome.completed_at
+                                }
+                                // `home_gpu` only yields GPUs in the
+                                // topology; if that ever breaks, degrade to
+                                // the plain path rather than panic.
+                                Err(_) => self.transfer.on_demand_load(GpuId(gpu), want, t0),
+                            }
+                        }
+                        None => self.transfer.on_demand_load(GpuId(gpu), want, t0),
+                    };
+                    if want < bytes {
+                        loaded.entry(e).or_insert(want);
+                    }
+                    if loaded.contains_key(&e) {
+                        self.timeline
+                            .record(t0, TimelineEvent::OnDemandDegraded { expert: e });
+                    }
                     per_gpu_now.insert(gpu, done);
                 }
                 let done = per_gpu_now
@@ -722,7 +917,11 @@ impl ServingEngine {
                     self.cache.pin(e);
                 }
                 for &e in &missing {
-                    match self.cache.insert(e, now) {
+                    let outcome = match loaded.get(&e) {
+                        Some(&sz) => self.cache.insert_sized(e, sz, now),
+                        None => self.cache.insert(e, now),
+                    };
+                    match outcome {
                         InsertOutcome::Inserted { .. } | InsertOutcome::AlreadyResident => {
                             self.cache.pin(e);
                         }
@@ -730,6 +929,20 @@ impl ServingEngine {
                             // Budget cannot hold this layer's working set:
                             // the expert streams through a staging buffer
                             // and is not resident afterward.
+                        }
+                    }
+                }
+                // Attribute degraded loads to the elements that activated
+                // those experts (mirrors the hit/miss accounting above).
+                if !loaded.is_empty() {
+                    for el in elements.iter_mut() {
+                        if el.done {
+                            continue;
+                        }
+                        for &slot in &el.activated[layer as usize] {
+                            if loaded.contains_key(&ExpertId::new(layer, slot)) {
+                                el.degraded_loads += 1;
+                            }
                         }
                     }
                 }
@@ -911,6 +1124,15 @@ impl ServingEngine {
             ) && self.cache.pin(expert)
             {
                 self.staged.insert(expert);
+            }
+        }
+        // Transfers that exhausted their retries are lost: release the
+        // in-flight slot so the expert can be re-requested (as a fresh
+        // prefetch or an on-demand load) instead of being waited on.
+        for f in self.transfer.drain_failures() {
+            if let Some(expert) = self.in_flight.remove(&f.tag) {
+                self.timeline
+                    .record(f.failed_at, TimelineEvent::PrefetchFailed { expert });
             }
         }
     }
@@ -1098,5 +1320,194 @@ mod tests {
             assert!(m.decode_ns > 0);
             assert!(m.tpot_ns() > 0.0);
         }
+    }
+
+    #[test]
+    fn try_serve_batch_reports_typed_errors() {
+        let mut e = tiny_engine(8, false);
+        assert_eq!(
+            e.try_serve_batch(&[], &mut NoPrefetch),
+            Err(ServeError::EmptyBatch)
+        );
+        e.admit(prompt(20));
+        assert_eq!(
+            e.try_serve_batch(&[prompt(21)], &mut NoPrefetch),
+            Err(ServeError::BatchActive)
+        );
+    }
+
+    #[test]
+    fn inert_fault_schedule_changes_nothing() {
+        let mut plain = tiny_engine(8, false);
+        let mut faulted = tiny_engine(8, false);
+        faulted.set_fault_schedule(FaultSchedule::none());
+        assert!(faulted.fault_schedule().is_none(), "inert normalizes away");
+        let a = plain.serve_request(prompt(30), &mut NoPrefetch);
+        let b = faulted.serve_request(prompt(30), &mut NoPrefetch);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degraded_request_moves_half_payloads_and_is_flagged() {
+        let mut e = tiny_engine(8, false);
+        let m = e.serve_request_degraded(prompt(31), &mut NoPrefetch);
+        assert!(m.served_degraded);
+        assert!(
+            m.degraded_loads > 0,
+            "cold cache on-demand loads all run degraded"
+        );
+        // Degraded mode is scoped to the one request.
+        let m2 = e.serve_request(prompt(32), &mut NoPrefetch);
+        assert!(!m2.served_degraded);
+        // A degraded request stalls less on the wire than a full-precision
+        // cold start of the same prompt.
+        let mut full = tiny_engine(8, false);
+        let mf = full.serve_request(prompt(31), &mut NoPrefetch);
+        assert!(m.total_ns < mf.total_ns);
+    }
+
+    #[test]
+    fn deadline_fallback_bounds_stalls_under_link_faults() {
+        // A link degraded to 2% of nominal bandwidth for the whole run.
+        let schedule = FaultSchedule::builder(7)
+            .degrade_link(None, 0, u64::MAX, 0.02)
+            .build();
+
+        let mut no_deadline = tiny_engine(8, false);
+        no_deadline.set_fault_schedule(schedule.clone());
+        let slow = no_deadline.serve_request(prompt(33), &mut NoPrefetch);
+        assert_eq!(slow.degraded_loads, 0);
+
+        let mut with_deadline = tiny_engine(8, false);
+        with_deadline.set_fault_schedule(schedule);
+        // Tighter than any transfer on the crippled link can manage.
+        with_deadline.config.on_demand_deadline_ns = Some(1_000);
+        with_deadline.set_timeline_enabled(true);
+        let bounded = with_deadline.serve_request(prompt(33), &mut NoPrefetch);
+        assert!(
+            bounded.degraded_loads > 0,
+            "the crippled link cannot meet the deadline at full precision"
+        );
+        assert!(bounded.total_ns < slow.total_ns);
+        assert!(with_deadline
+            .take_timeline()
+            .iter()
+            .any(|x| matches!(x.event, TimelineEvent::OnDemandDegraded { .. })));
+    }
+
+    #[test]
+    fn memory_pressure_window_squeezes_and_releases_budget() {
+        let schedule = FaultSchedule::builder(9)
+            .memory_pressure(0, 10 * fmoe_memsim::clock::SECOND, 0.3)
+            .build();
+        let mut e = tiny_engine(8, false);
+        e.set_fault_schedule(schedule);
+        e.set_timeline_enabled(true);
+        let m = e.serve_request(prompt(34), &mut NoPrefetch);
+        assert!(m.total_ns > 0, "pressure degrades but never wedges");
+        let entries = e.take_timeline();
+        let squeezed: Vec<u64> = entries
+            .iter()
+            .filter_map(|x| match x.event {
+                TimelineEvent::BudgetPressure { effective_bytes } => Some(effective_bytes),
+                _ => None,
+            })
+            .collect();
+        assert!(!squeezed.is_empty(), "pressure window must be recorded");
+        for b in squeezed {
+            assert!(b < e.cache_budget());
+        }
+    }
+
+    /// Prefetches every expert of the next layer — enough background
+    /// traffic for transient-failure tests.
+    struct NextLayerPrefetch;
+
+    impl crate::predictor::ExpertPredictor for NextLayerPrefetch {
+        fn name(&self) -> String {
+            "NextLayerPrefetch".into()
+        }
+
+        fn timing(&self) -> crate::predictor::PredictorTiming {
+            crate::predictor::PredictorTiming::free()
+        }
+
+        fn begin_iteration(&mut self, _ctx: &IterationContext) -> Vec<PrefetchPlan> {
+            Vec::new()
+        }
+
+        fn observe_gate(
+            &mut self,
+            _ctx: &IterationContext,
+            layer: u32,
+            distribution: &[f64],
+        ) -> Vec<PrefetchPlan> {
+            let next = layer + 1;
+            if next >= 4 {
+                return Vec::new(); // tiny_test_model has 4 layers
+            }
+            (0..distribution.len() as u32)
+                .map(|slot| PrefetchPlan::fetch(ExpertId::new(next, slot), 0.9))
+                .collect()
+        }
+
+        fn end_iteration(&mut self, _ctx: &IterationContext, _realized_map: &[Vec<f64>]) {}
+    }
+
+    #[test]
+    fn failed_prefetches_never_wedge_the_engine() {
+        // Every transfer attempt fails: all prefetches exhaust their
+        // retries and die; serving falls back to on-demand loads, which
+        // themselves retry — the run must still terminate.
+        let schedule = FaultSchedule::builder(11)
+            .transient_failure_rate(1.0)
+            .build();
+        let mut e = tiny_engine(8, false);
+        e.set_fault_schedule(schedule.clone());
+        // No retries: the first fault kills the job. (With retries, stale
+        // pruning at the next layer usually cancels a job before it can
+        // exhaust its attempts — prefetches only live for about a layer.)
+        e.set_retry_policy(RetryPolicy {
+            max_retries: 0,
+            base_backoff_ns: 1_000,
+            max_backoff_ns: 1_000,
+        });
+        e.set_timeline_enabled(true);
+        let m = e.serve_request(prompt(35), &mut NextLayerPrefetch);
+        assert!(m.total_ns > 0);
+        let stats = e.transfer_stats();
+        assert!(stats.failed_jobs > 0, "prefetches must die under rate 1.0");
+        assert!(stats.faults_injected > 0);
+        assert!(e
+            .take_timeline()
+            .iter()
+            .any(|x| matches!(x.event, TimelineEvent::PrefetchFailed { .. })));
+
+        // With the default policy the same storm shows up as retries and
+        // backoff time instead of permanent failures.
+        let mut patient = tiny_engine(8, false);
+        patient.set_fault_schedule(schedule);
+        let m2 = patient.serve_request(prompt(35), &mut NextLayerPrefetch);
+        assert!(m2.total_ns > 0);
+        let stats2 = patient.transfer_stats();
+        assert!(stats2.retries > 0);
+        assert!(stats2.backoff_ns > 0);
+    }
+
+    #[test]
+    fn moderate_faults_only_slow_serving_down() {
+        let horizon = 60 * fmoe_memsim::clock::SECOND;
+        let mut clean = tiny_engine(8, false);
+        let base = clean.serve_request(prompt(36), &mut NextLayerPrefetch);
+
+        let mut faulty = tiny_engine(8, false);
+        faulty.set_fault_schedule(FaultSchedule::synthetic(3, 0.5, horizon, 1));
+        let hit = faulty.serve_request(prompt(36), &mut NextLayerPrefetch);
+        assert!(hit.total_ns >= base.total_ns, "faults cannot speed you up");
+        assert_eq!(
+            base.expert_hits + base.expert_misses,
+            hit.expert_hits + hit.expert_misses,
+            "faults change timing, not the token/expert schedule"
+        );
     }
 }

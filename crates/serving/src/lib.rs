@@ -26,9 +26,12 @@ pub mod online;
 pub mod predictor;
 pub mod timeline;
 
-pub use engine::{EngineConfig, ServingEngine};
+pub use engine::{EngineConfig, ServeError, ServingEngine};
 pub use metrics::{AggregateMetrics, Breakdown, RequestMetrics};
-pub use online::{serve_trace, serve_trace_continuous, OnlineResult};
+pub use online::{
+    serve_trace, serve_trace_continuous, serve_trace_with_slo, try_serve_trace_continuous,
+    OnlineReport, OnlineResult, ShedRequest, SloAction, SloPolicy,
+};
 pub use predictor::{ExpertPredictor, IterationContext, PredictorTiming, PrefetchPlan};
 pub use timeline::{Timeline, TimelineEntry, TimelineEvent};
 

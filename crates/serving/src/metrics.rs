@@ -26,6 +26,13 @@ pub struct RequestMetrics {
     /// mixed-precision extension's quality proxy; 0 when the feature is
     /// off).
     pub degraded_hits: u64,
+    /// On-demand loads that fell back to reduced precision — because the
+    /// load missed its deadline under link faults, or because the request
+    /// was served in SLO-degraded mode. 0 when the failure model is off.
+    pub degraded_loads: u64,
+    /// `true` when the whole request was served in degraded mode (SLO
+    /// pressure made the scheduler trade quality for latency).
+    pub served_degraded: bool,
 }
 
 impl RequestMetrics {
@@ -198,6 +205,8 @@ mod tests {
             expert_hits: hits,
             expert_misses: misses,
             degraded_hits: 0,
+            degraded_loads: 0,
+            served_degraded: false,
         }
     }
 

@@ -7,12 +7,91 @@
 //! fMoE the Expert Map Store starts empty and fills online, exactly as in
 //! the paper's setup.
 
-use crate::engine::ServingEngine;
+use crate::engine::{ServeError, ServingEngine};
 use crate::metrics::RequestMetrics;
 use crate::predictor::ExpertPredictor;
 use fmoe_memsim::Nanos;
 use fmoe_workload::TraceEvent;
 use serde::Serialize;
+
+/// What the SLO-aware scheduler does with a request whose projected
+/// queueing delay already violates its latency budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SloAction {
+    /// Reject the request outright (load shedding): it is never served
+    /// and is reported in [`OnlineReport::shed`].
+    Shed,
+    /// Serve it anyway, but in degraded mode: on-demand loads move
+    /// half-precision payloads to cut the remaining latency.
+    Degrade,
+}
+
+/// SLO admission policy for [`serve_trace_with_slo`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SloPolicy {
+    /// Maximum tolerable queueing delay, in nanoseconds. A request still
+    /// waiting past this budget when its turn comes triggers `action`.
+    pub max_queueing_ns: Nanos,
+    /// What to do with violating requests.
+    pub action: SloAction,
+}
+
+impl SloPolicy {
+    /// Sheds requests whose queueing delay exceeds `max_queueing_ns`.
+    #[must_use]
+    pub fn shed(max_queueing_ns: Nanos) -> Self {
+        Self {
+            max_queueing_ns,
+            action: SloAction::Shed,
+        }
+    }
+
+    /// Serves violating requests in degraded mode instead of shedding.
+    #[must_use]
+    pub fn degrade(max_queueing_ns: Nanos) -> Self {
+        Self {
+            max_queueing_ns,
+            action: SloAction::Degrade,
+        }
+    }
+}
+
+/// A request rejected by the SLO policy.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ShedRequest {
+    /// The request id.
+    pub request_id: u64,
+    /// Arrival time from the trace.
+    pub arrival_ns: Nanos,
+    /// Queueing delay it had already accumulated when shed.
+    pub queued_ns: Nanos,
+}
+
+/// Outcome of an SLO-aware trace replay: served results plus the
+/// requests the policy shed. `results.len() + shed.len()` always equals
+/// the trace length.
+#[derive(Debug, Clone, Serialize)]
+pub struct OnlineReport {
+    /// Served requests, in trace (arrival) order.
+    pub results: Vec<OnlineResult>,
+    /// Requests rejected by the SLO policy, in trace order.
+    pub shed: Vec<ShedRequest>,
+    /// How many of `results` were served in degraded mode.
+    pub degraded_serves: u64,
+}
+
+impl OnlineReport {
+    /// Goodput: fraction of trace requests that were served (any mode).
+    #[must_use]
+    pub fn goodput(&self) -> f64 {
+        let total = self.results.len() + self.shed.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.results.len() as f64 / total as f64
+        }
+    }
+}
 
 /// Outcome for one trace request.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -52,13 +131,50 @@ pub fn serve_trace(
     trace: &[TraceEvent],
     predictor: &mut dyn ExpertPredictor,
 ) -> Vec<OnlineResult> {
+    serve_trace_with_slo(engine, trace, predictor, None).results
+}
+
+/// Replays a trace FCFS under an optional SLO policy: a request whose
+/// accumulated queueing delay exceeds the policy's budget when its turn
+/// comes is shed (never served) or served in degraded mode, per
+/// [`SloAction`]. With `slo = None` this is exactly [`serve_trace`].
+pub fn serve_trace_with_slo(
+    engine: &mut ServingEngine,
+    trace: &[TraceEvent],
+    predictor: &mut dyn ExpertPredictor,
+    slo: Option<SloPolicy>,
+) -> OnlineReport {
     let mut results = Vec::with_capacity(trace.len());
+    let mut shed = Vec::new();
+    let mut degraded_serves = 0u64;
     for event in trace {
         // FCFS: the engine serves the request when both it and the
         // request are ready.
         engine.idle_until(event.arrival_ns);
+        let queued = engine.now().saturating_sub(event.arrival_ns);
+        let mut degrade = false;
+        if let Some(policy) = slo {
+            if queued > policy.max_queueing_ns {
+                match policy.action {
+                    SloAction::Shed => {
+                        shed.push(ShedRequest {
+                            request_id: event.prompt.id,
+                            arrival_ns: event.arrival_ns,
+                            queued_ns: queued,
+                        });
+                        continue;
+                    }
+                    SloAction::Degrade => degrade = true,
+                }
+            }
+        }
         let start = engine.now();
-        let metrics = engine.serve_request(event.prompt, predictor);
+        let metrics = if degrade {
+            degraded_serves += 1;
+            engine.serve_request_degraded(event.prompt, predictor)
+        } else {
+            engine.serve_request(event.prompt, predictor)
+        };
         let finish = engine.now();
         results.push(OnlineResult {
             request_id: event.prompt.id,
@@ -68,7 +184,11 @@ pub fn serve_trace(
             metrics,
         });
     }
-    results
+    OnlineReport {
+        results,
+        shed,
+        degraded_serves,
+    }
 }
 
 /// Replays a trace with **continuous batching**: up to `max_slots`
@@ -85,6 +205,25 @@ pub fn serve_trace_continuous(
     predictor: &mut dyn ExpertPredictor,
     max_slots: usize,
 ) -> Vec<OnlineResult> {
+    match try_serve_trace_continuous(engine, trace, predictor, max_slots) {
+        Ok(results) => results,
+        Err(e) => panic!("continuous trace serving failed: {e}"),
+    }
+}
+
+/// Non-panicking variant of [`serve_trace_continuous`].
+///
+/// # Errors
+///
+/// [`ServeError::UnknownRequest`] if the engine reports a finished
+/// request that was never admitted (an engine bookkeeping invariant;
+/// surfaced as a typed error rather than a panic).
+pub fn try_serve_trace_continuous(
+    engine: &mut ServingEngine,
+    trace: &[TraceEvent],
+    predictor: &mut dyn ExpertPredictor,
+    max_slots: usize,
+) -> Result<Vec<OnlineResult>, ServeError> {
     let max_slots = max_slots.max(1);
     let mut results = Vec::with_capacity(trace.len());
     let mut next_arrival = 0usize;
@@ -109,9 +248,12 @@ pub fn serve_trace_continuous(
             continue;
         }
         for metrics in engine.step(predictor) {
-            let (arrival_ns, start_ns) = admissions
-                .remove(&metrics.request_id)
-                .expect("finished request was admitted");
+            let (arrival_ns, start_ns) =
+                admissions
+                    .remove(&metrics.request_id)
+                    .ok_or(ServeError::UnknownRequest {
+                        request_id: metrics.request_id,
+                    })?;
             results.push(OnlineResult {
                 request_id: metrics.request_id,
                 arrival_ns,
@@ -121,7 +263,7 @@ pub fn serve_trace_continuous(
             });
         }
     }
-    results
+    Ok(results)
 }
 
 #[cfg(test)]
@@ -263,6 +405,90 @@ mod tests {
         finishes.sort_unstable();
         finishes.dedup();
         assert_eq!(finishes.len(), 6, "one at a time, distinct finishes");
+    }
+
+    #[test]
+    fn slo_none_matches_plain_serve_trace() {
+        let t = trace(6);
+        let mut e1 = engine();
+        let plain = serve_trace(&mut e1, &t, &mut NoPrefetch);
+        let mut e2 = engine();
+        let report = serve_trace_with_slo(&mut e2, &t, &mut NoPrefetch, None);
+        assert!(report.shed.is_empty());
+        assert_eq!(report.degraded_serves, 0);
+        assert_eq!(plain.len(), report.results.len());
+        for (a, b) in plain.iter().zip(&report.results) {
+            assert_eq!(a.request_id, b.request_id);
+            assert_eq!(a.finish_ns, b.finish_ns);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn slo_shed_drops_late_requests_and_accounts_for_all() {
+        // All requests arrive at t=0: everyone after the first queues
+        // behind it, so a zero queueing budget sheds the rest.
+        let mut t = trace(5);
+        for ev in &mut t {
+            ev.arrival_ns = 0;
+        }
+        let mut e = engine();
+        let report = serve_trace_with_slo(&mut e, &t, &mut NoPrefetch, Some(SloPolicy::shed(0)));
+        assert_eq!(report.results.len() + report.shed.len(), 5);
+        assert_eq!(report.results.len(), 1, "only the head avoids queueing");
+        assert_eq!(report.shed.len(), 4);
+        for s in &report.shed {
+            assert!(s.queued_ns > 0);
+        }
+        assert!((report.goodput() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_degrade_serves_everyone_flagged() {
+        let mut t = trace(4);
+        for ev in &mut t {
+            ev.arrival_ns = 0;
+        }
+        let mut e = engine();
+        let report = serve_trace_with_slo(&mut e, &t, &mut NoPrefetch, Some(SloPolicy::degrade(0)));
+        assert_eq!(report.results.len(), 4, "degrade mode sheds nothing");
+        assert!(report.shed.is_empty());
+        assert_eq!(report.degraded_serves, 3, "head request is within SLO");
+        let flagged = report
+            .results
+            .iter()
+            .filter(|r| r.metrics.served_degraded)
+            .count();
+        assert_eq!(flagged as u64, report.degraded_serves);
+        assert!((report.goodput() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generous_slo_sheds_nothing() {
+        let t = trace(6);
+        let mut e = engine();
+        let report = serve_trace_with_slo(
+            &mut e,
+            &t,
+            &mut NoPrefetch,
+            Some(SloPolicy::shed(u64::MAX / 2)),
+        );
+        assert_eq!(report.results.len(), 6);
+        assert!(report.shed.is_empty());
+    }
+
+    #[test]
+    fn try_continuous_matches_panicking_variant() {
+        let t = trace(6);
+        let mut e1 = engine();
+        let a = serve_trace_continuous(&mut e1, &t, &mut NoPrefetch, 3);
+        let mut e2 = engine();
+        let b = try_serve_trace_continuous(&mut e2, &t, &mut NoPrefetch, 3).expect("serves");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.request_id, y.request_id);
+            assert_eq!(x.finish_ns, y.finish_ns);
+        }
     }
 
     #[test]

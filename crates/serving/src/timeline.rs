@@ -46,6 +46,24 @@ pub enum TimelineEvent {
         /// The expert being waited for.
         expert: ExpertId,
     },
+    /// An on-demand load missed its deadline (or ran in degraded mode)
+    /// and fell back to a reduced-precision payload.
+    OnDemandDegraded {
+        /// The expert loaded at reduced precision.
+        expert: ExpertId,
+    },
+    /// A prefetch transfer failed permanently after exhausting retries
+    /// (transient link faults); the expert stays non-resident.
+    PrefetchFailed {
+        /// The expert whose transfer was lost.
+        expert: ExpertId,
+    },
+    /// A memory-pressure fault shrank the effective expert-cache budget
+    /// for this iteration.
+    BudgetPressure {
+        /// The effective budget in bytes after the squeeze.
+        effective_bytes: u64,
+    },
     /// An iteration completed.
     IterationEnd,
 }
@@ -128,6 +146,15 @@ pub fn render(entries: &[TimelineEntry]) -> String {
             }
             TimelineEvent::InFlightWait { expert } => {
                 format!("    wait in-flight    {expert}")
+            }
+            TimelineEvent::OnDemandDegraded { expert } => {
+                format!("    DEGRADED load     {expert}")
+            }
+            TimelineEvent::PrefetchFailed { expert } => {
+                format!("    prefetch FAILED   {expert}")
+            }
+            TimelineEvent::BudgetPressure { effective_bytes } => {
+                format!("  budget pressure -> {effective_bytes} B")
             }
             TimelineEvent::IterationEnd => "iteration end".to_string(),
         };

@@ -140,6 +140,8 @@ fn degraded_fraction_aggregates() {
         expert_hits: hits,
         expert_misses: 10 - hits,
         degraded_hits: degraded,
+        degraded_loads: 0,
+        served_degraded: false,
     };
     let a = AggregateMetrics::from_requests(&[rm(8, 4), rm(6, 0)]);
     // 4 degraded of 20 accesses.

@@ -6,7 +6,7 @@ use fmoe::{FmoeConfig, FmoePredictor};
 use fmoe_cache::FmoePriorityPolicy;
 use fmoe_memsim::Topology;
 use fmoe_model::{presets, GateParams, GateSimulator, GpuSpec};
-use fmoe_serving::{serve_trace, EngineConfig, ServingEngine};
+use fmoe_serving::{serve_trace, serve_trace_with_slo, EngineConfig, ServingEngine, SloPolicy};
 use fmoe_workload::{AzureTraceSpec, DatasetSpec, TraceEvent};
 
 fn engine() -> ServingEngine {
@@ -107,6 +107,64 @@ fn queueing_latency_appears_under_bursts() {
     // Queueing delays are cumulative: monotone nondecreasing.
     for w in results.windows(2) {
         assert!(w[1].queueing_ns() >= w[0].queueing_ns());
+    }
+}
+
+#[test]
+fn slo_report_accounts_for_every_trace_request() {
+    let m = presets::small_test_model();
+    // Burst at t=0 so the SLO has something to act on.
+    let mut t = trace(8);
+    for e in &mut t {
+        e.arrival_ns = 0;
+    }
+    for policy in [SloPolicy::shed(0), SloPolicy::degrade(0)] {
+        let mut predictor = FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m));
+        let mut eng = engine();
+        let report = serve_trace_with_slo(&mut eng, &t, &mut predictor, Some(policy));
+        // Shed + served always sums to the trace length.
+        assert_eq!(report.results.len() + report.shed.len(), t.len());
+        // Queueing delays are non-negative by construction and shed
+        // requests always violated the (zero) budget.
+        for r in &report.results {
+            assert!(r.start_ns >= r.arrival_ns, "queueing must be non-negative");
+        }
+        for s in &report.shed {
+            assert!(s.queued_ns > 0);
+        }
+        // Served results come back in trace (arrival) order.
+        for w in report.results.windows(2) {
+            assert!(w[0].arrival_ns <= w[1].arrival_ns);
+            assert!(w[0].finish_ns <= w[1].start_ns, "FCFS ordering violated");
+        }
+        // Degrade mode flags exactly the violators it served.
+        let flagged = report
+            .results
+            .iter()
+            .filter(|r| r.metrics.served_degraded)
+            .count() as u64;
+        assert_eq!(flagged, report.degraded_serves);
+    }
+}
+
+#[test]
+fn slo_disabled_report_matches_plain_serve_trace() {
+    let m = presets::small_test_model();
+    let t = trace(8);
+    let mut p1 = FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m));
+    let mut e1 = engine();
+    let plain = serve_trace(&mut e1, &t, &mut p1);
+    let mut p2 = FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m));
+    let mut e2 = engine();
+    let report = serve_trace_with_slo(&mut e2, &t, &mut p2, None);
+    assert!(report.shed.is_empty());
+    assert_eq!(report.degraded_serves, 0);
+    assert_eq!(plain.len(), report.results.len());
+    for (a, b) in plain.iter().zip(&report.results) {
+        assert_eq!(a.request_id, b.request_id);
+        assert_eq!(a.start_ns, b.start_ns);
+        assert_eq!(a.finish_ns, b.finish_ns);
+        assert_eq!(a.metrics, b.metrics);
     }
 }
 

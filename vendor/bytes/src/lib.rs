@@ -1,0 +1,33 @@
+//! Offline shim for `bytes`: the workspace declares the dependency but
+//! currently uses none of its API. A minimal `Bytes` newtype is provided
+//! so downstream code can start using it without re-vendoring.
+
+/// A cheaply cloneable immutable byte buffer (shim: `Arc<[u8]>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(std::sync::Arc<[u8]>);
+
+impl Bytes {
+    /// Copies `data` into a new buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self(data.into())
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}

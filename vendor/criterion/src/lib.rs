@@ -1,0 +1,197 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the API shape the workspace benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`], [`black_box`] and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock timer. Each benchmark runs a handful of iterations and
+//! prints mean time per iteration; there is no statistics engine, HTML
+//! report, or command-line parsing beyond ignoring the args `cargo bench`
+//! and `cargo test` pass.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity, as in upstream criterion.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    #[must_use]
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A bare parameter value.
+    #[must_use]
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_owned(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    total_ns: u128,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording elapsed wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Tiny default: the shim measures wall-clock only, so a few
+        // iterations suffice and keep `cargo test`/`cargo bench` fast.
+        Self { sample_size: 3 }
+    }
+}
+
+fn run_one(label: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { iters, total_ns: 0 };
+    f(&mut bencher);
+    let per_iter = if bencher.iters == 0 {
+        0
+    } else {
+        bencher.total_ns / u128::from(bencher.iters)
+    };
+    println!("bench {label}: {per_iter} ns/iter ({iters} iters, wall-clock shim)");
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) -> &mut Self {
+        run_one(label, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Upstream rejects sample sizes below 10; the shim just clamps
+        // to at least one iteration.
+        self.sample_size = (n as u64).max(1).min(10);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<P, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

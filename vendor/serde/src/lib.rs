@@ -1,0 +1,22 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-looking
+//! metadata markers but never serializes through serde (persistence is
+//! hand-rolled text in `fmoe::persist`). The traits here are empty and
+//! blanket-implemented so the derives — which expand to nothing — still
+//! leave every annotated type satisfying `T: Serialize` bounds.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! marker (no serialization is ever performed through serde; persistence
+//! is hand-rolled). The `serde` shim blanket-implements both traits, so
+//! these derives can expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: the shim trait is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: the shim trait is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
