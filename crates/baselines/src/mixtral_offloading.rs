@@ -104,11 +104,7 @@ impl ExpertPredictor for MixtralOffloadingPredictor {
             return Vec::new();
         }
         let mut ranked: Vec<(usize, f64)> = distribution.iter().copied().enumerate().collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite probabilities")
-                .then(a.0.cmp(&b.0))
-        });
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked
             .into_iter()
             .take(self.prefetch_per_layer)

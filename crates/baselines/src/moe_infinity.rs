@@ -20,7 +20,7 @@ use fmoe_model::gate::TokenSpan;
 use fmoe_model::{ExpertId, GateSimulator, ModelConfig, RequestRouting};
 use fmoe_serving::{ExpertPredictor, IterationContext, PredictorTiming, PrefetchPlan};
 use fmoe_stats::cosine_similarity;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A request to replay into the EAM collection offline (the 70% split).
 #[derive(Debug, Clone, Copy)]
@@ -52,7 +52,7 @@ pub struct MoeInfinityPredictor {
     /// Global activation counts (the "most popular experts" fallback).
     popularity: Vec<f64>,
     /// In-progress request matrices per batch element.
-    current: HashMap<usize, Vec<f64>>,
+    current: BTreeMap<usize, Vec<f64>>,
 }
 
 impl MoeInfinityPredictor {
@@ -72,7 +72,7 @@ impl MoeInfinityPredictor {
             latency_ns: 500_000, // synchronous matrix matching per layer
             collection: Vec::new(),
             popularity: vec![0.0; lj],
-            current: HashMap::new(),
+            current: BTreeMap::new(),
         }
     }
 
@@ -121,11 +121,7 @@ impl MoeInfinityPredictor {
     /// Records top-K activations of one distribution into a matrix.
     fn record(&self, matrix: &mut [f64], layer: u32, distribution: &[f64]) {
         let mut ranked: Vec<(usize, f64)> = distribution.iter().copied().enumerate().collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite probabilities")
-                .then(a.0.cmp(&b.0))
-        });
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         for &(slot, _) in ranked.iter().take(self.top_k as usize) {
             matrix[self.flat_index(layer, slot)] += 1.0;
         }
@@ -142,11 +138,7 @@ impl MoeInfinityPredictor {
             .map(|&c| if total > 0.0 { c / total } else { 0.0 })
             .enumerate()
             .collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite counts")
-                .then(a.0.cmp(&b.0))
-        });
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(self.prefetch_per_layer);
         ranked
     }
@@ -223,28 +215,26 @@ impl ExpertPredictor for MoeInfinityPredictor {
     ) -> Vec<PrefetchPlan> {
         // Aggregate into the request's partial matrix (request-level!).
         let lj = self.lj();
-        let matrix = self
+        let mut partial = self
             .current
-            .entry(ctx.element)
-            .or_insert_with(|| vec![0.0; lj]);
-        let mut partial = std::mem::take(matrix);
+            .remove(&ctx.element)
+            .unwrap_or_else(|| vec![0.0; lj]);
         self.record(&mut partial, layer, distribution);
-        *self.current.get_mut(&ctx.element).expect("just inserted") = partial.clone();
+        self.current.insert(ctx.element, partial.clone());
 
         let target = layer + self.distance;
         if target >= self.num_layers || self.collection.is_empty() {
             return Vec::new();
         }
         // Request-level cosine match of the partial matrix.
-        let mut best: Option<(usize, f64)> = None;
+        let mut best = (0usize, f64::NEG_INFINITY);
         for (i, m) in self.collection.iter().enumerate() {
             let s = cosine_similarity(&partial, m);
-            if best.is_none_or(|(_, bs)| s > bs) {
-                best = Some((i, s));
+            if s > best.1 {
+                best = (i, s);
             }
         }
-        let (idx, _) = best.expect("collection non-empty");
-        let matched = self.collection[idx].clone();
+        let matched = self.collection[best.0].clone();
         let end = (target + self.prefetch_window).min(self.num_layers);
         let mut plans = Vec::new();
         for t in target..end {

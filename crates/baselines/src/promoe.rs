@@ -74,11 +74,7 @@ impl ProMoePredictor {
 
     fn top_plans(&self, scores: &[f64], target_layer: u32) -> Vec<PrefetchPlan> {
         let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite scores")
-                .then(a.0.cmp(&b.0))
-        });
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked
             .into_iter()
             .take(self.prefetch_per_layer)

@@ -69,11 +69,7 @@ impl SwapMoePredictor {
                 .map(|&c| if total > 0.0 { c / total } else { 0.0 })
                 .enumerate()
                 .collect();
-            ranked.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .expect("finite mass")
-                    .then(a.0.cmp(&b.0))
-            });
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             for &(slot, p) in ranked.iter().take(self.critical_per_layer) {
                 if p > 0.0 {
                     plans.push(PrefetchPlan::fetch(ExpertId::new(layer, slot as u32), p));
@@ -117,11 +113,7 @@ impl ExpertPredictor for SwapMoePredictor {
         // Track, never speculate: top-K of the realized distribution feeds
         // the EMA that the next request's critical set is drawn from.
         let mut ranked: Vec<(usize, f64)> = distribution.iter().copied().enumerate().collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite probabilities")
-                .then(a.0.cmp(&b.0))
-        });
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         for &(slot, _) in ranked.iter().take(self.top_k as usize) {
             let idx = self.flat(layer, slot);
             self.ema[idx] = (1.0 - self.alpha) * self.ema[idx] + self.alpha;

@@ -34,7 +34,7 @@ fn run_with(configure: impl Fn(FmoeConfig) -> FmoeConfig) -> AggregateMetrics {
     let gate = cell.gate();
     let (history, test) = cell.split();
     let config = configure(FmoeConfig::for_model(&model));
-    let mut predictor = fmoe::FmoePredictor::new(model.clone(), config);
+    let mut predictor = fmoe::FmoePredictor::new(model, config);
     let hist: Vec<fmoe::predictor::HistoryRequest> = history
         .iter()
         .map(|p| fmoe::predictor::HistoryRequest {

@@ -21,7 +21,7 @@ const TURNS: u64 = 4;
 
 fn per_turn_hit_rates(system: System) -> Vec<f64> {
     let model = presets::mixtral_8x7b();
-    let mut cell = CellConfig::new(model.clone(), DatasetSpec::lmsys_chat(), system);
+    let mut cell = CellConfig::new(model, DatasetSpec::lmsys_chat(), system);
     cell.max_decode = 12;
     let spec = ConversationSpec::chat(DatasetSpec::lmsys_chat(), 8, TURNS);
     let gate = cell.gate();

@@ -1,0 +1,65 @@
+//! Cross-process determinism: a bench binary run twice must emit
+//! byte-identical CSVs (DESIGN.md §10).
+//!
+//! The in-process tests in `tests/determinism.rs` would miss anything
+//! keyed off process state — `HashMap` iteration order reseeds per
+//! process, so hash-order leakage is only visible across *separate*
+//! invocations. This spawns the real `fig9_overall --quick` binary
+//! twice, each in its own scratch working directory, and diffs the
+//! `results/*.csv` artifacts byte for byte.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+fn run_quick_bench(workdir: &Path) -> Vec<(String, Vec<u8>)> {
+    fs::create_dir_all(workdir).expect("scratch dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig9_overall"))
+        .arg("--quick")
+        .current_dir(workdir)
+        .output()
+        .expect("fig9_overall runs");
+    assert!(
+        out.status.success(),
+        "fig9_overall --quick failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let results = workdir.join("results");
+    let mut csvs: Vec<(String, Vec<u8>)> = fs::read_dir(&results)
+        .expect("results dir written")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let bytes = fs::read(&p).expect("csv readable");
+            (name, bytes)
+        })
+        .collect();
+    csvs.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(!csvs.is_empty(), "bench produced no CSV output");
+    csvs
+}
+
+#[test]
+fn quick_bench_csvs_are_byte_identical_across_processes() {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("csv_determinism");
+    let first = run_quick_bench(&base.join("run1"));
+    let second = run_quick_bench(&base.join("run2"));
+    assert_eq!(
+        first.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        second.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "the two runs wrote different CSV file sets"
+    );
+    for ((name, a), (_, b)) in first.iter().zip(&second) {
+        assert_eq!(
+            a, b,
+            "{name} differs between two identical --quick runs: the bench \
+             pipeline leaked nondeterminism (hash order, wall clock, or \
+             unseeded randomness)"
+        );
+    }
+}

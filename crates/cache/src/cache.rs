@@ -3,7 +3,7 @@
 use crate::policy::EvictionPolicy;
 use crate::stats::CacheStats;
 use fmoe_model::{ExpertId, ModelConfig};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How experts map to home GPUs under expert parallelism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
@@ -71,8 +71,8 @@ pub struct ExpertCache {
     per_gpu_used: Vec<u64>,
     /// Resident experts and the bytes each occupies (full-precision
     /// experts occupy `expert_bytes`; quantized ones less).
-    resident: HashMap<ExpertId, u64>,
-    pinned: HashSet<ExpertId>,
+    resident: BTreeMap<ExpertId, u64>,
+    pinned: BTreeSet<ExpertId>,
     policy: Box<dyn EvictionPolicy>,
     stats: CacheStats,
 }
@@ -100,8 +100,8 @@ impl ExpertCache {
             placement: Placement::RoundRobin,
             per_gpu_budget: total_budget_bytes / u64::from(num_gpus),
             per_gpu_used: vec![0; num_gpus as usize],
-            resident: HashMap::new(),
-            pinned: HashSet::new(),
+            resident: BTreeMap::new(),
+            pinned: BTreeSet::new(),
             policy,
             stats: CacheStats::default(),
         }

@@ -12,7 +12,7 @@
 //! mechanics that produce that ordering.
 
 use fmoe_model::ExpertId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Chooses eviction victims among resident experts.
 pub trait EvictionPolicy: std::fmt::Debug + Send {
@@ -56,7 +56,7 @@ pub trait EvictionPolicy: std::fmt::Debug + Send {
 /// Least-recently-used eviction (Mixtral-Offloading's cache).
 #[derive(Debug, Default)]
 pub struct LruPolicy {
-    last_used: HashMap<ExpertId, u64>,
+    last_used: BTreeMap<ExpertId, u64>,
 }
 
 impl LruPolicy {
@@ -108,10 +108,10 @@ impl EvictionPolicy for LruPolicy {
 ///   "LFU" of the paper's Fig. 12b.
 #[derive(Debug, Default)]
 pub struct LfuPolicy {
-    freq: HashMap<ExpertId, u64>,
+    freq: BTreeMap<ExpertId, u64>,
     /// When `true`, hits are deduplicated within an iteration.
     coarse: bool,
-    seen_this_iteration: std::collections::HashSet<ExpertId>,
+    seen_this_iteration: BTreeSet<ExpertId>,
 }
 
 impl LfuPolicy {
@@ -184,8 +184,8 @@ impl EvictionPolicy for LfuPolicy {
 /// first.
 #[derive(Debug)]
 pub struct FmoePriorityPolicy {
-    freq: HashMap<ExpertId, u64>,
-    probability: HashMap<ExpertId, f64>,
+    freq: BTreeMap<ExpertId, u64>,
+    probability: BTreeMap<ExpertId, f64>,
     /// Floor applied to *known* probabilities so a zero never makes an
     /// expert infinitely evictable.
     probability_floor: f64,
@@ -207,8 +207,8 @@ impl FmoePriorityPolicy {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            freq: HashMap::new(),
-            probability: HashMap::new(),
+            freq: BTreeMap::new(),
+            probability: BTreeMap::new(),
             probability_floor: 1e-3,
             neutral_probability: 0.05,
         }
@@ -251,12 +251,7 @@ impl EvictionPolicy for FmoePriorityPolicy {
     fn choose_victim(&self, candidates: &[ExpertId]) -> Option<ExpertId> {
         candidates
             .iter()
-            .min_by(|a, b| {
-                self.score(**a)
-                    .partial_cmp(&self.score(**b))
-                    .expect("scores are finite")
-                    .then(a.cmp(b))
-            })
+            .min_by(|a, b| self.score(**a).total_cmp(&self.score(**b)).then(a.cmp(b)))
             .copied()
     }
 

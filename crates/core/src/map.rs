@@ -88,12 +88,7 @@ impl ExpertMap {
             .iter()
             .map(|row| {
                 let mut idx: Vec<usize> = (0..row.len()).collect();
-                idx.sort_by(|&a, &b| {
-                    row[b]
-                        .partial_cmp(&row[a])
-                        .expect("finite probabilities")
-                        .then(a.cmp(&b))
-                });
+                idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]).then(a.cmp(&b)));
                 let mut counts = vec![0u64; row.len()];
                 for &i in idx.iter().take(k) {
                     counts[i] = 1;

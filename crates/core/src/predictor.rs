@@ -27,7 +27,7 @@ use crate::store::ExpertMapStore;
 use fmoe_model::gate::TokenSpan;
 use fmoe_model::{ExpertId, GateSimulator, ModelConfig, RequestRouting};
 use fmoe_serving::{ExpertPredictor, IterationContext, PredictorTiming, PrefetchPlan};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A historical request used to pre-populate the store offline (the
 /// paper's 70% split).
@@ -52,7 +52,7 @@ pub struct FmoePredictor {
     model: ModelConfig,
     config: FmoeConfig,
     store: ExpertMapStore,
-    elements: HashMap<usize, ElementState>,
+    elements: BTreeMap<usize, ElementState>,
 }
 
 impl FmoePredictor {
@@ -70,7 +70,7 @@ impl FmoePredictor {
             model,
             config,
             store,
-            elements: HashMap::new(),
+            elements: BTreeMap::new(),
         }
     }
 
@@ -189,7 +189,7 @@ impl FmoePredictor {
             }
         }
         if self.config.use_priority_ordering {
-            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("priorities are finite"));
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         }
         scored.into_iter().map(|(_, plan)| plan).collect()
     }

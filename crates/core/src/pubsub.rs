@@ -26,7 +26,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use fmoe_model::{ExpertId, ModelConfig};
 use fmoe_serving::PrefetchPlan;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -157,7 +157,7 @@ fn subscriber_loop(
     config: &FmoeConfig,
 ) {
     // Per-request observed prefixes for trajectory matching.
-    let mut prefixes: HashMap<u64, Vec<Vec<f64>>> = HashMap::new();
+    let mut prefixes: BTreeMap<u64, Vec<Vec<f64>>> = BTreeMap::new();
     while let Ok(msg) = context_rx.recv() {
         match msg {
             ContextMessage::Semantic { request, embedding } => {

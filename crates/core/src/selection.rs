@@ -52,11 +52,7 @@ pub fn select_experts(
     }
     let delta = (1.0 - score).clamp(0.0, 1.0);
     let mut ranked: Vec<SelectedExpert> = distribution.iter().copied().enumerate().collect();
-    ranked.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite probabilities")
-            .then(a.0.cmp(&b.0))
-    });
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
     let max_count = max_count.min(ranked.len());
     let min_count = min_count.min(max_count);
@@ -80,11 +76,7 @@ pub fn select_experts(
 #[must_use]
 pub fn select_top_n(distribution: &[f64], count: usize) -> Vec<SelectedExpert> {
     let mut ranked: Vec<SelectedExpert> = distribution.iter().copied().enumerate().collect();
-    ranked.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite probabilities")
-            .then(a.0.cmp(&b.0))
-    });
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     ranked.truncate(count);
     ranked
 }

@@ -257,18 +257,19 @@ impl ExpertMapStore {
         let victim = match self.replacement {
             ReplacementPolicy::Redundancy => {
                 // Deduplicate: replace the most redundant stored entry.
+                // `new` asserts `capacity > 0`, so the store is non-empty
+                // here; the 0 fallback is unreachable.
                 let flat = map.flatten();
                 (0..self.entries.len())
                     .max_by(|&a, &b| {
                         self.redundancy(&embedding, &flat, a)
-                            .partial_cmp(&self.redundancy(&embedding, &flat, b))
-                            .expect("redundancy scores are finite")
+                            .total_cmp(&self.redundancy(&embedding, &flat, b))
                     })
-                    .expect("store is non-empty at capacity")
+                    .unwrap_or(0)
             }
             ReplacementPolicy::Fifo => (0..self.entries.len())
                 .min_by_key(|&i| self.entries[i].id)
-                .expect("store is non-empty at capacity"),
+                .unwrap_or(0),
             ReplacementPolicy::Random => {
                 self.rng_state = SplitMix64::mix(self.rng_state.wrapping_add(id));
                 (self.rng_state % self.entries.len() as u64) as usize

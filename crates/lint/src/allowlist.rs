@@ -1,0 +1,294 @@
+//! The `lint.toml` allowlist: checked-in, justified suppressions.
+//!
+//! Format — a tiny TOML subset (array-of-tables with string values
+//! only), parsed here so the linter stays dependency-free:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "FM005"
+//! path = "crates/baselines/src/moe_infinity.rs"
+//! contains = "c == 0.0"
+//! justification = "EAM counts are integral f64s; exact zero is the empty sentinel."
+//! ```
+//!
+//! * `rule` and `path` are required; `contains` optionally narrows the
+//!   match to lines containing the substring.
+//! * `justification` is required and must be non-empty — an empty
+//!   justification is itself an error (FM000).
+//! * Entries that suppress nothing produce an FM000 warning so the file
+//!   cannot accumulate dead exceptions.
+
+use crate::diag::{Diagnostic, Severity};
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, Default)]
+pub struct AllowEntry {
+    /// Rule code the entry suppresses (`FM001`…`FM007`).
+    pub rule: String,
+    /// Repo-relative path (matched exactly or as a suffix).
+    pub path: String,
+    /// Optional substring the offending source line must contain.
+    pub contains: Option<String>,
+    /// Why the violation is intended. Must be non-empty.
+    pub justification: String,
+    /// Line in `lint.toml` where the entry starts (for diagnostics).
+    pub line: u32,
+}
+
+/// The parsed allowlist plus per-entry usage tracking.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+    used: Vec<bool>,
+}
+
+impl Allowlist {
+    /// Parses `lint.toml` text. Malformed lines and empty justifications
+    /// are reported as FM000 diagnostics against `toml_path`; parsing
+    /// continues so all problems surface in one run.
+    #[must_use]
+    pub fn parse(toml_path: &str, text: &str) -> (Self, Vec<Diagnostic>) {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut problems = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+        let problem = |line_no: u32, line: &str, message: String| Diagnostic {
+            code: "FM000",
+            severity: Severity::Error,
+            path: toml_path.to_string(),
+            line: line_no,
+            col: 1,
+            message,
+            line_text: line.to_string(),
+        };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = current.take() {
+                    entries.push(e);
+                }
+                current = Some(AllowEntry {
+                    line: line_no,
+                    ..AllowEntry::default()
+                });
+                continue;
+            }
+            let Some((key, value)) = parse_kv(line) else {
+                problems.push(problem(
+                    line_no,
+                    raw,
+                    "unrecognized lint.toml line: expected `[[allow]]` or \
+                     `key = \"value\"`"
+                        .to_string(),
+                ));
+                continue;
+            };
+            let Some(entry) = current.as_mut() else {
+                problems.push(problem(
+                    line_no,
+                    raw,
+                    format!("`{key}` appears before the first `[[allow]]` header"),
+                ));
+                continue;
+            };
+            match key {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "contains" => entry.contains = Some(value),
+                "justification" => entry.justification = value,
+                other => problems.push(problem(
+                    line_no,
+                    raw,
+                    format!(
+                        "unknown allowlist key `{other}` (expected rule, path, \
+                         contains, justification)"
+                    ),
+                )),
+            }
+        }
+        if let Some(e) = current.take() {
+            entries.push(e);
+        }
+
+        for e in &entries {
+            if e.justification.trim().is_empty() {
+                problems.push(problem(
+                    e.line,
+                    "[[allow]]",
+                    format!(
+                        "allowlist entry for {} / {} has an empty justification \
+                         — every suppression must explain why the violation is \
+                         intended",
+                        if e.rule.is_empty() {
+                            "<no rule>"
+                        } else {
+                            &e.rule
+                        },
+                        if e.path.is_empty() {
+                            "<no path>"
+                        } else {
+                            &e.path
+                        },
+                    ),
+                ));
+            }
+            if e.rule.is_empty() || e.path.is_empty() {
+                problems.push(problem(
+                    e.line,
+                    "[[allow]]",
+                    "allowlist entry is missing a `rule` or `path` field".to_string(),
+                ));
+            }
+        }
+
+        let used = vec![false; entries.len()];
+        (Self { entries, used }, problems)
+    }
+
+    /// `true` (and marks the entry used) when some entry suppresses `d`.
+    pub fn suppresses(&mut self, d: &Diagnostic) -> bool {
+        let mut hit = false;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.rule != d.code {
+                continue;
+            }
+            if !(d.path == e.path || d.path.ends_with(&e.path)) {
+                continue;
+            }
+            if let Some(c) = &e.contains {
+                if !d.line_text.contains(c.as_str()) {
+                    continue;
+                }
+            }
+            self.used[i] = true;
+            hit = true;
+        }
+        hit
+    }
+
+    /// FM000 warnings for entries that never suppressed anything.
+    #[must_use]
+    pub fn unused_warnings(&self, toml_path: &str) -> Vec<Diagnostic> {
+        self.entries
+            .iter()
+            .zip(&self.used)
+            .filter(|&(_, used)| !used)
+            .map(|(e, _)| Diagnostic {
+                code: "FM000",
+                severity: Severity::Warning,
+                path: toml_path.to_string(),
+                line: e.line,
+                col: 1,
+                message: format!(
+                    "unused allowlist entry ({} on {}): the violation it \
+                     suppressed is gone — delete the entry",
+                    e.rule, e.path
+                ),
+                line_text: String::new(),
+            })
+            .collect()
+    }
+
+    /// Number of parsed entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries were parsed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Parses a `key = "value"` line; returns `None` when malformed.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    // Unescape the two sequences a path/justification can reasonably
+    // contain; anything else passes through verbatim.
+    let value = inner.replace("\\\"", "\"").replace("\\\\", "\\");
+    Some((key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_diag(code: &'static str, path: &str, line_text: &str) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            line_text: line_text.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_and_suppresses() {
+        let toml = r#"
+# comment
+[[allow]]
+rule = "FM005"
+path = "crates/x/src/a.rs"
+contains = "c == 0.0"
+justification = "sentinel"
+"#;
+        let (mut al, problems) = Allowlist::parse("lint.toml", toml);
+        assert!(problems.is_empty());
+        assert_eq!(al.len(), 1);
+        let d = sample_diag("FM005", "crates/x/src/a.rs", "if c == 0.0 {");
+        assert!(al.suppresses(&d));
+        let other = sample_diag("FM005", "crates/x/src/a.rs", "if c == 1.0 {");
+        assert!(!al.suppresses(&other));
+        assert!(al.unused_warnings("lint.toml").is_empty());
+    }
+
+    #[test]
+    fn empty_justification_is_an_error() {
+        let toml = "[[allow]]\nrule = \"FM004\"\npath = \"a.rs\"\njustification = \"\"\n";
+        let (_, problems) = Allowlist::parse("lint.toml", toml);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].message.contains("empty justification"));
+        assert_eq!(problems[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn unused_entries_warn() {
+        let toml = "[[allow]]\nrule = \"FM001\"\npath = \"never.rs\"\njustification = \"x\"\n";
+        let (al, problems) = Allowlist::parse("lint.toml", toml);
+        assert!(problems.is_empty());
+        let warnings = al.unused_warnings("lint.toml");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].message.contains("unused allowlist entry"));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        let toml = "[[allow]]\nrule FM001\n";
+        let (_, problems) = Allowlist::parse("lint.toml", toml);
+        assert!(!problems.is_empty());
+    }
+
+    #[test]
+    fn keys_before_header_are_reported() {
+        let toml = "rule = \"FM001\"\n";
+        let (_, problems) = Allowlist::parse("lint.toml", toml);
+        assert!(problems
+            .iter()
+            .any(|p| p.message.contains("before the first")));
+    }
+}

@@ -1,0 +1,82 @@
+//! Diagnostics: what a rule reports and how it is rendered.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; fails the run only under `--deny-all`.
+    Warning,
+    /// Contract violation; always fails the run.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Warning => write!(f, "warning"),
+            Self::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, anchored to a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule code (`FM001` … `FM007`, or `FM000` for allowlist hygiene).
+    pub code: &'static str,
+    /// Finding severity before any `--deny-all` promotion.
+    pub severity: Severity,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation with the expected fix.
+    pub message: String,
+    /// The full text of the offending source line (used both for display
+    /// and for allowlist `contains` matching).
+    pub line_text: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}:{}: {} [{}] {}",
+            self.path, self.line, self.col, self.code, self.severity, self.message
+        )?;
+        let trimmed = self.line_text.trim_end();
+        if !trimmed.is_empty() {
+            writeln!(f, "    | {}", trimmed.trim_start())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_path_span_code_and_line() {
+        let d = Diagnostic {
+            code: "FM004",
+            severity: Severity::Error,
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            message: "`unwrap()` in library code".into(),
+            line_text: "    x.unwrap();".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("crates/x/src/lib.rs:3:7: FM004 [error]"));
+        assert!(s.contains("| x.unwrap();"));
+    }
+
+    #[test]
+    fn severity_orders_warning_below_error() {
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

@@ -1,0 +1,581 @@
+//! A minimal Rust lexer: just enough structure for line/token-level
+//! lint rules.
+//!
+//! The lexer understands the pieces of Rust surface syntax that would
+//! otherwise produce false positives in a text-level scan:
+//!
+//! * line (`//`) and nested block (`/* */`) comments, including doc
+//!   comments, are dropped entirely;
+//! * string, raw-string, byte-string and char literals are lexed as
+//!   single opaque tokens (a `HashMap` inside a string never fires);
+//! * lifetimes (`'a`) are distinguished from char literals (`'a'`);
+//! * a small set of multi-character operators (`==`, `!=`, `::`, …) are
+//!   glued so rules can match them as single tokens.
+//!
+//! It is deliberately *not* a parser: there is no precedence, no AST,
+//! and no name resolution. Rules work on the token stream plus the
+//! test-region markers computed by [`mark_test_regions`].
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `as`, `fn`, …).
+    Ident,
+    /// A lifetime such as `'a` (the text excludes the quote).
+    Lifetime,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `0.5f32`).
+    Float,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `'c'`.
+    StrLike,
+    /// Punctuation; multi-character operators are glued (`==`, `::`).
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The token text as it appears in the source (string-like literals
+    /// keep their quotes/prefix).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based source column of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` when the token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// `true` when the token is the punctuation `s`.
+    #[must_use]
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character operators glued into single tokens, longest first.
+const GLUED: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into a token stream. Never fails: unrecognized bytes
+/// become single-character [`TokenKind::Punct`] tokens, and unterminated
+/// literals run to end of input.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    // Advances `n` chars, maintaining line/col.
+    macro_rules! advance {
+        ($n:expr) => {
+            for _ in 0..$n {
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            advance!(1);
+            continue;
+        }
+
+        // Line comment (also doc comments).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                advance!(1);
+            }
+            continue;
+        }
+
+        // Nested block comment.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    advance!(2);
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    advance!(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    advance!(1);
+                }
+            }
+            continue;
+        }
+
+        // Raw strings and byte strings: r"…", r#"…"#, br"…", b"…".
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            let mut is_raw = false;
+            if chars[j] == 'b' {
+                j += 1;
+                if chars.get(j) == Some(&'r') {
+                    j += 1;
+                    is_raw = true;
+                }
+            } else {
+                j += 1; // 'r'
+                is_raw = true;
+            }
+            let mut hashes = 0usize;
+            if is_raw {
+                while chars.get(j + hashes) == Some(&'#') {
+                    hashes += 1;
+                }
+            }
+            // Only a string if the prefix is followed by a quote —
+            // otherwise it is an identifier starting with r/b.
+            if chars.get(j + hashes) == Some(&'"') {
+                let start = i;
+                advance!(j + hashes - i + 1); // prefix + hashes + quote
+                loop {
+                    if i >= chars.len() {
+                        break;
+                    }
+                    if !is_raw && chars[i] == '\\' {
+                        advance!(2);
+                        continue;
+                    }
+                    if chars[i] == '"' {
+                        // For raw strings require the matching hashes.
+                        let mut ok = true;
+                        if is_raw {
+                            for h in 0..hashes {
+                                if chars.get(i + 1 + h) != Some(&'#') {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if ok {
+                            advance!(1 + if is_raw { hashes } else { 0 });
+                            break;
+                        }
+                    }
+                    advance!(1);
+                }
+                tokens.push(Token {
+                    kind: TokenKind::StrLike,
+                    text: chars[start..i.min(chars.len())].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+                continue;
+            }
+            // else: fall through to identifier lexing below.
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            let start = i;
+            advance!(1);
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    advance!(2);
+                    continue;
+                }
+                if chars[i] == '"' {
+                    advance!(1);
+                    break;
+                }
+                advance!(1);
+            }
+            tokens.push(Token {
+                kind: TokenKind::StrLike,
+                text: chars[start..i.min(chars.len())].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Lifetime or char literal.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            if chars.get(i + 1).copied().is_some_and(is_ident_start) {
+                let mut j = i + 1;
+                while chars.get(j).copied().is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if chars.get(j) != Some(&'\'') {
+                    let text: String = chars[i..j].iter().collect();
+                    advance!(j - i);
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text,
+                        line: tline,
+                        col: tcol,
+                    });
+                    continue;
+                }
+            }
+            // Char literal.
+            let start = i;
+            advance!(1);
+            if chars.get(i) == Some(&'\\') {
+                advance!(2);
+                // \u{…}
+                while i < chars.len() && chars[i] != '\'' {
+                    advance!(1);
+                }
+            } else if i < chars.len() {
+                advance!(1);
+            }
+            if chars.get(i) == Some(&'\'') {
+                advance!(1);
+            }
+            tokens.push(Token {
+                kind: TokenKind::StrLike,
+                text: chars[start..i.min(chars.len())].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            advance!(1);
+            while i < chars.len() {
+                let d = chars[i];
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    if d == 'e' || d == 'E' {
+                        // Exponent: allow a sign right after.
+                        advance!(1);
+                        if matches!(chars.get(i), Some('+' | '-'))
+                            && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+                        {
+                            is_float = true;
+                            advance!(1);
+                        }
+                        continue;
+                    }
+                    advance!(1);
+                } else if d == '.' && chars.get(i + 1).is_some_and(char::is_ascii_digit) {
+                    is_float = true;
+                    advance!(1);
+                } else {
+                    break;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            if text.ends_with("f32") || text.ends_with("f64") {
+                is_float = true;
+            }
+            tokens.push(Token {
+                kind: if is_float {
+                    TokenKind::Float
+                } else {
+                    TokenKind::Int
+                },
+                text,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                advance!(1);
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Glued multi-char operators, longest first.
+        let mut matched = false;
+        for op in GLUED {
+            let oplen = op.len();
+            if chars[i..].iter().take(oplen).collect::<String>() == **op {
+                // `1..2` lexes `..` here because the number lexer refuses
+                // `.` unless followed by a digit — and `..` never is.
+                advance!(oplen);
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*op).to_string(),
+                    line: tline,
+                    col: tcol,
+                });
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+
+        // Single-char punctuation (or anything unrecognized).
+        advance!(1);
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+    }
+    tokens
+}
+
+/// Computes, for every token, whether it lies inside test-only code:
+/// an item annotated `#[test]`, `#[cfg(test)]` (including
+/// `#[cfg(all(test, …))]` but not `#[cfg(not(test))]`), or `#[bench]`.
+///
+/// The marker covers the attribute itself, any further attributes on the
+/// same item, and the item's body (up to the matching `}` or the
+/// terminating `;`).
+#[must_use]
+pub fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let (attr_end, is_test) = scan_attribute(tokens, i);
+            if is_test {
+                let region_end = skip_item(tokens, attr_end);
+                for flag in in_test.iter_mut().take(region_end).skip(i) {
+                    *flag = true;
+                }
+                i = region_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Scans the attribute starting at `#` index `start`; returns the index
+/// one past the closing `]` and whether it is a test-marking attribute.
+fn scan_attribute(tokens: &[Token], start: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut j = start + 1; // at '['
+    let mut inner: Vec<&Token> = Vec::new();
+    while j < tokens.len() {
+        if tokens[j].is_punct("[") {
+            depth += 1;
+        } else if tokens[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if depth >= 1 {
+            inner.push(&tokens[j]);
+        }
+        j += 1;
+    }
+    let is_test = match inner.first() {
+        Some(t) if t.is_ident("test") || t.is_ident("bench") => true,
+        Some(t) if t.is_ident("cfg") => {
+            inner.iter().any(|t| t.is_ident("test")) && !inner.iter().any(|t| t.is_ident("not"))
+        }
+        _ => false,
+    };
+    (j, is_test)
+}
+
+/// Skips the item following an attribute: further attributes, then
+/// either a braced body (to its matching `}`) or a `;`-terminated item.
+/// Returns the index one past the item.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Further attributes on the same item.
+    while i < tokens.len()
+        && tokens[i].is_punct("#")
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))
+    {
+        let (end, _) = scan_attribute(tokens, i);
+        i = end;
+    }
+    let mut brace = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            brace += 1;
+        } else if t.is_punct("}") {
+            brace = brace.saturating_sub(1);
+            if brace == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(";") && brace == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = lex("// HashMap\nlet x = \"HashMap\"; /* HashSet */ y");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_do_not_leak() {
+        let toks = lex(r##"let s = r#"Instant::now"#; z"##);
+        assert!(toks.iter().any(|t| t.is_ident("z")));
+        assert!(!toks.iter().any(|t| t.is_ident("Instant")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::StrLike && t.text == "'x'"));
+    }
+
+    #[test]
+    fn float_and_int_literals() {
+        let toks = lex("a == 0.0; b == 1; c == 2e-3; d == 4f64; e == 0xFF");
+        let kinds: Vec<TokenKind> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Int | TokenKind::Float))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Float,
+                TokenKind::Int,
+                TokenKind::Float,
+                TokenKind::Float,
+                TokenKind::Int
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = lex("for i in 0..10 {}");
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        assert!(toks.iter().all(|t| t.kind != TokenKind::Float));
+    }
+
+    #[test]
+    fn glued_operators() {
+        let toks = lex("a == b != c :: d -> e");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->"]);
+    }
+
+    #[test]
+    fn line_and_col_positions() {
+        let toks = lex("a\n  bb\n");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn tail() {}";
+        let toks = lex(src);
+        let marks = mark_test_regions(&toks);
+        let unwrap_idx = toks
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("has unwrap");
+        let tail_idx = toks
+            .iter()
+            .position(|t| t.is_ident("tail"))
+            .expect("has tail");
+        assert!(marks[unwrap_idx]);
+        assert!(!marks[tail_idx]);
+        assert!(!marks[0]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let src = "#[cfg(not(test))]\nmod real { fn f() { x.unwrap(); } }";
+        let toks = lex(src);
+        let marks = mark_test_regions(&toks);
+        let unwrap_idx = toks
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("has unwrap");
+        assert!(!marks[unwrap_idx]);
+    }
+
+    #[test]
+    fn test_attribute_with_more_attributes() {
+        let src = "#[test]\n#[ignore]\nfn t() { x.unwrap(); }\nfn real() {}";
+        let toks = lex(src);
+        let marks = mark_test_regions(&toks);
+        let unwrap_idx = toks
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("has unwrap");
+        let real_idx = toks
+            .iter()
+            .position(|t| t.is_ident("real"))
+            .expect("has real");
+        assert!(marks[unwrap_idx]);
+        assert!(!marks[real_idx]);
+    }
+}

@@ -1,0 +1,111 @@
+//! CLI for `fmoe-lint`. See the library docs for the rule catalog.
+//!
+//! ```text
+//! cargo run -p fmoe-lint -- --workspace [--deny-all]
+//! cargo run -p fmoe-lint -- crates/cache/src/cache.rs
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings at failing severity, 2 usage or I/O
+//! error.
+
+#![forbid(unsafe_code)]
+
+use fmoe_lint::{lint_files, lint_workspace, walk, LintReport, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: fmoe-lint (--workspace | FILE...) [--deny-all] [--allowlist PATH]
+
+  --workspace        lint every workspace src/ tree
+  --deny-all         treat warnings as errors
+  --allowlist PATH   lint.toml location (default: <root>/lint.toml)";
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut deny_all = false;
+    let mut allowlist: Option<PathBuf> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--deny-all" => deny_all = true,
+            "--allowlist" => match args.next() {
+                Some(p) => allowlist = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--allowlist needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if !workspace && files.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("fmoe-lint: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match walk::find_workspace_root(&cwd) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fmoe-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let allowlist_path = allowlist.unwrap_or_else(|| root.join("lint.toml"));
+
+    let report = if workspace {
+        lint_workspace(&root, &allowlist_path)
+    } else {
+        lint_files(&root, &files, &allowlist_path)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fmoe-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    render(&report, deny_all)
+}
+
+/// Prints diagnostics and the summary; computes the exit code.
+fn render(report: &LintReport, deny_all: bool) -> ExitCode {
+    for d in &report.diagnostics {
+        let shown = if deny_all && d.severity == Severity::Warning {
+            let mut promoted = d.clone();
+            promoted.severity = Severity::Error;
+            promoted
+        } else {
+            d.clone()
+        };
+        eprint!("{shown}");
+    }
+    let errors = report.errors(deny_all);
+    let warnings = report.warnings(deny_all);
+    eprintln!(
+        "fmoe-lint: {} file(s), {} error(s), {} warning(s), {} suppressed by lint.toml",
+        report.files, errors, warnings, report.suppressed
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

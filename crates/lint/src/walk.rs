@@ -1,0 +1,121 @@
+//! Workspace discovery: find the root, enumerate `src/` trees.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Finds the workspace root by walking up from `start` until a
+/// `Cargo.toml` containing a `[workspace]` table is found.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] when no workspace root exists above `start`.
+pub fn find_workspace_root(start: &Path) -> io::Result<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no workspace Cargo.toml found above the current directory",
+            ));
+        }
+    }
+}
+
+/// Enumerates every `.rs` file under the workspace's `src/` trees:
+/// `crates/*/src/**` plus the root package's `src/**`. Paths are
+/// returned repo-relative with `/` separators, sorted, so diagnostics
+/// are stable across platforms and filesystems.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] when a directory cannot be read.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files under `dir` (no-op when absent).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders a path repo-relative with `/` separators for diagnostics.
+#[must_use]
+pub fn relative_display(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace() {
+        let cwd = std::env::current_dir().expect("cwd");
+        let root = find_workspace_root(&cwd).expect("workspace root");
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn enumerates_sources_including_this_file() {
+        let cwd = std::env::current_dir().expect("cwd");
+        let root = find_workspace_root(&cwd).expect("workspace root");
+        let files = workspace_sources(&root).expect("sources");
+        assert!(files
+            .iter()
+            .any(|f| relative_display(&root, f) == "crates/lint/src/walk.rs"));
+        // tests/ and benches/ trees are not part of the src walk.
+        assert!(files
+            .iter()
+            .all(|f| !relative_display(&root, f).contains("/tests/")));
+    }
+
+    #[test]
+    fn relative_display_uses_forward_slashes() {
+        let root = Path::new("/a/b");
+        let p = Path::new("/a/b/crates/x/src/lib.rs");
+        assert_eq!(relative_display(root, p), "crates/x/src/lib.rs");
+    }
+}

@@ -1,0 +1,82 @@
+//! Fixture self-tests: every rule FM001–FM007 must fire on its `bad/`
+//! fixture and stay silent on its `good/` counterpart.
+//!
+//! The fixtures live under `tests/fixtures/` and are linted as if they
+//! sat in a simulation-path library crate (`crates/cache/src/…`), the
+//! strictest context: sim-path, no wall clock, library (non-test,
+//! non-bin) code.
+
+use fmoe_lint::{lint_source, FileContext};
+use std::fs;
+use std::path::PathBuf;
+
+const RULES: [&str; 7] = [
+    "FM001", "FM002", "FM003", "FM004", "FM005", "FM006", "FM007",
+];
+
+fn fixture(kind: &str, rule: &str) -> String {
+    let path: PathBuf = [
+        env!("CARGO_MANIFEST_DIR"),
+        "tests",
+        "fixtures",
+        kind,
+        &format!("{}.rs", rule.to_lowercase()),
+    ]
+    .iter()
+    .collect();
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
+}
+
+fn strict_context() -> FileContext {
+    let ctx = FileContext::classify("crates/cache/src/fixture.rs");
+    assert!(ctx.sim_path, "fixture context must be sim-path");
+    assert!(
+        !ctx.wall_clock_allowed,
+        "fixture context must ban wall clocks"
+    );
+    ctx
+}
+
+#[test]
+fn every_rule_fires_on_its_bad_fixture() {
+    let ctx = strict_context();
+    for rule in RULES {
+        let source = fixture("bad", rule);
+        let diags = lint_source(&ctx, &source);
+        assert!(
+            diags.iter().any(|d| d.code == rule),
+            "{rule} did not fire on bad fixture; got: {:?}",
+            diags.iter().map(|d| d.code).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn every_rule_is_silent_on_its_good_fixture() {
+    let ctx = strict_context();
+    for rule in RULES {
+        let source = fixture("good", rule);
+        let diags = lint_source(&ctx, &source);
+        let rendered: String = diags.iter().map(ToString::to_string).collect();
+        assert!(
+            diags.is_empty(),
+            "good fixture for {rule} must lint clean, got:\n{rendered}"
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_fire_at_span_accurate_locations() {
+    let ctx = strict_context();
+    let source = fixture("bad", "FM001");
+    let diags = lint_source(&ctx, &source);
+    let first = diags
+        .iter()
+        .find(|d| d.code == "FM001")
+        .expect("FM001 fires");
+    // `use std::collections::HashMap;` is line 2 of the fixture; the
+    // diagnostic must point at the `HashMap` token, not the line start.
+    assert_eq!(first.line, 2);
+    assert!(first.col > 1, "column should point at the offending token");
+    assert!(first.line_text.contains("HashMap"));
+}

@@ -1,0 +1,8 @@
+//! BAD: unordered containers in a simulation-path crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct Cache {
+    resident: HashMap<u64, u64>,
+    pinned: HashSet<u64>,
+}

@@ -1,0 +1,12 @@
+//! BAD: wall-clock sources outside the bench crate.
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn stamp() -> u128 {
+    let t = Instant::now();
+    let _ = t;
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0)
+}

@@ -1,0 +1,6 @@
+//! BAD: unseeded randomness.
+pub fn roll() -> f64 {
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    rand::random()
+}

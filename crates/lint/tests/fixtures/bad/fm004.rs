@@ -1,0 +1,12 @@
+//! BAD: panicking calls in library code.
+pub fn first(xs: &[u64]) -> u64 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("non-empty");
+    if *head > *tail {
+        panic!("unsorted");
+    }
+    match head {
+        0 => unreachable!(),
+        _ => *head,
+    }
+}

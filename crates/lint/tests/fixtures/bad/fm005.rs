@@ -1,0 +1,4 @@
+//! BAD: exact float comparisons.
+pub fn check(x: f64, y: f64) -> bool {
+    x == 0.5 && y != 1.25
+}

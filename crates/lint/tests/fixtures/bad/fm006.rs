@@ -1,0 +1,7 @@
+//! BAD: lossy casts on size/time quantities.
+pub fn shrink(total_bytes: u64, deadline_ns: u64) -> (u32, f32) {
+    let b = total_bytes as u32;
+    let t = deadline_ns as f32;
+    let _roundtrip = (total_bytes as f64 as u64) + 1;
+    (b, t)
+}

@@ -1,0 +1,9 @@
+//! BAD: non-thread-safe shared state in a thread-spawning module.
+use std::cell::RefCell;
+
+pub fn run() {
+    let shared = RefCell::new(0u64);
+    std::thread::spawn(move || {
+        *shared.borrow_mut() += 1;
+    });
+}

@@ -1,0 +1,12 @@
+//! GOOD: ordered containers; HashMap only in comments and strings.
+// A HashMap would be wrong here.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Cache {
+    resident: BTreeMap<u64, u64>,
+    pinned: BTreeSet<u64>,
+}
+
+pub fn doc() -> &'static str {
+    "uses a HashMap internally (it does not)"
+}

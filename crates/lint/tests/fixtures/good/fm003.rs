@@ -1,0 +1,7 @@
+//! GOOD: seeded generators only.
+pub fn roll(seed: u64) -> u64 {
+    // fmoe_stats::rng::SplitMix64-style seeded generation.
+    let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    s ^ (s >> 31)
+}

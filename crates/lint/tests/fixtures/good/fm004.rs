@@ -1,0 +1,12 @@
+//! GOOD: typed errors; unwrap only inside test code.
+pub fn first(xs: &[u64]) -> Result<u64, &'static str> {
+    xs.first().copied().ok_or("empty input")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::first(&[3]).unwrap(), 3);
+    }
+}

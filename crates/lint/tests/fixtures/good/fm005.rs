@@ -1,0 +1,4 @@
+//! GOOD: tolerance comparison; integer equality untouched.
+pub fn check(x: f64, n: u64) -> bool {
+    (x - 0.5).abs() < 1e-12 && n == 1
+}

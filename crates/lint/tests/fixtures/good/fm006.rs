@@ -1,0 +1,6 @@
+//! GOOD: sizes stay wide; narrowing is explicit try_from.
+pub fn shrink(total_bytes: u64, slot: usize) -> (u64, Option<u32>) {
+    let b = total_bytes / 2;
+    let s = u32::try_from(slot).ok();
+    (b, s)
+}

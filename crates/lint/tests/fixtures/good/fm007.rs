@@ -1,0 +1,10 @@
+//! GOOD: approved primitives (RwLock + channels) around the thread.
+use std::sync::Arc;
+
+pub fn run() {
+    let shared = Arc::new(parking_lot::RwLock::new(0u64));
+    let worker = Arc::clone(&shared);
+    std::thread::spawn(move || {
+        *worker.write() += 1;
+    });
+}

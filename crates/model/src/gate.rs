@@ -466,8 +466,7 @@ fn top_k_indices(values: &[f64], k: usize) -> Vec<u32> {
     let mut idx: Vec<u32> = (0..values.len() as u32).collect();
     idx.sort_by(|&a, &b| {
         values[b as usize]
-            .partial_cmp(&values[a as usize])
-            .expect("logits are finite")
+            .total_cmp(&values[a as usize])
             .then(a.cmp(&b))
     });
     idx.truncate(k);

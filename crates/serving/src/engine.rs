@@ -32,7 +32,7 @@ use fmoe_memsim::{
 use fmoe_model::gate::TokenSpan;
 use fmoe_model::{CostModel, ExpertId, GateSimulator, GpuSpec};
 use fmoe_workload::Prompt;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -255,7 +255,7 @@ pub struct ServingEngine {
     cache: ExpertCache,
     transfer: TransferEngine,
     clock: VirtualClock,
-    in_flight: HashMap<u64, ExpertId>,
+    in_flight: BTreeMap<u64, ExpertId>,
     /// Requests currently in the continuous batch (see [`Self::admit`]).
     active: Vec<Element>,
     /// Reusable slot ids freed by finished continuous-batch requests.
@@ -267,7 +267,7 @@ pub struct ServingEngine {
     /// Prefetched experts staged for a layer that has not executed yet:
     /// pinned so eviction cannot undo a deliberate prefetch before use
     /// (all real offloading runtimes protect staged weights this way).
-    staged: std::collections::HashSet<ExpertId>,
+    staged: BTreeSet<ExpertId>,
     breakdown: Breakdown,
     config: EngineConfig,
     /// Installed fault schedule (`None` when the failure model is off);
@@ -301,12 +301,12 @@ impl ServingEngine {
             cache,
             transfer,
             clock: VirtualClock::new(),
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             active: Vec::new(),
             free_slots: Vec::new(),
             next_slot: 0,
             timeline: Timeline::default(),
-            staged: std::collections::HashSet::new(),
+            staged: BTreeSet::new(),
             breakdown: Breakdown::default(),
             config,
             faults: None,
@@ -826,7 +826,7 @@ impl ServingEngine {
                 let bytes = self.cache.expert_bytes();
                 // Per-GPU start times: on-demand loads on a link begin
                 // after the needed in-flight jobs on that link complete.
-                let mut per_gpu_now: HashMap<u32, Nanos> = HashMap::new();
+                let mut per_gpu_now: BTreeMap<u32, Nanos> = BTreeMap::new();
                 let mut inflight_done = start;
                 // Promote every needed transfer first; estimating completion
                 // before all promotions are in would go stale as soon as a
@@ -1015,7 +1015,7 @@ impl ServingEngine {
         let tokens_per_expert = ((batch_tokens * k) as f64 / union.len() as f64)
             .ceil()
             .max(1.0) as u64;
-        let mut per_gpu: HashMap<u32, Nanos> = HashMap::new();
+        let mut per_gpu: BTreeMap<u32, Nanos> = BTreeMap::new();
         for &e in union {
             let gpu = self.cache.home_gpu(e);
             *per_gpu.entry(gpu).or_insert(0) += self.cost.expert_time(tokens_per_expert);

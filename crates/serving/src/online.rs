@@ -228,8 +228,8 @@ pub fn try_serve_trace_continuous(
     let mut results = Vec::with_capacity(trace.len());
     let mut next_arrival = 0usize;
     // request id -> (arrival_ns, admission time).
-    let mut admissions: std::collections::HashMap<u64, (Nanos, Nanos)> =
-        std::collections::HashMap::new();
+    let mut admissions: std::collections::BTreeMap<u64, (Nanos, Nanos)> =
+        std::collections::BTreeMap::new();
     while next_arrival < trace.len() || engine.active_requests() > 0 {
         // Admit everything that has arrived while slots are free.
         while next_arrival < trace.len()

@@ -18,7 +18,7 @@ impl EmpiricalCdf {
     #[must_use]
     pub fn new(mut sample: Vec<f64>) -> Self {
         sample.retain(|v| v.is_finite());
-        sample.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sample.sort_by(f64::total_cmp);
         Self { sorted: sample }
     }
 

@@ -1,0 +1,106 @@
+//! Determinism contract (DESIGN.md §10): identical inputs must yield
+//! byte-identical results, run to run, within one process and across
+//! processes.
+//!
+//! These tests run each serving path twice from identically-constructed
+//! state and compare the *rendered* results byte for byte. `Debug`
+//! rendering covers every field — timing, metrics, shed lists — so any
+//! nondeterminism (hash-order iteration, unseeded randomness, wall-clock
+//! leakage) shows up as a string mismatch, not a flaky tolerance.
+
+use fmoe::{FmoeConfig, FmoePredictor};
+use fmoe_cache::FmoePriorityPolicy;
+use fmoe_memsim::{FaultSchedule, Topology};
+use fmoe_model::{presets, GateParams, GateSimulator, GpuSpec};
+use fmoe_serving::{
+    serve_trace, serve_trace_with_slo, EngineConfig, ServingEngine, SloAction, SloPolicy,
+};
+use fmoe_workload::{AzureTraceSpec, DatasetSpec, TraceEvent};
+
+fn engine() -> ServingEngine {
+    let m = presets::small_test_model();
+    let gate = GateSimulator::new(m.clone(), GateParams::for_model(&m));
+    let mut topo = Topology::paper_testbed();
+    topo.num_gpus = 2;
+    ServingEngine::new(
+        gate,
+        GpuSpec::rtx_3090(),
+        topo,
+        Box::new(FmoePriorityPolicy::new()),
+        EngineConfig {
+            cache_budget_bytes: m.expert_bytes() * 24,
+            preload_all: false,
+            max_decode_iterations: Some(6),
+            context_collection_ns: 10_000,
+            framework_overhead_per_layer_ns: 50_000,
+            ..EngineConfig::paper_default()
+        },
+    )
+}
+
+fn predictor() -> FmoePredictor {
+    let m = presets::small_test_model();
+    FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m))
+}
+
+fn trace(n: u64) -> Vec<TraceEvent> {
+    let mut spec = AzureTraceSpec::paper_online_serving(DatasetSpec::tiny_test());
+    spec.num_requests = n;
+    spec.generate()
+}
+
+#[test]
+fn serve_trace_is_byte_identical_across_runs() {
+    let events = trace(10);
+    let run = || {
+        let mut eng = engine();
+        let mut pred = predictor();
+        let results = serve_trace(&mut eng, &events, &mut pred);
+        format!("{results:?}")
+    };
+    let first = run();
+    let second = run();
+    assert!(!first.is_empty());
+    assert_eq!(
+        first, second,
+        "serve_trace must be byte-identical for identical inputs"
+    );
+}
+
+#[test]
+fn serve_trace_with_slo_and_inert_faults_is_byte_identical() {
+    let events = trace(10);
+    let slo = SloPolicy {
+        max_queueing_ns: 2_000_000,
+        action: SloAction::Degrade,
+    };
+    let run = |faults: Option<FaultSchedule>| {
+        let mut eng = engine();
+        if let Some(schedule) = faults {
+            eng.set_fault_schedule(schedule);
+        }
+        let mut pred = predictor();
+        let report = serve_trace_with_slo(&mut eng, &events, &mut pred, Some(slo));
+        format!("{report:?}")
+    };
+    let plain = run(None);
+    let repeat = run(None);
+    assert_eq!(plain, repeat, "SLO serving must be run-to-run identical");
+
+    // An inert schedule (zero intensity) is the documented identity:
+    // installing it must not perturb a single byte of the output.
+    let inert = FaultSchedule::synthetic(7, 0.0, 1_000_000_000, 2);
+    assert!(inert.is_inert());
+    let faulted = run(Some(inert));
+    assert_eq!(
+        plain, faulted,
+        "an inert fault schedule must leave the run byte-identical"
+    );
+}
+
+#[test]
+fn generated_traces_are_deterministic() {
+    let a = format!("{:?}", trace(16));
+    let b = format!("{:?}", trace(16));
+    assert_eq!(a, b, "trace generation must be seed-deterministic");
+}
