@@ -2,8 +2,15 @@
 //! of fMoE and the four baselines across 3 models × 2 datasets.
 //!
 //! ```sh
-//! cargo run --release -p fmoe-bench --bin fig9_overall [--quick]
+//! cargo run --release -p fmoe-bench --bin fig9_overall [--quick] [--trace]
 //! ```
+//!
+//! With `--trace`, one representative fMoE cell is re-run with the
+//! deterministic trace recorder on, emitting a Chrome-trace timeline
+//! (`results/fig9_overall_trace.json`, loadable in `chrome://tracing` or
+//! Perfetto), a per-phase time breakdown
+//! (`results/fig9_overall_phases.csv`), and the run's counters
+//! (`results/fig9_overall_metrics.csv`).
 
 use fmoe_bench::harness::{CellConfig, System};
 use fmoe_bench::report::{write_csv, Table};
@@ -12,6 +19,7 @@ use fmoe_workload::DatasetSpec;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace = std::env::args().any(|a| a == "--trace");
     let (requests, decode) = if quick { (6, 16) } else { (14, 24) };
 
     let mut table = Table::new(
@@ -115,4 +123,56 @@ fn main() {
 
     println!("paper (§6.2): TTFT -44/-35/-33/-30%, TPOT -70/-61/-55/-48%,");
     println!("hit +147/+11/+34/+63% vs DeepSpeed/Mixtral-Off./ProMoE/MoE-Inf.");
+
+    if trace {
+        emit_trace_artifacts(requests, decode);
+    }
+}
+
+/// Re-runs the first evaluation cell (fMoE) with the trace recorder on
+/// and writes the Chrome-trace JSON, per-phase breakdown CSV, and
+/// metrics CSV under `results/`.
+fn emit_trace_artifacts(requests: usize, decode: u64) {
+    let model = presets::evaluation_models().remove(0);
+    let dataset = DatasetSpec::evaluation_datasets().remove(0);
+    let mut cell = CellConfig::new(model, dataset, System::Fmoe);
+    cell.test_requests = requests;
+    cell.max_decode = decode;
+    let traced = cell.run_offline_traced(1 << 20);
+
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create results/: {e}");
+        return;
+    }
+    let json = fmoe_trace::chrome_trace_json(&traced.records);
+    match std::fs::write(dir.join("fig9_overall_trace.json"), &json) {
+        Ok(()) => println!(
+            "wrote results/fig9_overall_trace.json ({} events, {} dropped)",
+            traced.records.len(),
+            traced.dropped_records
+        ),
+        Err(e) => eprintln!("cannot write trace JSON: {e}"),
+    }
+
+    let mut phases = Table::new(
+        "Figure 9 phase breakdown (fMoE, first cell, traced run)",
+        &["phase", "total (ms)"],
+    );
+    for (phase, total_ns) in fmoe_trace::phase_totals(&traced.records) {
+        phases.row(vec![
+            phase.to_string(),
+            format!("{:.3}", total_ns as f64 / 1e6),
+        ]);
+    }
+    phases.print();
+    let _ = write_csv(&phases, "fig9_overall_phases");
+
+    match std::fs::write(
+        dir.join("fig9_overall_metrics.csv"),
+        traced.metrics.to_csv(),
+    ) {
+        Ok(()) => println!("wrote results/fig9_overall_metrics.csv"),
+        Err(e) => eprintln!("cannot write metrics CSV: {e}"),
+    }
 }

@@ -15,6 +15,7 @@ use fmoe_serving::{
     AggregateMetrics, Breakdown, EngineConfig, ExpertPredictor, IterationContext, RequestMetrics,
     ServingEngine,
 };
+use fmoe_trace::{MetricsRegistry, TraceRecord, TraceSink};
 use fmoe_workload::{split, DatasetSpec, Prompt};
 
 /// The systems compared throughout the evaluation.
@@ -255,10 +256,24 @@ impl CellConfig {
     /// history split, serve the test split, aggregate.
     #[must_use]
     pub fn run_offline(&self) -> SystemOutcome {
+        self.run_offline_with(TraceSink::disabled()).outcome
+    }
+
+    /// [`Self::run_offline`] with a recording trace sink installed:
+    /// same schedule and metrics (tracing is observation-only — locked
+    /// by the workspace determinism suite), plus the captured trace
+    /// records and metrics snapshot for export.
+    #[must_use]
+    pub fn run_offline_traced(&self, capacity: usize) -> TracedOutcome {
+        self.run_offline_with(TraceSink::recording(capacity))
+    }
+
+    fn run_offline_with(&self, sink: TraceSink) -> TracedOutcome {
         let gate = self.gate();
         let (history, test) = self.split();
         let mut predictor = self.predictor(&gate, &history);
         let mut engine = self.engine(gate);
+        engine.set_trace_sink(sink.clone());
         // Warm-up phase: serve a few history prompts unmeasured.
         for prompt in history.iter().take(self.warmup_requests) {
             let _ = engine.serve_request(*prompt, predictor.as_mut());
@@ -269,15 +284,33 @@ impl CellConfig {
         for batch in test.chunks(self.batch_size.max(1)) {
             requests.extend(engine.serve_batch(batch, predictor.as_mut()));
         }
-        SystemOutcome {
-            system: self.system,
-            aggregate: AggregateMetrics::from_requests(&requests),
-            requests,
-            breakdown: engine.take_breakdown(),
-            cache_stats: engine.cache_stats(),
-            transfer_stats: engine.transfer_stats(),
+        TracedOutcome {
+            outcome: SystemOutcome {
+                system: self.system,
+                aggregate: AggregateMetrics::from_requests(&requests),
+                requests,
+                breakdown: engine.take_breakdown(),
+                cache_stats: engine.cache_stats(),
+                transfer_stats: engine.transfer_stats(),
+            },
+            records: sink.take_records(),
+            metrics: sink.metrics_snapshot(),
+            dropped_records: sink.dropped_records(),
         }
     }
+}
+
+/// An offline cell run plus its captured trace.
+#[derive(Debug)]
+pub struct TracedOutcome {
+    /// The usual offline outcome (identical to [`CellConfig::run_offline`]).
+    pub outcome: SystemOutcome,
+    /// Every trace record the run emitted (oldest first).
+    pub records: Vec<TraceRecord>,
+    /// Counters, gauges, and histograms the run accumulated.
+    pub metrics: MetricsRegistry,
+    /// Records lost to ring overflow (0 unless `capacity` was too small).
+    pub dropped_records: u64,
 }
 
 /// Everything one offline cell run produces.

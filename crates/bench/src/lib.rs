@@ -17,6 +17,6 @@ pub mod harness;
 pub mod plot;
 pub mod report;
 
-pub use harness::{CellConfig, System, SystemOutcome};
+pub use harness::{CellConfig, System, SystemOutcome, TracedOutcome};
 pub use plot::{LinePlot, Series};
 pub use report::{write_csv, Table};

@@ -3,6 +3,7 @@
 use crate::policy::EvictionPolicy;
 use crate::stats::CacheStats;
 use fmoe_model::{ExpertId, ModelConfig};
+use fmoe_trace::{Marker, TraceSink, NO_REQUEST, NO_VALUE};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How experts map to home GPUs under expert parallelism.
@@ -75,6 +76,11 @@ pub struct ExpertCache {
     pinned: BTreeSet<ExpertId>,
     policy: Box<dyn EvictionPolicy>,
     stats: CacheStats,
+    /// Observability sink; disabled by default (zero-cost no-op).
+    trace: TraceSink,
+    /// Latest virtual time any caller passed in, used to timestamp
+    /// events from entry points that carry no clock (budget retunes).
+    last_now: u64,
 }
 
 impl ExpertCache {
@@ -104,7 +110,30 @@ impl ExpertCache {
             pinned: BTreeSet::new(),
             policy,
             stats: CacheStats::default(),
+            trace: TraceSink::disabled(),
+            last_now: 0,
         }
+    }
+
+    /// Installs an observability sink. Insert/evict/reject markers and
+    /// counters are emitted into it; with a disabled sink (the default)
+    /// every emission is a no-op and cache behavior is untouched.
+    pub fn set_trace_sink(&mut self, trace: TraceSink) {
+        self.trace = trace;
+    }
+
+    /// Emits a cache marker attributed to `expert`'s layer/slot and home
+    /// GPU.
+    fn mark(&self, marker: Marker, expert: ExpertId, now: u64, value: u64) {
+        self.trace.instant(
+            now,
+            marker,
+            NO_REQUEST,
+            expert.layer,
+            expert.slot,
+            self.home_gpu(expert),
+            value,
+        );
     }
 
     /// Switches the expert-parallel placement scheme (ablations; the
@@ -177,12 +206,15 @@ impl ExpertCache {
     /// Records an access: a hit touches the policy bookkeeping, a miss
     /// only counts. Returns whether it was a hit.
     pub fn record_access(&mut self, expert: ExpertId, now: u64) -> bool {
+        self.last_now = self.last_now.max(now);
         if self.contains(expert) {
             self.stats.hits += 1;
             self.policy.on_hit(expert, now);
+            self.trace.count("cache.hits", 1);
             true
         } else {
             self.stats.misses += 1;
+            self.trace.count("cache.misses", 1);
             false
         }
     }
@@ -198,6 +230,7 @@ impl ExpertCache {
     /// Re-inserting a resident expert with a different size re-accounts
     /// its footprint (e.g. a precision upgrade).
     pub fn insert_sized(&mut self, expert: ExpertId, bytes: u64, now: u64) -> InsertOutcome {
+        self.last_now = self.last_now.max(now);
         if let Some(&existing) = self.resident.get(&expert) {
             self.policy.on_hit(expert, now);
             if existing != bytes {
@@ -209,6 +242,8 @@ impl ExpertCache {
         }
         if bytes > self.per_gpu_budget {
             self.stats.rejected_inserts += 1;
+            self.mark(Marker::CacheReject, expert, now, bytes);
+            self.trace.count("cache.rejected_inserts", 1);
             return InsertOutcome::Rejected;
         }
         let gpu = self.home_gpu(expert);
@@ -228,16 +263,22 @@ impl ExpertCache {
                     // keep evictions as-is but refuse the insert.
                     let _ = v;
                 }
+                self.mark(Marker::CacheReject, expert, now, bytes);
+                self.trace.count("cache.rejected_inserts", 1);
                 return InsertOutcome::Rejected;
             };
             self.remove_internal(victim);
             self.stats.evictions += 1;
+            self.mark(Marker::CacheEvict, victim, now, NO_VALUE);
+            self.trace.count("cache.evictions", 1);
             evicted.push(victim);
         }
         self.per_gpu_used[gpu as usize] += bytes;
         self.resident.insert(expert, bytes);
         self.policy.on_insert(expert, now);
         self.stats.insertions += 1;
+        self.mark(Marker::CacheInsert, expert, now, bytes);
+        self.trace.count("cache.insertions", 1);
         InsertOutcome::Inserted { evicted }
     }
 
@@ -330,8 +371,16 @@ impl ExpertCache {
                 };
                 self.remove_internal(victim);
                 self.stats.evictions += 1;
+                // Budget retunes carry no clock; stamp evictions at the
+                // latest time the cache has observed.
+                self.mark(Marker::CacheEvict, victim, self.last_now, NO_VALUE);
+                self.trace.count("cache.evictions", 1);
                 evicted.push(victim);
             }
+        }
+        if !evicted.is_empty() {
+            self.trace
+                .set_gauge("cache.per_gpu_budget_bytes", self.per_gpu_budget);
         }
         evicted
     }
@@ -615,6 +664,44 @@ mod tests {
             matches!(c.insert(e(0, 2), 2), InsertOutcome::Inserted { evicted } if evicted.is_empty())
         );
         assert_eq!(c.resident_count(), 3);
+    }
+
+    #[test]
+    fn trace_sink_sees_inserts_evictions_and_budget_retunes() {
+        let cfg = presets::tiny_test_model();
+        let sink = fmoe_trace::TraceSink::recording(256);
+        let mut c = tiny_cache(2, 1);
+        c.set_trace_sink(sink.clone());
+        c.insert(e(0, 0), 10);
+        c.insert(e(0, 1), 20);
+        c.record_access(e(0, 0), 30);
+        c.record_access(e(1, 0), 31);
+        // Third insert evicts, then a budget shrink evicts again.
+        c.insert(e(0, 2), 40);
+        let evicted = c.set_total_budget(cfg.expert_bytes());
+        assert_eq!(evicted.len(), 1);
+        let records = sink.take_records();
+        let count = |m: fmoe_trace::Marker| {
+            records
+                .iter()
+                .filter(
+                    |r| matches!(r.event, fmoe_trace::TraceEvent::Instant { marker, .. } if marker == m),
+                )
+                .count()
+        };
+        assert_eq!(count(fmoe_trace::Marker::CacheInsert), 3);
+        assert_eq!(count(fmoe_trace::Marker::CacheEvict), 2);
+        // Budget-retune evictions are stamped at the last observed time.
+        assert!(records.iter().all(|r| r.at_ns <= 40));
+        let m = sink.metrics_snapshot();
+        assert_eq!(m.counter("cache.hits"), 1);
+        assert_eq!(m.counter("cache.misses"), 1);
+        assert_eq!(m.counter("cache.insertions"), 3);
+        assert_eq!(m.counter("cache.evictions"), 2);
+        assert_eq!(
+            m.gauge("cache.per_gpu_budget_bytes"),
+            Some(cfg.expert_bytes())
+        );
     }
 
     #[test]

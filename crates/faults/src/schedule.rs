@@ -224,10 +224,13 @@ pub struct FaultScheduleBuilder {
 impl FaultScheduleBuilder {
     /// Adds a bandwidth-degradation window: during `[start, end)` the
     /// link of `gpu` (all GPUs when `None`) runs at `factor` × nominal
-    /// bandwidth. `factor` is clamped to `[0, 1]`.
+    /// bandwidth. `factor` is clamped to `[0, 1]`. A zero-length window
+    /// (`start >= end`) covers no instant and is dropped as a no-op.
     #[must_use]
     pub fn degrade_link(mut self, gpu: Option<u32>, start: Nanos, end: Nanos, factor: f64) -> Self {
-        assert!(start < end, "degradation window must be non-empty");
+        if start >= end {
+            return self;
+        }
         self.schedule.link_windows.push(LinkWindow {
             gpu,
             start,
@@ -245,10 +248,14 @@ impl FaultScheduleBuilder {
 
     /// Adds a memory-pressure window shrinking the effective cache
     /// budget to `budget_factor` × configured. The factor is clamped to
-    /// `(0, 1]` — a zero budget would wedge the serving engine.
+    /// `(0, 1]` — a zero budget would wedge the serving engine. A
+    /// zero-length window (`start >= end`) covers no instant and is
+    /// dropped as a no-op.
     #[must_use]
     pub fn memory_pressure(mut self, start: Nanos, end: Nanos, budget_factor: f64) -> Self {
-        assert!(start < end, "pressure window must be non-empty");
+        if start >= end {
+            return self;
+        }
         self.schedule.pressure_windows.push(PressureWindow {
             start,
             end,
@@ -381,6 +388,39 @@ mod tests {
         assert_eq!(s.budget_factor(55), 0.5);
         assert_eq!(s.budget_factor(100), 1.0);
         assert_eq!(s.pressure_windows().len(), 2);
+    }
+
+    #[test]
+    fn zero_length_windows_are_dropped_as_no_ops() {
+        // [t, t) covers no instant under half-open semantics, so the
+        // builder drops such windows instead of panicking; a schedule
+        // built only from them is the inert identity.
+        let s = FaultSchedule::builder(1)
+            .degrade_link(Some(0), 500, 500, 0.25)
+            .stall_link(None, 70, 70)
+            .memory_pressure(900, 900, 0.5)
+            .build();
+        assert!(s.is_inert());
+        assert!(s.link_is_clean(0));
+        assert_eq!(s.link_segment(0, 500), LinkSegment::NOMINAL);
+        assert_eq!(s.budget_factor(900), 1.0);
+        assert!(s.pressure_windows().is_empty());
+        // Inverted bounds behave the same as empty ones.
+        let inverted = FaultSchedule::builder(1)
+            .degrade_link(Some(0), 200, 100, 0.25)
+            .build();
+        assert!(inverted.is_inert());
+    }
+
+    #[test]
+    fn zero_length_window_mixed_with_real_ones_leaves_them_intact() {
+        let s = FaultSchedule::builder(1)
+            .degrade_link(Some(0), 300, 300, 0.5)
+            .degrade_link(Some(0), 100, 200, 0.5)
+            .build();
+        assert!(!s.is_inert());
+        assert_eq!(s.link_segment(0, 150).factor, 0.5);
+        assert_eq!(s.link_segment(0, 300), LinkSegment::NOMINAL);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub struct FileContext {
     /// How the file participates in the build.
     pub kind: FileKind,
     /// `true` for crates on the simulation path (core, cache, memsim,
-    /// serving, baselines, model, workload): iteration order there can
+    /// serving, baselines, model, workload, trace): iteration order can
     /// leak into plans, evictions, and CSV output, so unordered
     /// containers are banned outright (FM001).
     pub sim_path: bool,
@@ -47,6 +47,7 @@ pub const SIM_PATH_CRATES: &[&str] = &[
     "baselines",
     "model",
     "workload",
+    "trace",
 ];
 
 impl FileContext {

@@ -51,6 +51,22 @@ impl Link {
     pub fn bytes_in(&self, duration: Nanos) -> f64 {
         self.bandwidth * duration as f64 / 1e9
     }
+
+    /// Fraction of the link's capacity consumed by moving `bytes` over
+    /// an `elapsed_ns` observation window (clamped to `[0, 1]`; zero for
+    /// an empty window). Used by trace-driven phase breakdowns to report
+    /// per-link wire occupancy.
+    #[must_use]
+    pub fn utilization(&self, bytes: u64, elapsed_ns: Nanos) -> f64 {
+        if elapsed_ns == 0 {
+            return 0.0;
+        }
+        let capacity = self.bytes_in(elapsed_ns);
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        (bytes as f64 / capacity).clamp(0.0, 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +107,20 @@ mod tests {
         let t = link.wire_time(bytes);
         let back = link.bytes_in(t);
         assert!((back - bytes as f64).abs() / (bytes as f64) < 1e-3);
+    }
+
+    #[test]
+    fn utilization_is_bounded_and_proportional() {
+        let link = Link::pcie4_x16();
+        let bytes = 64 * 1024 * 1024u64;
+        let wire = link.wire_time(bytes);
+        // Moving `bytes` in exactly its wire time saturates the link.
+        assert!((link.utilization(bytes, wire) - 1.0).abs() < 1e-3);
+        // Twice the window → half the utilization.
+        assert!((link.utilization(bytes, wire * 2) - 0.5).abs() < 1e-3);
+        // Degenerate windows report zero, and overload clamps to 1.
+        assert_eq!(link.utilization(bytes, 0), 0.0);
+        assert_eq!(link.utilization(u64::MAX, 1), 1.0);
     }
 
     #[test]

@@ -38,6 +38,7 @@ use crate::clock::Nanos;
 use crate::link::Link;
 use crate::topology::{GpuId, Topology};
 use fmoe_faults::FaultSchedule;
+use fmoe_trace::{Marker, Phase, TraceSink, NO_LAYER, NO_REQUEST, NO_SLOT};
 use serde::Serialize;
 use std::collections::VecDeque;
 use std::fmt;
@@ -269,6 +270,7 @@ impl LinkState {
         schedule: &FaultSchedule,
         retry: &RetryPolicy,
         stats: &mut TransferStats,
+        trace: &TraceSink,
     ) {
         debug_assert!(target >= self.synced_at, "link time cannot rewind");
         let gpu_idx = gpu.index() as u32;
@@ -333,6 +335,16 @@ impl LinkState {
                         let backoff = retry.backoff_after(job.attempt);
                         stats.retries += 1;
                         stats.backoff_ns += backoff;
+                        trace.instant(
+                            now,
+                            Marker::TransferRetry,
+                            NO_REQUEST,
+                            NO_LAYER,
+                            NO_SLOT,
+                            gpu.0,
+                            backoff,
+                        );
+                        trace.count("transfer.retries", 1);
                         job.attempt += 1;
                         job.setup_remaining = self.link.setup_latency;
                         job.bytes_remaining = job.total_bytes as f64;
@@ -432,6 +444,18 @@ pub struct TransferEngine {
     /// Sequence counter giving each on-demand load a distinct identity
     /// for deterministic failure decisions.
     on_demand_seq: u64,
+    /// Observability sink; disabled by default (zero-cost no-op).
+    trace: TraceSink,
+}
+
+/// Pure projection of one on-demand load under the active fault
+/// schedule: where it lands, how many transient retries it absorbed,
+/// and how much backoff delay those retries added.
+#[derive(Debug, Clone, Copy)]
+struct OnDemandProjection {
+    done: Nanos,
+    retries: u32,
+    backoff_ns: Nanos,
 }
 
 impl TransferEngine {
@@ -455,7 +479,15 @@ impl TransferEngine {
             faults: None,
             retry: RetryPolicy::default(),
             on_demand_seq: 0,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Installs an observability sink. Transfer spans, retry markers,
+    /// and counters are emitted into it; with a disabled sink (the
+    /// default) every emission is a no-op and timings are untouched.
+    pub fn set_trace_sink(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     /// Installs a fault schedule. An inert schedule
@@ -511,6 +543,7 @@ impl TransferEngine {
             stats,
             faults,
             retry,
+            trace,
             ..
         } = self;
         for (i, link) in links.iter_mut().enumerate() {
@@ -527,6 +560,7 @@ impl TransferEngine {
                             schedule,
                             retry,
                             stats,
+                            trace,
                         );
                     }
                     _ => link.advance_to(now, GpuId(i as u32), completions),
@@ -567,9 +601,10 @@ impl TransferEngine {
         let done = match &self.faults {
             None => now + self.links[gpu.index()].link.transfer_time(bytes),
             Some(_) => {
-                let (done, retries) = self.faulty_on_demand_completion(gpu, bytes, now);
-                self.stats.retries += u64::from(retries);
-                done
+                let od_tag = self.next_on_demand_tag();
+                let proj = self.project_on_demand(gpu, od_tag, bytes, now);
+                self.account_on_demand_retries(&proj);
+                proj.done
             }
         };
         let link = self.link_mut(gpu);
@@ -579,6 +614,16 @@ impl TransferEngine {
         self.stats.on_demand_loads += 1;
         self.stats.on_demand_bytes += bytes;
         self.stats.on_demand_blocked_ns += done - now;
+        self.trace.span(
+            done,
+            Phase::Transfer,
+            NO_REQUEST,
+            NO_LAYER,
+            gpu.0,
+            done - now,
+            bytes,
+        );
+        self.trace.count("transfer.on_demand_loads", 1);
         done
     }
 
@@ -601,35 +646,75 @@ impl TransferEngine {
     ) -> Result<OnDemandOutcome, TransferError> {
         self.check_gpu(gpu)?;
         self.advance_to(now);
-        let (full_done, full_retries) = match &self.faults {
-            None => (now + self.links[gpu.index()].link.transfer_time(bytes), 0),
-            Some(_) => self.faulty_on_demand_completion(gpu, bytes, now),
+        // One logical load = one on-demand identity, even when both the
+        // full and fallback payloads are projected: faults, retries, and
+        // backoff are accounted only for the projection actually taken.
+        let od_tag = match &self.faults {
+            None => None,
+            Some(_) => Some(self.next_on_demand_tag()),
         };
-        let (done, bytes_loaded, retries, degraded) =
-            if full_done > deadline && fallback_bytes < bytes {
-                let (fb_done, fb_retries) = match &self.faults {
-                    None => (
-                        now + self.links[gpu.index()].link.transfer_time(fallback_bytes),
-                        0,
-                    ),
-                    Some(_) => self.faulty_on_demand_completion(gpu, fallback_bytes, now),
-                };
-                (fb_done, fallback_bytes, fb_retries, true)
-            } else {
-                (full_done, bytes, full_retries, false)
-            };
+        let project = |eng: &Self, payload: u64| match od_tag {
+            None => OnDemandProjection {
+                done: now + eng.links[gpu.index()].link.transfer_time(payload),
+                retries: 0,
+                backoff_ns: 0,
+            },
+            Some(tag) => eng.project_on_demand(gpu, tag, payload, now),
+        };
+        let full = project(self, bytes);
+        let (chosen, bytes_loaded, degraded) = if full.done > deadline && fallback_bytes < bytes {
+            (project(self, fallback_bytes), fallback_bytes, true)
+        } else {
+            (full, bytes, false)
+        };
+        let done = chosen.done;
+        let retries = chosen.retries;
         let missed_deadline = done > deadline;
+        self.account_on_demand_retries(&chosen);
         let link = self.link_mut(gpu);
         link.synced_at = done;
         self.stats.on_demand_loads += 1;
         self.stats.on_demand_bytes += bytes_loaded;
         self.stats.on_demand_blocked_ns += done - now;
-        self.stats.retries += u64::from(retries);
         if degraded {
             self.stats.degraded_on_demand += 1;
         }
         if missed_deadline {
             self.stats.missed_deadlines += 1;
+        }
+        self.trace.span(
+            done,
+            Phase::Transfer,
+            NO_REQUEST,
+            NO_LAYER,
+            gpu.0,
+            done - now,
+            bytes_loaded,
+        );
+        self.trace.count("transfer.on_demand_loads", 1);
+        if degraded {
+            self.trace.instant(
+                done,
+                Marker::OnDemandDegraded,
+                NO_REQUEST,
+                NO_LAYER,
+                NO_SLOT,
+                gpu.0,
+                bytes_loaded,
+            );
+            self.trace.count("transfer.degraded_on_demand", 1);
+        }
+        if missed_deadline {
+            self.trace.instant(
+                done,
+                Marker::MissedDeadline,
+                NO_REQUEST,
+                NO_LAYER,
+                NO_SLOT,
+                gpu.0,
+                done - deadline,
+            );
+            self.trace.count("transfer.missed_deadlines", 1);
         }
         Ok(OnDemandOutcome {
             completed_at: done,
@@ -640,31 +725,65 @@ impl TransferEngine {
         })
     }
 
+    /// Allocates the next on-demand identity. The high bit marks the tag
+    /// space as on-demand so failure decisions never collide with
+    /// prefetch tags. Exactly one identity is consumed per logical load.
+    fn next_on_demand_tag(&mut self) -> u64 {
+        self.on_demand_seq += 1;
+        self.on_demand_seq | (1 << 63)
+    }
+
     /// Projects the completion time of an on-demand load under the
     /// active fault schedule, absorbing transient-failure retries
-    /// (bounded by the retry policy). Returns `(completion, retries)`.
-    fn faulty_on_demand_completion(&mut self, gpu: GpuId, bytes: u64, now: Nanos) -> (Nanos, u32) {
-        let schedule = self.faults.clone().unwrap_or_else(FaultSchedule::none);
-        self.on_demand_seq += 1;
-        // High bit marks the tag space as on-demand so failure decisions
-        // never collide with prefetch tags.
-        let od_tag = self.on_demand_seq | (1 << 63);
+    /// (bounded by the retry policy). Pure: no stats or sequence state
+    /// is touched, so callers can project alternative payloads and then
+    /// account only the projection they commit to.
+    fn project_on_demand(
+        &self,
+        gpu: GpuId,
+        od_tag: u64,
+        bytes: u64,
+        now: Nanos,
+    ) -> OnDemandProjection {
+        let Some(schedule) = &self.faults else {
+            return OnDemandProjection {
+                done: now + self.links[gpu.index()].link.transfer_time(bytes),
+                retries: 0,
+                backoff_ns: 0,
+            };
+        };
         let gpu_idx = gpu.index() as u32;
         let link = self.links[gpu.index()].link;
         let mut t = now;
         let mut retries = 0u32;
+        let mut backoff_total: Nanos = 0;
         loop {
-            let done = faulty_transfer_duration(&link, &schedule, gpu_idx, bytes, t);
+            let done = faulty_transfer_duration(&link, schedule, gpu_idx, bytes, t);
             if retries < self.retry.max_retries && schedule.fails_transfer(gpu_idx, od_tag, retries)
             {
-                self.stats.faults_injected += 1;
                 let backoff = self.retry.backoff_after(retries);
-                self.stats.backoff_ns += backoff;
+                backoff_total += backoff;
                 retries += 1;
                 t = done + backoff;
             } else {
-                return (done, retries);
+                return OnDemandProjection {
+                    done,
+                    retries,
+                    backoff_ns: backoff_total,
+                };
             }
+        }
+    }
+
+    /// Folds a committed on-demand projection into the counters: each
+    /// absorbed retry is one injected fault, one retry, and its backoff.
+    fn account_on_demand_retries(&mut self, proj: &OnDemandProjection) {
+        self.stats.faults_injected += u64::from(proj.retries);
+        self.stats.retries += u64::from(proj.retries);
+        self.stats.backoff_ns += proj.backoff_ns;
+        if proj.retries > 0 {
+            self.trace
+                .count("transfer.retries", u64::from(proj.retries));
         }
     }
 
@@ -699,6 +818,16 @@ impl TransferEngine {
         let removed = link.queue.len() < before;
         if removed {
             self.stats.cancelled_jobs += 1;
+            self.trace.instant(
+                now,
+                Marker::PrefetchCancelled,
+                NO_REQUEST,
+                NO_LAYER,
+                NO_SLOT,
+                gpu.0,
+                tag,
+            );
+            self.trace.count("transfer.cancelled_jobs", 1);
         }
         removed
     }
@@ -756,6 +885,24 @@ impl TransferEngine {
         }
         let mut out = std::mem::take(&mut self.completions);
         out.sort_by_key(|c| c.completed_at);
+        if self.trace.is_enabled() && !out.is_empty() {
+            for c in &out {
+                // Wire occupancy approximated by the nominal transfer
+                // time; queueing delay is visible as the gap to the
+                // preceding events on the same GPU track.
+                let dur = self.links[c.gpu.index()].link.transfer_time(c.bytes);
+                self.trace.span(
+                    c.completed_at,
+                    Phase::Transfer,
+                    NO_REQUEST,
+                    NO_LAYER,
+                    c.gpu.0,
+                    dur,
+                    c.bytes,
+                );
+            }
+            self.trace.count("transfer.prefetch_jobs", out.len() as u64);
+        }
         out
     }
 
@@ -765,6 +912,20 @@ impl TransferEngine {
     pub fn drain_failures(&mut self) -> Vec<FailedTransfer> {
         let mut out = std::mem::take(&mut self.failures);
         out.sort_by_key(|f| f.failed_at);
+        if self.trace.is_enabled() && !out.is_empty() {
+            for f in &out {
+                self.trace.instant(
+                    f.failed_at,
+                    Marker::TransferFailed,
+                    NO_REQUEST,
+                    NO_LAYER,
+                    NO_SLOT,
+                    f.gpu.0,
+                    u64::from(f.attempts),
+                );
+            }
+            self.trace.count("transfer.failed_jobs", out.len() as u64);
+        }
         out
     }
 
@@ -1176,6 +1337,173 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("GPU 9"));
+    }
+
+    #[test]
+    fn completion_exactly_at_deadline_is_not_missed() {
+        // Deadlines are inclusive: a load whose last byte lands exactly
+        // at the deadline instant is neither degraded nor missed.
+        let mut e = engine(1);
+        let deadline = 1_000 + link().transfer_time(64 * MB);
+        let out = e
+            .on_demand_load_with_deadline(GpuId(0), 64 * MB, 1_000, deadline, 32 * MB)
+            .unwrap();
+        assert_eq!(out.completed_at, deadline);
+        assert!(!out.degraded);
+        assert!(!out.missed_deadline);
+        assert_eq!(e.stats().missed_deadlines, 0);
+        assert_eq!(e.stats().degraded_on_demand, 0);
+    }
+
+    #[test]
+    fn stall_window_starting_exactly_at_deadline_does_not_delay_completion() {
+        // A fault window opening at the very instant the transfer
+        // finishes must not touch it: windows are half-open [start, end)
+        // and the last byte lands at `start`.
+        let mut e = engine(1);
+        let deadline = link().transfer_time(64 * MB);
+        e.set_fault_schedule(
+            FaultSchedule::builder(9)
+                .stall_link(Some(0), deadline, deadline + 10_000_000)
+                .build(),
+        );
+        let out = e
+            .on_demand_load_with_deadline(GpuId(0), 64 * MB, 0, deadline, 32 * MB)
+            .unwrap();
+        assert_eq!(out.completed_at, deadline);
+        assert!(!out.degraded);
+        assert!(!out.missed_deadline);
+    }
+
+    #[test]
+    fn overlapping_degradation_windows_compound_on_the_wire() {
+        // Two half-bandwidth windows covering the same span behave like
+        // one quarter-bandwidth window.
+        let wide = Nanos::MAX - 1;
+        let mut stacked = engine(1);
+        stacked.set_fault_schedule(
+            FaultSchedule::builder(5)
+                .degrade_link(Some(0), 0, wide, 0.5)
+                .degrade_link(Some(0), 0, wide, 0.5)
+                .build(),
+        );
+        let mut quartered = engine(1);
+        quartered.set_fault_schedule(
+            FaultSchedule::builder(5)
+                .degrade_link(Some(0), 0, wide, 0.25)
+                .build(),
+        );
+        let a = stacked.on_demand_load(GpuId(0), 50 * MB, 0);
+        let b = quartered.on_demand_load(GpuId(0), 50 * MB, 0);
+        assert_eq!(a, b, "overlapping windows must multiply factors");
+        assert_eq!(a, link().setup_latency + 4 * link().wire_time(50 * MB));
+    }
+
+    #[test]
+    fn zero_length_fault_windows_are_inert() {
+        // A [t, t) window covers nothing; a schedule made only of such
+        // windows is inert and normalized away entirely.
+        let schedule = FaultSchedule::builder(3)
+            .stall_link(Some(0), 5_000, 5_000)
+            .degrade_link(Some(0), 9_000, 9_000, 0.25)
+            .memory_pressure(7_000, 7_000, 0.5)
+            .build();
+        assert!(schedule.is_inert());
+        let mut plain = engine(1);
+        let mut faulty = engine(1);
+        faulty.set_fault_schedule(schedule);
+        assert!(faulty.fault_schedule().is_none());
+        for e in [&mut plain, &mut faulty] {
+            e.submit_prefetch(GpuId(0), 1, 50 * MB, 0);
+            let od = e.on_demand_load(GpuId(0), 20 * MB, 4_000);
+            e.advance_to(od + link().transfer_time(100 * MB));
+        }
+        assert_eq!(plain.drain_completions(), faulty.drain_completions());
+        assert_eq!(plain.stats(), faulty.stats());
+    }
+
+    #[test]
+    fn degraded_deadline_load_counts_one_load_plus_retries() {
+        // Regression for the retry double-count: projecting both the
+        // full and fallback payloads used to burn two on-demand
+        // identities and charge both projections' faults and backoff to
+        // the stats. A retried, degraded load must count as exactly one
+        // load plus the *chosen* projection's retries.
+        let mut e = engine(1);
+        e.set_retry_policy(RetryPolicy {
+            max_retries: 2,
+            base_backoff_ns: 1_000,
+            max_backoff_ns: 4_000,
+        });
+        e.set_fault_schedule(
+            FaultSchedule::builder(5)
+                .degrade_link(Some(0), 0, Nanos::MAX - 1, 0.25)
+                .transient_failure_rate(1.0)
+                .build(),
+        );
+        // Every attempt fails, so both payloads absorb exactly
+        // max_retries retries: done = 3 * duration + (1000 + 2000).
+        let dur_full = link().setup_latency + 4 * link().wire_time(100 * MB);
+        let dur_fb = link().setup_latency + 4 * link().wire_time(50 * MB);
+        let full_done = 3 * dur_full + 3_000;
+        let fb_done = 3 * dur_fb + 3_000;
+        let deadline = (full_done + fb_done) / 2;
+        let out = e
+            .on_demand_load_with_deadline(GpuId(0), 100 * MB, 0, deadline, 50 * MB)
+            .unwrap();
+        assert!(out.degraded);
+        assert!(!out.missed_deadline);
+        assert_eq!(out.completed_at, fb_done);
+        assert_eq!(out.retries, 2);
+        let s = e.stats();
+        assert_eq!(
+            s.on_demand_loads, 1,
+            "one logical load, not one per projection"
+        );
+        assert_eq!(s.retries, 2);
+        assert_eq!(
+            s.faults_injected, 2,
+            "only the chosen projection's faults count"
+        );
+        assert_eq!(
+            s.backoff_ns, 3_000,
+            "only the chosen projection's backoff counts"
+        );
+        assert_eq!(s.degraded_on_demand, 1);
+        assert_eq!(s.missed_deadlines, 0);
+    }
+
+    #[test]
+    fn trace_sink_records_transfer_activity_without_perturbing_timings() {
+        let sink = fmoe_trace::TraceSink::recording(1024);
+        let mut traced = engine(1);
+        traced.set_trace_sink(sink.clone());
+        let mut plain = engine(1);
+        for e in [&mut plain, &mut traced] {
+            e.submit_prefetch(GpuId(0), 1, 50 * MB, 0);
+            let od = e.on_demand_load(GpuId(0), 20 * MB, 1_000);
+            e.advance_to(od + link().transfer_time(100 * MB));
+        }
+        assert_eq!(plain.drain_completions(), traced.drain_completions());
+        assert_eq!(plain.stats(), traced.stats());
+        let records = sink.take_records();
+        assert!(!records.is_empty(), "transfer spans must be recorded");
+        let spans = records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    fmoe_trace::TraceEvent::Span {
+                        phase: fmoe_trace::Phase::Transfer,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(spans, 2, "one on-demand span + one drained prefetch span");
+        let metrics = sink.metrics_snapshot();
+        assert_eq!(metrics.counter("transfer.on_demand_loads"), 1);
+        assert_eq!(metrics.counter("transfer.prefetch_jobs"), 1);
     }
 
     #[test]

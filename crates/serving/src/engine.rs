@@ -31,6 +31,7 @@ use fmoe_memsim::{
 };
 use fmoe_model::gate::TokenSpan;
 use fmoe_model::{CostModel, ExpertId, GateSimulator, GpuSpec};
+use fmoe_trace::{Marker, Phase, TraceSink, NO_GPU, NO_LAYER, NO_REQUEST, NO_SLOT, NO_VALUE};
 use fmoe_workload::Prompt;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -277,6 +278,11 @@ pub struct ServingEngine {
     /// `true` while serving a request in SLO-degraded mode: on-demand
     /// loads move half-precision payloads to cut the stall.
     degraded_mode: bool,
+    /// Structured-event trace sink (disabled by default — every emission
+    /// is then a single branch). Clones of this handle are shared with
+    /// the transfer engine and expert cache so all three interleave into
+    /// one causally-ordered virtual-time timeline.
+    trace: TraceSink,
 }
 
 impl ServingEngine {
@@ -311,6 +317,7 @@ impl ServingEngine {
             config,
             faults: None,
             degraded_mode: false,
+            trace: TraceSink::disabled(),
         };
         if engine.config.preload_all {
             engine.preload_all_experts();
@@ -368,6 +375,22 @@ impl ServingEngine {
     /// Enables or disables execution-timeline recording.
     pub fn set_timeline_enabled(&mut self, enabled: bool) {
         self.timeline.set_enabled(enabled);
+    }
+
+    /// Installs a trace sink. Clones of the handle are forwarded to the
+    /// transfer engine and expert cache so engine spans, wire activity,
+    /// and cache churn land in one shared timeline. Pass
+    /// [`TraceSink::disabled`] to turn tracing back off.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.transfer.set_trace_sink(sink.clone());
+        self.cache.set_trace_sink(sink.clone());
+        self.trace = sink;
+    }
+
+    /// The engine's trace sink (disabled unless one was installed).
+    #[must_use]
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// Takes the recorded timeline entries.
@@ -617,6 +640,9 @@ impl ServingEngine {
     fn run_iteration(&mut self, elements: &mut [Element], predictor: &mut dyn ExpertPredictor) {
         let iter_start = self.clock.now();
         self.breakdown.iterations += 1;
+        self.trace
+            .begin(iter_start, Phase::Iteration, NO_REQUEST, NO_LAYER);
+        self.trace.count("engine.iterations", 1);
         self.timeline.record(
             iter_start,
             TimelineEvent::IterationStart {
@@ -645,6 +671,15 @@ impl ServingEngine {
         }
         self.clock.advance(self.config.context_collection_ns);
         self.breakdown.context_collection_ns += self.config.context_collection_ns;
+        self.trace.span(
+            self.clock.now(),
+            Phase::ContextCollect,
+            NO_REQUEST,
+            NO_LAYER,
+            NO_GPU,
+            self.config.context_collection_ns,
+            0,
+        );
 
         // Stale-prefetch pruning: jobs still queued from the previous
         // iteration target a phase that has passed — drop them so the
@@ -683,6 +718,16 @@ impl ServingEngine {
                         effective_bytes: effective,
                     },
                 );
+                self.trace.instant(
+                    self.clock.now(),
+                    Marker::BudgetPressure,
+                    NO_REQUEST,
+                    NO_LAYER,
+                    NO_SLOT,
+                    NO_GPU,
+                    effective,
+                );
+                self.trace.count("engine.budget_pressure_iterations", 1);
             }
             let _ = self.cache.set_total_budget(effective);
         }
@@ -728,6 +773,15 @@ impl ServingEngine {
                 + self.config.framework_overhead_per_layer_ns;
             self.clock.advance(compute);
             self.breakdown.compute_ns += compute;
+            self.trace.span(
+                self.clock.now(),
+                Phase::Gate,
+                NO_REQUEST,
+                layer,
+                NO_GPU,
+                compute,
+                0,
+            );
 
             // Gate ground truth per element; union of activated experts.
             let mut union: BTreeSet<ExpertId> = BTreeSet::new();
@@ -802,11 +856,13 @@ impl ServingEngine {
                     // (element, expert) access, against pre-load residency.
                     if residency[&e] {
                         el.hits += 1;
+                        self.trace.count("engine.expert_hits", 1);
                         if self.cache.is_degraded(e) {
                             el.degraded_hits += 1;
                         }
                     } else {
                         el.misses += 1;
+                        self.trace.count("engine.expert_misses", 1);
                     }
                     self.cache.record_access(e, now);
                 }
@@ -824,6 +880,8 @@ impl ServingEngine {
             if !waited_inflight.is_empty() || !missing.is_empty() {
                 let start = self.clock.now();
                 let bytes = self.cache.expert_bytes();
+                self.trace
+                    .begin(start, Phase::OnDemandWait, NO_REQUEST, layer);
                 // Per-GPU start times: on-demand loads on a link begin
                 // after the needed in-flight jobs on that link complete.
                 let mut per_gpu_now: BTreeMap<u32, Nanos> = BTreeMap::new();
@@ -836,6 +894,16 @@ impl ServingEngine {
                     let tag = e.dense_index(j) as u64;
                     self.timeline
                         .record(start, TimelineEvent::InFlightWait { expert: e });
+                    self.trace.instant(
+                        start,
+                        Marker::InFlightWait,
+                        NO_REQUEST,
+                        e.layer,
+                        e.slot,
+                        gpu,
+                        NO_VALUE,
+                    );
+                    self.trace.count("engine.inflight_waits", 1);
                     // The forward pass needs this transfer now: jump it
                     // ahead of background prefetch traffic on its link.
                     self.transfer.promote_to_front(GpuId(gpu), tag, start);
@@ -861,6 +929,16 @@ impl ServingEngine {
                     self.timeline
                         .record(t0, TimelineEvent::OnDemandLoad { expert: e });
                     let want = if self.degraded_mode { bytes / 2 } else { bytes };
+                    self.trace.instant(
+                        t0,
+                        Marker::OnDemandLoad,
+                        NO_REQUEST,
+                        e.layer,
+                        e.slot,
+                        gpu,
+                        want,
+                    );
+                    self.trace.count("engine.on_demand_loads", 1);
                     let done = match self.config.on_demand_deadline_ns {
                         Some(deadline) => {
                             match self.transfer.on_demand_load_with_deadline(
@@ -910,6 +988,7 @@ impl ServingEngine {
                     self.breakdown.on_demand_wait_ns += done - start;
                 }
                 self.clock.advance_to(done);
+                self.trace.end(done, Phase::OnDemandWait, NO_REQUEST, layer);
                 // Fold arrived prefetches (including the waited ones) in.
                 self.absorb_completions();
                 let now = self.clock.now();
@@ -952,6 +1031,15 @@ impl ServingEngine {
             let expert_compute = self.expert_compute_time(&union, batch_tokens);
             self.clock.advance(expert_compute);
             self.breakdown.compute_ns += expert_compute;
+            self.trace.span(
+                self.clock.now(),
+                Phase::Compute,
+                NO_REQUEST,
+                layer,
+                NO_GPU,
+                expert_compute,
+                0,
+            );
             // Release this layer's pins; staged experts for *future*
             // layers stay protected until their layer executes.
             for &e in &union {
@@ -997,12 +1085,29 @@ impl ServingEngine {
             if el.iteration >= el.total_iterations {
                 el.done = true;
                 el.finished_ns = self.clock.now();
+                let total = el.finished_ns - el.start_ns;
+                self.trace.instant(
+                    el.finished_ns,
+                    Marker::RequestFinished,
+                    el.prompt.id,
+                    NO_LAYER,
+                    NO_SLOT,
+                    NO_GPU,
+                    total,
+                );
+                self.trace.count("engine.requests_finished", 1);
+                self.trace.observe("engine.request_total_ns", total);
+                if let Some(ttft) = el.ttft_ns {
+                    self.trace.observe("engine.request_ttft_ns", ttft);
+                }
             }
         }
 
         self.breakdown.iteration_total_ns += self.clock.now() - iter_start;
         self.timeline
             .record(self.clock.now(), TimelineEvent::IterationEnd);
+        self.trace
+            .end(self.clock.now(), Phase::Iteration, NO_REQUEST, NO_LAYER);
     }
 
     /// Expert FFN time for a layer: experts grouped by home GPU run
@@ -1032,6 +1137,18 @@ impl ServingEngine {
         self.breakdown.matching_ns += timing.latency_ns;
         if timing.synchronous {
             self.clock.advance(timing.latency_ns);
+            // Synchronous policies stall compute for the match: a real
+            // interval on the critical path. Asynchronous matching runs
+            // off-path and only shows up via the PrefetchIssued markers.
+            self.trace.span(
+                self.clock.now(),
+                Phase::PrefetchIssue,
+                NO_REQUEST,
+                NO_LAYER,
+                NO_GPU,
+                timing.latency_ns,
+                0,
+            );
         }
     }
 
@@ -1077,6 +1194,20 @@ impl ServingEngine {
                     expert: plan.expert,
                 },
             );
+            // Recorded at `now`, not at the (possibly future) issue time:
+            // the recorder's timeline is monotone and a future stamp would
+            // drag later events forward. The scheduled issue time rides in
+            // `value` instead.
+            self.trace.instant(
+                self.clock.now(),
+                Marker::PrefetchIssued,
+                NO_REQUEST,
+                plan.expert.layer,
+                plan.expert.slot,
+                gpu.0,
+                at,
+            );
+            self.trace.count("engine.prefetches_issued", 1);
             self.in_flight.insert(tag, plan.expert);
             if !touched.contains(&gpu) {
                 touched.push(gpu);
@@ -1118,6 +1249,16 @@ impl ServingEngine {
             self.breakdown.prefetch_async_ns += self.topology.host_link.wire_time(c.bytes);
             self.timeline
                 .record(c.completed_at, TimelineEvent::PrefetchArrived { expert });
+            self.trace.instant(
+                c.completed_at,
+                Marker::PrefetchArrived,
+                NO_REQUEST,
+                expert.layer,
+                expert.slot,
+                c.gpu.0,
+                c.bytes,
+            );
+            self.trace.count("engine.prefetch_arrivals", 1);
             if matches!(
                 self.cache.insert_sized(expert, c.bytes, c.completed_at),
                 InsertOutcome::Inserted { .. } | InsertOutcome::AlreadyResident
@@ -1133,6 +1274,16 @@ impl ServingEngine {
             if let Some(expert) = self.in_flight.remove(&f.tag) {
                 self.timeline
                     .record(f.failed_at, TimelineEvent::PrefetchFailed { expert });
+                self.trace.instant(
+                    f.failed_at,
+                    Marker::PrefetchFailed,
+                    NO_REQUEST,
+                    expert.layer,
+                    expert.slot,
+                    f.gpu.0,
+                    u64::from(f.attempts),
+                );
+                self.trace.count("engine.prefetch_failures", 1);
             }
         }
     }

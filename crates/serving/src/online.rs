@@ -11,6 +11,7 @@ use crate::engine::{ServeError, ServingEngine};
 use crate::metrics::RequestMetrics;
 use crate::predictor::ExpertPredictor;
 use fmoe_memsim::Nanos;
+use fmoe_trace::{Marker, Phase, NO_GPU, NO_LAYER, NO_SLOT};
 use fmoe_workload::TraceEvent;
 use serde::Serialize;
 
@@ -157,6 +158,17 @@ pub fn serve_trace_with_slo(
             if queued > policy.max_queueing_ns {
                 match policy.action {
                     SloAction::Shed => {
+                        let trace_sink = engine.trace_sink();
+                        trace_sink.instant(
+                            engine.now(),
+                            Marker::Shed,
+                            event.prompt.id,
+                            NO_LAYER,
+                            NO_SLOT,
+                            NO_GPU,
+                            queued,
+                        );
+                        trace_sink.count("online.shed", 1);
                         shed.push(ShedRequest {
                             request_id: event.prompt.id,
                             arrival_ns: event.arrival_ns,
@@ -169,6 +181,33 @@ pub fn serve_trace_with_slo(
             }
         }
         let start = engine.now();
+        // Queueing happened over `[arrival, start]`: record it
+        // retroactively as a span ending now, so the queue wait shows up
+        // on the request's own track in the exported timeline.
+        if queued > 0 {
+            engine.trace_sink().span(
+                start,
+                Phase::Queue,
+                event.prompt.id,
+                NO_LAYER,
+                NO_GPU,
+                queued,
+                0,
+            );
+        }
+        if degrade {
+            let trace_sink = engine.trace_sink();
+            trace_sink.instant(
+                start,
+                Marker::DegradedServe,
+                event.prompt.id,
+                NO_LAYER,
+                NO_SLOT,
+                NO_GPU,
+                queued,
+            );
+            trace_sink.count("online.degraded_serves", 1);
+        }
         let metrics = if degrade {
             degraded_serves += 1;
             engine.serve_request_degraded(event.prompt, predictor)
@@ -176,6 +215,9 @@ pub fn serve_trace_with_slo(
             engine.serve_request(event.prompt, predictor)
         };
         let finish = engine.now();
+        engine
+            .trace_sink()
+            .observe("online.request_latency_ns", finish - event.arrival_ns);
         results.push(OnlineResult {
             request_id: event.prompt.id,
             arrival_ns: event.arrival_ns,
@@ -238,7 +280,20 @@ pub fn try_serve_trace_continuous(
         {
             let event = &trace[next_arrival];
             let _slot = engine.admit(event.prompt);
-            admissions.insert(event.prompt.id, (event.arrival_ns, engine.now()));
+            let admitted = engine.now();
+            let queued = admitted.saturating_sub(event.arrival_ns);
+            if queued > 0 {
+                engine.trace_sink().span(
+                    admitted,
+                    Phase::Queue,
+                    event.prompt.id,
+                    NO_LAYER,
+                    NO_GPU,
+                    queued,
+                    0,
+                );
+            }
+            admissions.insert(event.prompt.id, (event.arrival_ns, admitted));
             next_arrival += 1;
         }
         if engine.active_requests() == 0 {
@@ -254,6 +309,9 @@ pub fn try_serve_trace_continuous(
                     .ok_or(ServeError::UnknownRequest {
                         request_id: metrics.request_id,
                     })?;
+            engine
+                .trace_sink()
+                .observe("online.request_latency_ns", engine.now() - arrival_ns);
             results.push(OnlineResult {
                 request_id: metrics.request_id,
                 arrival_ns,
@@ -489,6 +547,38 @@ mod tests {
             assert_eq!(x.request_id, y.request_id);
             assert_eq!(x.finish_ns, y.finish_ns);
         }
+    }
+
+    #[test]
+    fn trace_sink_does_not_perturb_serving_and_captures_phases() {
+        let t = trace(4);
+        let mut plain = engine();
+        let base = serve_trace(&mut plain, &t, &mut NoPrefetch);
+        let mut traced = engine();
+        traced.set_trace_sink(fmoe_trace::TraceSink::recording(1 << 16));
+        let got = serve_trace(&mut traced, &t, &mut NoPrefetch);
+        assert_eq!(base.len(), got.len());
+        for (a, b) in base.iter().zip(&got) {
+            assert_eq!(a.request_id, b.request_id);
+            assert_eq!(a.start_ns, b.start_ns);
+            assert_eq!(a.finish_ns, b.finish_ns);
+            assert_eq!(a.metrics, b.metrics);
+        }
+        let records = traced.trace_sink().take_records();
+        assert!(!records.is_empty(), "tracing captured the run");
+        let totals = fmoe_trace::phase_totals(&records);
+        assert!(totals.contains_key("iteration"));
+        assert!(totals.contains_key("gate"));
+        assert!(totals.contains_key("compute"));
+        assert!(totals.contains_key("context_collect"));
+        let snap = traced.trace_sink().metrics_snapshot();
+        assert!(snap.counter("engine.iterations") > 0);
+        assert_eq!(snap.counter("engine.requests_finished"), 4);
+        assert_eq!(
+            snap.histogram("online.request_latency_ns")
+                .map(|h| h.count()),
+            Some(4)
+        );
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! The trace event taxonomy.
+//!
+//! Two kinds of things happen in the simulator: *phases* that occupy an
+//! interval of virtual time (queueing, gating, a wire transfer, expert
+//! compute) and *markers* that happen at an instant (a prefetch landing,
+//! an eviction, a shed request). Phases become [`TraceEvent::Begin`] /
+//! [`TraceEvent::End`] pairs — or a single retroactive
+//! [`TraceEvent::Span`] when the interval is only known once it has
+//! ended — and markers become [`TraceEvent::Instant`] records.
+//!
+//! Records carry raw ids (`u64` request, `u32` layer/gpu/slot) with `MAX`
+//! sentinels standing in for "not applicable", so the crate stays free of
+//! model/topology dependencies and every field is `Copy`.
+
+/// Virtual time in nanoseconds, mirroring the simulator-wide convention.
+pub type Nanos = u64;
+
+/// Sentinel request id: the event is not attributed to one request.
+pub const NO_REQUEST: u64 = u64::MAX;
+/// Sentinel layer index: the event is not attributed to one layer.
+pub const NO_LAYER: u32 = u32::MAX;
+/// Sentinel GPU index: the event is not attributed to one GPU link.
+pub const NO_GPU: u32 = u32::MAX;
+/// Sentinel expert slot: the event is not attributed to one expert.
+pub const NO_SLOT: u32 = u32::MAX;
+/// Sentinel payload value for markers that carry no measurement.
+pub const NO_VALUE: u64 = u64::MAX;
+
+/// An interval of virtual time — one slice of the per-request latency
+/// decomposition the paper reports (Figures 9–15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Request sat in the arrival queue before the engine picked it up.
+    Queue,
+    /// Per-iteration context collection overhead.
+    ContextCollect,
+    /// Attention + router (gate) + shared-expert compute for one layer.
+    Gate,
+    /// Synchronous predictor work spent deciding what to prefetch.
+    PrefetchIssue,
+    /// Bytes moving across a host-to-GPU link (prefetch or on-demand).
+    Transfer,
+    /// Engine blocked waiting for experts it needed right now.
+    OnDemandWait,
+    /// Routed expert FFN compute for one layer.
+    Compute,
+    /// One full decode/prefill iteration, end to end.
+    Iteration,
+}
+
+impl Phase {
+    /// Stable lowercase name used in every export format. Renaming a
+    /// variant's string is a golden-trace-breaking change.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Queue => "queue",
+            Phase::ContextCollect => "context_collect",
+            Phase::Gate => "gate",
+            Phase::PrefetchIssue => "prefetch_issue",
+            Phase::Transfer => "transfer",
+            Phase::OnDemandWait => "on_demand_wait",
+            Phase::Compute => "compute",
+            Phase::Iteration => "iteration",
+        }
+    }
+}
+
+/// A point event. Cache evictions, degradations, and sheds are
+/// zero-duration by definition here: the *cost* they induce shows up in
+/// the surrounding phase spans, the marker records that the decision
+/// happened and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Marker {
+    /// A prefetch plan was submitted to the transfer engine.
+    PrefetchIssued,
+    /// A prefetched expert finished its transfer and entered the cache.
+    PrefetchArrived,
+    /// A prefetch exhausted its retries and was abandoned.
+    PrefetchFailed,
+    /// A queued prefetch was cancelled before its transfer started.
+    PrefetchCancelled,
+    /// A cache miss forced a blocking on-demand expert load.
+    OnDemandLoad,
+    /// An on-demand load shrank its payload to meet a deadline.
+    OnDemandDegraded,
+    /// The engine waited on an expert whose transfer was already in flight.
+    InFlightWait,
+    /// A transfer attempt failed transiently and was re-queued with backoff.
+    TransferRetry,
+    /// A transfer failed permanently after exhausting its retry budget.
+    TransferFailed,
+    /// An on-demand load finished after its deadline.
+    MissedDeadline,
+    /// An expert was admitted into GPU cache residency.
+    CacheInsert,
+    /// An expert was evicted from GPU cache residency.
+    CacheEvict,
+    /// The cache policy refused to admit an expert.
+    CacheReject,
+    /// The engine observed memory-pressure budget shrinkage this iteration.
+    BudgetPressure,
+    /// A request was served in degraded mode to protect the SLO.
+    DegradedServe,
+    /// A request was shed (rejected unserved) to protect the SLO.
+    Shed,
+    /// A request finished serving end to end.
+    RequestFinished,
+}
+
+impl Marker {
+    /// Stable lowercase name used in every export format. Renaming a
+    /// variant's string is a golden-trace-breaking change.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Marker::PrefetchIssued => "prefetch_issued",
+            Marker::PrefetchArrived => "prefetch_arrived",
+            Marker::PrefetchFailed => "prefetch_failed",
+            Marker::PrefetchCancelled => "prefetch_cancelled",
+            Marker::OnDemandLoad => "on_demand_load",
+            Marker::OnDemandDegraded => "on_demand_degraded",
+            Marker::InFlightWait => "in_flight_wait",
+            Marker::TransferRetry => "transfer_retry",
+            Marker::TransferFailed => "transfer_failed",
+            Marker::MissedDeadline => "missed_deadline",
+            Marker::CacheInsert => "cache_insert",
+            Marker::CacheEvict => "cache_evict",
+            Marker::CacheReject => "cache_reject",
+            Marker::BudgetPressure => "budget_pressure",
+            Marker::DegradedServe => "degraded_serve",
+            Marker::Shed => "shed",
+            Marker::RequestFinished => "request_finished",
+        }
+    }
+}
+
+/// The payload of one trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A phase opened at the record's timestamp.
+    Begin {
+        /// Which phase opened.
+        phase: Phase,
+        /// Owning request id, or [`NO_REQUEST`].
+        request: u64,
+        /// Owning layer index, or [`NO_LAYER`].
+        layer: u32,
+    },
+    /// A phase closed at the record's timestamp. Matched to the most
+    /// recent unclosed [`TraceEvent::Begin`] with the same identity.
+    End {
+        /// Which phase closed.
+        phase: Phase,
+        /// Owning request id, or [`NO_REQUEST`].
+        request: u64,
+        /// Owning layer index, or [`NO_LAYER`].
+        layer: u32,
+    },
+    /// A complete phase recorded retroactively at its *end* time,
+    /// carrying its duration. Used when the start lies in the past
+    /// (queueing delays, drained transfer completions) — recording it as
+    /// a `Begin` would violate the recorder's monotone-time guarantee.
+    Span {
+        /// Which phase the interval belongs to.
+        phase: Phase,
+        /// Owning request id, or [`NO_REQUEST`].
+        request: u64,
+        /// Owning layer index, or [`NO_LAYER`].
+        layer: u32,
+        /// GPU link the interval ran on, or [`NO_GPU`].
+        gpu: u32,
+        /// Interval length in virtual nanoseconds.
+        dur_ns: Nanos,
+        /// Payload bytes moved, or 0 when not a transfer.
+        bytes: u64,
+    },
+    /// A point event at the record's timestamp.
+    Instant {
+        /// Which marker fired.
+        marker: Marker,
+        /// Owning request id, or [`NO_REQUEST`].
+        request: u64,
+        /// Owning layer index, or [`NO_LAYER`].
+        layer: u32,
+        /// Expert slot involved, or [`NO_SLOT`].
+        slot: u32,
+        /// GPU involved, or [`NO_GPU`].
+        gpu: u32,
+        /// Marker-specific measurement (a delay, a byte count, a
+        /// factor in parts-per-million), or [`NO_VALUE`].
+        value: u64,
+    },
+}
+
+/// One recorded event: a virtual timestamp plus its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time the event was recorded at (monotone within a
+    /// recorder; see [`crate::recorder::RingRecorder`]).
+    pub at_ns: Nanos,
+    /// What happened.
+    pub event: TraceEvent,
+}

@@ -1,0 +1,406 @@
+//! Export formats for recorded traces.
+//!
+//! Three consumers, three formats:
+//!
+//! * [`chrome_trace_json`] — the Chrome Trace Event JSON format, loadable
+//!   in `chrome://tracing` / Perfetto. Timestamps are microseconds; we
+//!   format them from integer nanoseconds with pure `u64` arithmetic
+//!   (`"{µs}.{ns%1000:03}"`) so no float ever touches a virtual time.
+//! * [`events_text`] — the canonical one-line-per-record text format the
+//!   golden-trace suite diffs. Stable by contract: changing it means
+//!   re-blessing `tests/golden/`.
+//! * [`phase_totals`] — per-phase duration totals for bench CSV
+//!   breakdowns, pairing `Begin`/`End` records and summing `Span`s.
+
+use crate::event::{
+    Nanos, Phase, TraceEvent, TraceRecord, NO_GPU, NO_LAYER, NO_REQUEST, NO_SLOT, NO_VALUE,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Chrome-trace track (tid) for a record: request-scoped events share
+/// the request's track, GPU-link transfers get a per-link track offset
+/// far above any request id, and engine-scoped events live on track 0.
+const GPU_TRACK_BASE: u64 = 1_000_000;
+
+fn track(request: u64, gpu: u32) -> u64 {
+    if request != NO_REQUEST {
+        request + 1
+    } else if gpu != NO_GPU {
+        GPU_TRACK_BASE + u64::from(gpu)
+    } else {
+        0
+    }
+}
+
+/// Format integer nanoseconds as fractional microseconds without floats.
+fn ts_us(ns: Nanos) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn push_common(out: &mut String, name: &str, cat: &str, ph: &str, ts_ns: Nanos, tid: u64) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":0,\"tid\":{tid}",
+        ts_us(ts_ns)
+    );
+}
+
+fn push_arg_u64(args: &mut Vec<String>, key: &str, value: u64, sentinel: u64) {
+    if value != sentinel {
+        args.push(format!("\"{key}\":{value}"));
+    }
+}
+
+fn push_args(out: &mut String, args: &[String]) {
+    if !args.is_empty() {
+        let _ = write!(out, ",\"args\":{{{}}}", args.join(","));
+    }
+}
+
+/// Render records as a complete Chrome Trace Event JSON document.
+///
+/// Identical record slices render to identical bytes; the output always
+/// validates under [`crate::json::validate`] (a proptest in this crate
+/// locks that for arbitrary sequences).
+#[must_use]
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for rec in records {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        match rec.event {
+            TraceEvent::Begin {
+                phase,
+                request,
+                layer,
+            } => {
+                push_common(
+                    &mut out,
+                    phase.name(),
+                    "phase",
+                    "B",
+                    rec.at_ns,
+                    track(request, NO_GPU),
+                );
+                let mut args = Vec::new();
+                push_arg_u64(&mut args, "layer", u64::from(layer), u64::from(NO_LAYER));
+                push_args(&mut out, &args);
+                out.push('}');
+            }
+            TraceEvent::End {
+                phase,
+                request,
+                layer,
+            } => {
+                push_common(
+                    &mut out,
+                    phase.name(),
+                    "phase",
+                    "E",
+                    rec.at_ns,
+                    track(request, NO_GPU),
+                );
+                let mut args = Vec::new();
+                push_arg_u64(&mut args, "layer", u64::from(layer), u64::from(NO_LAYER));
+                push_args(&mut out, &args);
+                out.push('}');
+            }
+            TraceEvent::Span {
+                phase,
+                request,
+                layer,
+                gpu,
+                dur_ns,
+                bytes,
+            } => {
+                let start = rec.at_ns.saturating_sub(dur_ns);
+                push_common(
+                    &mut out,
+                    phase.name(),
+                    "phase",
+                    "X",
+                    start,
+                    track(request, gpu),
+                );
+                let _ = write!(out, ",\"dur\":{}", ts_us(dur_ns));
+                let mut args = Vec::new();
+                push_arg_u64(&mut args, "layer", u64::from(layer), u64::from(NO_LAYER));
+                push_arg_u64(&mut args, "gpu", u64::from(gpu), u64::from(NO_GPU));
+                if bytes > 0 {
+                    args.push(format!("\"bytes\":{bytes}"));
+                }
+                push_args(&mut out, &args);
+                out.push('}');
+            }
+            TraceEvent::Instant {
+                marker,
+                request,
+                layer,
+                slot,
+                gpu,
+                value,
+            } => {
+                push_common(
+                    &mut out,
+                    marker.name(),
+                    "marker",
+                    "i",
+                    rec.at_ns,
+                    track(request, gpu),
+                );
+                out.push_str(",\"s\":\"t\"");
+                let mut args = Vec::new();
+                push_arg_u64(&mut args, "layer", u64::from(layer), u64::from(NO_LAYER));
+                push_arg_u64(&mut args, "slot", u64::from(slot), u64::from(NO_SLOT));
+                push_arg_u64(&mut args, "gpu", u64::from(gpu), u64::from(NO_GPU));
+                push_arg_u64(&mut args, "value", value, NO_VALUE);
+                push_args(&mut out, &args);
+                out.push('}');
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"fmoe-trace\"}}");
+    out
+}
+
+fn fmt_req(request: u64) -> String {
+    if request == NO_REQUEST {
+        "-".to_string()
+    } else {
+        request.to_string()
+    }
+}
+
+fn fmt_u32(value: u32, sentinel: u32) -> String {
+    if value == sentinel {
+        "-".to_string()
+    } else {
+        value.to_string()
+    }
+}
+
+fn fmt_value(value: u64) -> String {
+    if value == NO_VALUE {
+        "-".to_string()
+    } else {
+        value.to_string()
+    }
+}
+
+/// Render records in the canonical golden-trace text format: one line
+/// per record, `-` for sentinel ids. This format is the unit of diff for
+/// `tests/golden_traces.rs`; treat its shape as frozen.
+#[must_use]
+pub fn events_text(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        let at = rec.at_ns;
+        match rec.event {
+            TraceEvent::Begin {
+                phase,
+                request,
+                layer,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{at} B {} req={} layer={}",
+                    phase.name(),
+                    fmt_req(request),
+                    fmt_u32(layer, NO_LAYER)
+                );
+            }
+            TraceEvent::End {
+                phase,
+                request,
+                layer,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{at} E {} req={} layer={}",
+                    phase.name(),
+                    fmt_req(request),
+                    fmt_u32(layer, NO_LAYER)
+                );
+            }
+            TraceEvent::Span {
+                phase,
+                request,
+                layer,
+                gpu,
+                dur_ns,
+                bytes,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{at} X {} req={} layer={} gpu={} dur={dur_ns} bytes={bytes}",
+                    phase.name(),
+                    fmt_req(request),
+                    fmt_u32(layer, NO_LAYER),
+                    fmt_u32(gpu, NO_GPU)
+                );
+            }
+            TraceEvent::Instant {
+                marker,
+                request,
+                layer,
+                slot,
+                gpu,
+                value,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{at} I {} req={} layer={} slot={} gpu={} value={}",
+                    marker.name(),
+                    fmt_req(request),
+                    fmt_u32(layer, NO_LAYER),
+                    fmt_u32(slot, NO_SLOT),
+                    fmt_u32(gpu, NO_GPU),
+                    fmt_value(value)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Sum total virtual time per phase: `Begin`/`End` pairs are matched
+/// (most-recent-open-first, same identity) and `Span` records contribute
+/// their duration directly. Unmatched opens contribute nothing.
+#[must_use]
+pub fn phase_totals(records: &[TraceRecord]) -> BTreeMap<&'static str, Nanos> {
+    let mut totals: BTreeMap<&'static str, Nanos> = BTreeMap::new();
+    let mut open: Vec<(Phase, u64, u32, Nanos)> = Vec::new();
+    for rec in records {
+        match rec.event {
+            TraceEvent::Begin {
+                phase,
+                request,
+                layer,
+            } => open.push((phase, request, layer, rec.at_ns)),
+            TraceEvent::End {
+                phase,
+                request,
+                layer,
+            } => {
+                if let Some(idx) = open
+                    .iter()
+                    .rposition(|&(p, r, l, _)| p == phase && r == request && l == layer)
+                {
+                    let (_, _, _, started) = open.remove(idx);
+                    *totals.entry(phase.name()).or_insert(0) += rec.at_ns.saturating_sub(started);
+                }
+            }
+            TraceEvent::Span { phase, dur_ns, .. } => {
+                *totals.entry(phase.name()).or_insert(0) += dur_ns;
+            }
+            TraceEvent::Instant { .. } => {}
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Marker;
+    use crate::json;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                at_ns: 1_000,
+                event: TraceEvent::Begin {
+                    phase: Phase::Gate,
+                    request: 3,
+                    layer: 0,
+                },
+            },
+            TraceRecord {
+                at_ns: 2_500,
+                event: TraceEvent::End {
+                    phase: Phase::Gate,
+                    request: 3,
+                    layer: 0,
+                },
+            },
+            TraceRecord {
+                at_ns: 4_000,
+                event: TraceEvent::Span {
+                    phase: Phase::Transfer,
+                    request: NO_REQUEST,
+                    layer: 1,
+                    gpu: 0,
+                    dur_ns: 1_500,
+                    bytes: 4_096,
+                },
+            },
+            TraceRecord {
+                at_ns: 4_000,
+                event: TraceEvent::Instant {
+                    marker: Marker::CacheEvict,
+                    request: NO_REQUEST,
+                    layer: NO_LAYER,
+                    slot: 7,
+                    gpu: 1,
+                    value: NO_VALUE,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_and_stable() {
+        let out = chrome_trace_json(&sample());
+        json::validate(&out).expect("chrome export must be valid JSON");
+        assert_eq!(out, chrome_trace_json(&sample()), "export is pure");
+        assert!(out.contains("\"ph\":\"B\""));
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"dur\":1.500"));
+        assert!(out.contains("\"tid\":1000000"), "gpu 0 track");
+        assert!(out.contains("\"tid\":4"), "request 3 → track 4");
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json() {
+        let out = chrome_trace_json(&[]);
+        json::validate(&out).expect("empty export must be valid JSON");
+    }
+
+    #[test]
+    fn events_text_renders_sentinels_as_dashes() {
+        let text = events_text(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "1000 B gate req=3 layer=0");
+        assert_eq!(lines[1], "2500 E gate req=3 layer=0");
+        assert_eq!(
+            lines[2],
+            "4000 X transfer req=- layer=1 gpu=0 dur=1500 bytes=4096"
+        );
+        assert_eq!(
+            lines[3],
+            "4000 I cache_evict req=- layer=- slot=7 gpu=1 value=-"
+        );
+    }
+
+    #[test]
+    fn phase_totals_pair_begin_end_and_sum_spans() {
+        let totals = phase_totals(&sample());
+        assert_eq!(totals.get("gate"), Some(&1_500));
+        assert_eq!(totals.get("transfer"), Some(&1_500));
+        assert_eq!(totals.get("compute"), None);
+    }
+
+    #[test]
+    fn timestamp_formatting_is_integer_math() {
+        assert_eq!(ts_us(0), "0.000");
+        assert_eq!(ts_us(999), "0.999");
+        assert_eq!(ts_us(1_000), "1.000");
+        assert_eq!(ts_us(1_234_567), "1234.567");
+        assert_eq!(ts_us(u64::MAX), format!("{}.615", u64::MAX / 1_000));
+    }
+}

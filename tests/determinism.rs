@@ -104,3 +104,60 @@ fn generated_traces_are_deterministic() {
     let b = format!("{:?}", trace(16));
     assert_eq!(a, b, "trace generation must be seed-deterministic");
 }
+
+/// A disabled trace sink is the zero-cost identity: serving output with
+/// no sink installed, with an explicitly disabled sink, and with a
+/// recording sink must all be byte-identical.
+#[test]
+fn trace_sink_state_never_perturbs_serving_output() {
+    let events = trace(10);
+    let run = |sink: Option<fmoe_trace::TraceSink>| {
+        let mut eng = engine();
+        if let Some(sink) = sink {
+            eng.set_trace_sink(sink);
+        }
+        let mut pred = predictor();
+        let results = serve_trace(&mut eng, &events, &mut pred);
+        format!("{results:?}")
+    };
+    let bare = run(None);
+    let disabled = run(Some(fmoe_trace::TraceSink::disabled()));
+    let recording = run(Some(fmoe_trace::TraceSink::recording(1 << 16)));
+    assert_eq!(bare, disabled, "a disabled sink must be a strict no-op");
+    assert_eq!(
+        bare, recording,
+        "recording is observation only: it must not move a single event"
+    );
+}
+
+/// With tracing enabled, the *exports* themselves are part of the
+/// determinism contract: two identically-seeded runs must produce
+/// byte-identical Chrome-trace JSON, golden-trace text, and metrics CSV.
+#[test]
+fn enabled_tracing_exports_are_byte_identical_across_runs() {
+    let events = trace(10);
+    let slo = SloPolicy {
+        max_queueing_ns: 2_000_000,
+        action: SloAction::Degrade,
+    };
+    let run = || {
+        let mut eng = engine();
+        eng.set_trace_sink(fmoe_trace::TraceSink::recording(1 << 16));
+        let mut pred = predictor();
+        let _ = serve_trace_with_slo(&mut eng, &events, &mut pred, Some(slo));
+        let records = eng.trace_sink().take_records();
+        let metrics = eng.trace_sink().metrics_snapshot();
+        (
+            fmoe_trace::chrome_trace_json(&records),
+            fmoe_trace::events_text(&records),
+            metrics.to_csv(),
+        )
+    };
+    let (json_a, text_a, csv_a) = run();
+    let (json_b, text_b, csv_b) = run();
+    assert!(!text_a.is_empty(), "the trace must capture the run");
+    assert_eq!(json_a, json_b, "Chrome-trace export must be deterministic");
+    assert_eq!(text_a, text_b, "events text must be deterministic");
+    assert_eq!(csv_a, csv_b, "metrics CSV must be deterministic");
+    fmoe_trace::json::validate(&json_a).expect("Chrome-trace export is valid JSON");
+}

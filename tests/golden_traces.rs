@@ -1,0 +1,130 @@
+//! Golden-trace regression suite.
+//!
+//! Each test replays one short, fully deterministic serving run for one
+//! system, renders the captured trace in the canonical one-line-per-event
+//! text format (`fmoe_trace::events_text`), and diffs it against the
+//! committed golden under `tests/golden/`. Any behavioural drift in the
+//! engine, transfer path, or cache shows up as a *specific event-level
+//! diff* — which phase moved, on which layer, by how many nanoseconds —
+//! rather than an opaque end-to-end latency change.
+//!
+//! To re-bless after an intentional change:
+//!
+//! ```text
+//! FMOE_BLESS=1 cargo test --test golden_traces
+//! ```
+//!
+//! then inspect `git diff tests/golden/` before committing.
+
+use fmoe_bench::{CellConfig, System};
+use fmoe_model::presets;
+use fmoe_serving::serve_trace;
+use fmoe_trace::TraceSink;
+use fmoe_workload::{AzureTraceSpec, DatasetSpec};
+use std::path::PathBuf;
+
+/// The tiny, fast cell every golden uses: small model, small budget (so
+/// prefetching and eviction both happen), short decode.
+fn cell(system: System) -> CellConfig {
+    let mut cell = CellConfig::new(presets::tiny_test_model(), DatasetSpec::tiny_test(), system);
+    cell.total_prompts = 20;
+    cell.max_decode = 3;
+    cell.max_history_iterations = 3;
+    cell.cache_budget_bytes = cell.model.expert_bytes() * 8;
+    cell
+}
+
+/// Runs the canonical golden scenario for `system` and renders the trace.
+fn rendered_trace(system: System) -> String {
+    let cell = cell(system);
+    let gate = cell.gate();
+    let (history, _) = cell.split();
+    let mut predictor = cell.predictor(&gate, &history);
+    let mut engine = cell.engine(gate);
+    engine.set_trace_sink(TraceSink::recording(1 << 16));
+    let mut spec = AzureTraceSpec::paper_online_serving(DatasetSpec::tiny_test());
+    spec.num_requests = 3;
+    let events = spec.generate();
+    let results = serve_trace(&mut engine, &events, predictor.as_mut());
+    assert_eq!(results.len(), 3, "golden scenario serves every request");
+    assert_eq!(
+        engine.trace_sink().dropped_records(),
+        0,
+        "golden capacity must hold the whole run"
+    );
+    fmoe_trace::events_text(&engine.trace_sink().take_records())
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.trace"))
+}
+
+/// Diffs `actual` against the committed golden, or re-blesses it when
+/// `FMOE_BLESS=1`. Mismatches report the first diverging line so the
+/// failure reads as an event-level diff.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("FMOE_BLESS").as_deref() == Ok("1") {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nrun `FMOE_BLESS=1 cargo test --test golden_traces` to create it",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    let mut line = 0usize;
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            line = i + 1;
+            panic!(
+                "golden trace `{name}` diverges at line {line}:\n  expected: {e}\n  actual:   {a}\n\
+                 re-bless with FMOE_BLESS=1 if the change is intentional"
+            );
+        }
+    }
+    line += expected.lines().count().min(actual.lines().count());
+    panic!(
+        "golden trace `{name}` length changed: expected {} lines, got {} (first extra line {})\n\
+         re-bless with FMOE_BLESS=1 if the change is intentional",
+        expected.lines().count(),
+        actual.lines().count(),
+        line + 1
+    );
+}
+
+#[test]
+fn golden_trace_fmoe() {
+    check_golden("fmoe", &rendered_trace(System::Fmoe));
+}
+
+#[test]
+fn golden_trace_moe_infinity() {
+    check_golden("moe_infinity", &rendered_trace(System::MoeInfinity));
+}
+
+#[test]
+fn golden_trace_promoe() {
+    check_golden("promoe", &rendered_trace(System::ProMoe));
+}
+
+#[test]
+fn golden_trace_oracle() {
+    check_golden("oracle", &rendered_trace(System::Oracle));
+}
+
+/// The golden scenario itself must be reproducible, otherwise a diff
+/// would mean nothing: two in-process runs render identically.
+#[test]
+fn golden_scenario_is_reproducible_in_process() {
+    let a = rendered_trace(System::Fmoe);
+    let b = rendered_trace(System::Fmoe);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "golden scenario must be run-to-run identical");
+}
