@@ -18,10 +18,13 @@
 //! trace length, and nothing hangs or panics even at intensity 0.9.
 //!
 //! ```sh
-//! cargo run --release -p fmoe-bench --bin chaos_faults [--quick]
+//! cargo run --release -p fmoe-bench --bin chaos_faults [--quick] [--jobs N]
 //! ```
+//!
+//! `--jobs N` fans the independent (intensity, policy) cells across
+//! worker threads; output bytes are identical to a sequential run.
 
-use fmoe_bench::harness::{CellConfig, System};
+use fmoe_bench::harness::{CellConfig, ParallelRunner, System};
 use fmoe_bench::report::{write_csv, Table};
 use fmoe_memsim::clock::SECOND;
 use fmoe_memsim::FaultSchedule;
@@ -58,8 +61,25 @@ impl Policy {
     }
 }
 
+/// Everything one (intensity, policy) cell contributes to the report,
+/// computed inside the worker and formatted afterwards on the main
+/// thread.
+struct ChaosOutcome {
+    served: usize,
+    shed: usize,
+    degraded_serves: u64,
+    goodput: f64,
+    latencies: Vec<f64>,
+    retries: u64,
+    faults_injected: u64,
+    failed_jobs: u64,
+    backoff_ns: u64,
+    degraded_loads: u64,
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let runner = ParallelRunner::from_args();
     let num_requests = if quick { 10 } else { 32 };
     let intensities: &[f64] = if quick {
         &[0.0, 0.6]
@@ -95,81 +115,101 @@ fn main() {
         &["intensity", "policy", "latency_s", "fraction"],
     );
 
+    // Each (intensity, policy) cell builds its own engine, schedule and
+    // trace, so the sweep fans out across the runner's workers; rows are
+    // then emitted in sweep order for byte-identical output.
+    let mut sweep = Vec::new();
     for &intensity in intensities {
         for policy in Policy::all() {
-            let mut cell = CellConfig::new(model.clone(), DatasetSpec::lmsys_chat(), System::Fmoe);
-            cell.max_decode = if quick { 8 } else { 16 };
-            cell.warmup_requests = 0;
-            if policy == Policy::Deadline {
-                // Four nominal expert transfers (PCIe 4.0 ×16 moves
-                // ~32 B/ns): slack for queueing, but far less than a
-                // stalled or 10×-degraded link needs.
-                cell.on_demand_deadline_ns = Some(4 * (model.expert_bytes() / 32).max(1));
-            }
-            let gate = cell.gate();
-            let mut predictor = cell.predictor(&gate, &[]);
-            let mut engine = cell.engine(gate);
+            sweep.push((intensity, policy));
+        }
+    }
+    let outcomes = runner.run(&sweep, |_, &(intensity, policy)| {
+        let mut cell = CellConfig::new(model.clone(), DatasetSpec::lmsys_chat(), System::Fmoe);
+        cell.max_decode = if quick { 8 } else { 16 };
+        cell.warmup_requests = 0;
+        if policy == Policy::Deadline {
+            // Four nominal expert transfers (PCIe 4.0 ×16 moves
+            // ~32 B/ns): slack for queueing, but far less than a
+            // stalled or 10×-degraded link needs.
+            cell.on_demand_deadline_ns = Some(4 * (model.expert_bytes() / 32).max(1));
+        }
+        let gate = cell.gate();
+        let mut predictor = cell.predictor(&gate, &[]);
+        let mut engine = cell.engine(gate);
 
-            let num_gpus = cell.topology.num_gpus;
-            let horizon = 10 * 60 * SECOND;
-            engine.set_fault_schedule(FaultSchedule::synthetic(
-                0xC4A0_5000 + (intensity * 100.0) as u64,
-                intensity,
-                horizon,
-                num_gpus,
-            ));
+        let num_gpus = cell.topology.num_gpus;
+        let horizon = 10 * 60 * SECOND;
+        engine.set_fault_schedule(FaultSchedule::synthetic(
+            0xC4A0_5000 + (intensity * 100.0) as u64,
+            intensity,
+            horizon,
+            num_gpus,
+        ));
 
-            let mut spec = AzureTraceSpec::paper_online_serving(DatasetSpec::lmsys_chat());
-            spec.num_requests = num_requests;
-            let trace = spec.generate();
+        let mut spec = AzureTraceSpec::paper_online_serving(DatasetSpec::lmsys_chat());
+        spec.num_requests = num_requests;
+        let trace = spec.generate();
 
-            let slo = match policy {
-                Policy::Shed => Some(SloPolicy::shed(slo_queueing_ns)),
-                Policy::Degrade => Some(SloPolicy::degrade(slo_queueing_ns)),
-                Policy::None | Policy::Deadline => None,
-            };
-            let report = serve_trace_with_slo(&mut engine, &trace, predictor.as_mut(), slo);
-            assert_eq!(
-                report.results.len() + report.shed.len(),
-                trace.len(),
-                "every trace request is served or shed"
-            );
+        let slo = match policy {
+            Policy::Shed => Some(SloPolicy::shed(slo_queueing_ns)),
+            Policy::Degrade => Some(SloPolicy::degrade(slo_queueing_ns)),
+            Policy::None | Policy::Deadline => None,
+        };
+        let report = serve_trace_with_slo(&mut engine, &trace, predictor.as_mut(), slo);
+        assert_eq!(
+            report.results.len() + report.shed.len(),
+            trace.len(),
+            "every trace request is served or shed"
+        );
 
-            let latencies: Vec<f64> = report
+        let stats = engine.transfer_stats();
+        ChaosOutcome {
+            served: report.results.len(),
+            shed: report.shed.len(),
+            degraded_serves: report.degraded_serves,
+            goodput: report.goodput(),
+            latencies: report
                 .results
                 .iter()
                 .map(|r| r.request_latency_ns() as f64 / 1e9)
-                .collect();
-            let cdf = EmpiricalCdf::new(latencies);
-            let stats = engine.transfer_stats();
-            let degraded_loads: u64 = report
+                .collect(),
+            retries: stats.retries,
+            faults_injected: stats.faults_injected,
+            failed_jobs: stats.failed_jobs,
+            backoff_ns: stats.backoff_ns,
+            degraded_loads: report
                 .results
                 .iter()
                 .map(|r| r.metrics.degraded_loads)
-                .sum();
-            table.row(vec![
+                .sum(),
+        }
+    });
+
+    for (&(intensity, policy), out) in sweep.iter().zip(&outcomes) {
+        let cdf = EmpiricalCdf::new(out.latencies.clone());
+        table.row(vec![
+            format!("{intensity:.1}"),
+            policy.name().into(),
+            format!("{}", out.served),
+            format!("{}", out.shed),
+            format!("{}", out.degraded_serves),
+            format!("{:.2}", out.goodput),
+            format!("{:.1}", cdf.quantile(0.50).unwrap_or(0.0)),
+            format!("{:.1}", cdf.quantile(0.99).unwrap_or(0.0)),
+            format!("{}", out.retries),
+            format!("{}", out.faults_injected),
+            format!("{}", out.failed_jobs),
+            format!("{:.1}", out.backoff_ns as f64 / 1e6),
+            format!("{}", out.degraded_loads),
+        ]);
+        for (v, f) in cdf.points(24) {
+            cdf_points.row(vec![
                 format!("{intensity:.1}"),
                 policy.name().into(),
-                format!("{}", report.results.len()),
-                format!("{}", report.shed.len()),
-                format!("{}", report.degraded_serves),
-                format!("{:.2}", report.goodput()),
-                format!("{:.1}", cdf.quantile(0.50).unwrap_or(0.0)),
-                format!("{:.1}", cdf.quantile(0.99).unwrap_or(0.0)),
-                format!("{}", stats.retries),
-                format!("{}", stats.faults_injected),
-                format!("{}", stats.failed_jobs),
-                format!("{:.1}", stats.backoff_ns as f64 / 1e6),
-                format!("{degraded_loads}"),
+                format!("{v:.2}"),
+                format!("{f:.4}"),
             ]);
-            for (v, f) in cdf.points(24) {
-                cdf_points.row(vec![
-                    format!("{intensity:.1}"),
-                    policy.name().into(),
-                    format!("{v:.2}"),
-                    format!("{f:.4}"),
-                ]);
-            }
         }
     }
 

@@ -6,10 +6,13 @@
 //! reported latency includes queueing.
 //!
 //! ```sh
-//! cargo run --release -p fmoe-bench --bin fig10_online_cdf [--quick]
+//! cargo run --release -p fmoe-bench --bin fig10_online_cdf [--quick] [--jobs N]
 //! ```
+//!
+//! `--jobs N` fans the independent (model, system) cells across worker
+//! threads; output bytes are identical to a sequential run.
 
-use fmoe_bench::harness::{CellConfig, System};
+use fmoe_bench::harness::{CellConfig, ParallelRunner, System};
 use fmoe_bench::plot::{LinePlot, Series};
 use fmoe_bench::report::{write_csv, Table};
 use fmoe_model::presets;
@@ -19,6 +22,7 @@ use fmoe_workload::{AzureTraceSpec, DatasetSpec};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let runner = ParallelRunner::from_args();
     let num_requests = if quick { 24 } else { 64 };
 
     let mut table = Table::new(
@@ -30,6 +34,36 @@ fn main() {
         &["model", "system", "latency_ms", "fraction"],
     );
 
+    // Fan out the independent (model, system) cells; each produces its
+    // latency sample, and all formatting happens afterwards in the
+    // original loop order.
+    let mut points = Vec::new();
+    for model in presets::evaluation_models() {
+        for system in System::paper_lineup() {
+            points.push((model.clone(), system));
+        }
+    }
+    let samples = runner.run(&points, |_, (model, system)| {
+        // Online: no history population — predictors learn on the fly.
+        let mut cell = CellConfig::new(model.clone(), DatasetSpec::lmsys_chat(), *system);
+        cell.max_decode = if quick { 16 } else { 24 };
+        cell.warmup_requests = 0;
+        let gate = cell.gate();
+        let mut predictor = cell.predictor(&gate, &[]);
+        let mut engine = cell.engine(gate);
+
+        let mut spec = AzureTraceSpec::paper_online_serving(DatasetSpec::lmsys_chat());
+        spec.num_requests = num_requests;
+        let trace = spec.generate();
+        let results = serve_trace(&mut engine, &trace, predictor.as_mut());
+
+        results
+            .iter()
+            .map(|r| r.request_latency_ns() as f64 / 1e6)
+            .collect::<Vec<f64>>()
+    });
+
+    let mut cells = points.iter().zip(samples);
     for model in presets::evaluation_models() {
         let mut plot = LinePlot::new(
             &format!("Fig. 10 — online request-latency CDF ({})", model.name),
@@ -37,23 +71,12 @@ fn main() {
             "fraction of requests",
         );
         for system in System::paper_lineup() {
-            // Online: no history population — predictors learn on the fly.
-            let mut cell = CellConfig::new(model.clone(), DatasetSpec::lmsys_chat(), system);
-            cell.max_decode = if quick { 16 } else { 24 };
-            cell.warmup_requests = 0;
-            let gate = cell.gate();
-            let mut predictor = cell.predictor(&gate, &[]);
-            let mut engine = cell.engine(gate);
-
-            let mut spec = AzureTraceSpec::paper_online_serving(DatasetSpec::lmsys_chat());
-            spec.num_requests = num_requests;
-            let trace = spec.generate();
-            let results = serve_trace(&mut engine, &trace, predictor.as_mut());
-
-            let latencies: Vec<f64> = results
-                .iter()
-                .map(|r| r.request_latency_ns() as f64 / 1e6)
-                .collect();
+            let ((p_model, p_system), latencies) =
+                cells.next().expect("one sample per (model, system) cell");
+            assert_eq!(
+                (p_model.name.as_str(), *p_system),
+                (model.name.as_str(), system)
+            );
             let cdf = EmpiricalCdf::new(latencies);
             table.row(vec![
                 model.name.clone(),

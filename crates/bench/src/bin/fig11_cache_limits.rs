@@ -2,10 +2,13 @@
 //! the latency–memory trade-off head-on.
 //!
 //! ```sh
-//! cargo run --release -p fmoe-bench --bin fig11_cache_limits [--quick]
+//! cargo run --release -p fmoe-bench --bin fig11_cache_limits [--quick] [--jobs N]
 //! ```
+//!
+//! `--jobs N` fans the independent (model, system, budget) cells across
+//! worker threads; output bytes are identical to a sequential run.
 
-use fmoe_bench::harness::{CellConfig, System};
+use fmoe_bench::harness::{CellConfig, ParallelRunner, System};
 use fmoe_bench::plot::{LinePlot, Series};
 use fmoe_bench::report::{write_csv, Table};
 use fmoe_model::presets;
@@ -15,12 +18,33 @@ const BUDGETS_GB: [u64; 6] = [6, 12, 24, 48, 72, 96];
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let runner = ParallelRunner::from_args();
     let mut table = Table::new(
         "Figure 11: TPOT (ms) under varying expert cache limits",
         &[
             "model", "system", "6GB", "12GB", "24GB", "48GB", "72GB", "96GB",
         ],
     );
+
+    // Flatten the 3-deep sweep into independent points, run them on the
+    // worker pool, then rebuild rows and plots in the original order.
+    let mut sweep = Vec::new();
+    for model in presets::evaluation_models() {
+        for system in System::paper_lineup() {
+            for &gb in &BUDGETS_GB {
+                sweep.push((model.clone(), system, gb));
+            }
+        }
+    }
+    let tpots = runner.run(&sweep, |_, (model, system, gb)| {
+        let mut cell = CellConfig::new(model.clone(), DatasetSpec::lmsys_chat(), *system);
+        cell.cache_budget_bytes = gb << 30;
+        cell.test_requests = if quick { 5 } else { 10 };
+        cell.max_decode = if quick { 12 } else { 20 };
+        cell.run_offline().aggregate.mean_tpot_ms
+    });
+    let mut results = sweep.iter().zip(tpots);
+
     for model in presets::evaluation_models() {
         let mut plot = LinePlot::new(
             &format!("Fig. 11 — TPOT vs expert cache limit ({})", model.name),
@@ -31,13 +55,14 @@ fn main() {
             let mut row = vec![model.name.clone(), system.name().into()];
             let mut points = Vec::new();
             for &gb in &BUDGETS_GB {
-                let mut cell = CellConfig::new(model.clone(), DatasetSpec::lmsys_chat(), system);
-                cell.cache_budget_bytes = gb << 30;
-                cell.test_requests = if quick { 5 } else { 10 };
-                cell.max_decode = if quick { 12 } else { 20 };
-                let out = cell.run_offline();
-                row.push(format!("{:.0}", out.aggregate.mean_tpot_ms));
-                points.push((gb as f64, out.aggregate.mean_tpot_ms));
+                let ((p_model, p_system, p_gb), tpot) =
+                    results.next().expect("one result per sweep point");
+                assert_eq!(
+                    (p_model.name.as_str(), *p_system, *p_gb),
+                    (model.name.as_str(), system, gb)
+                );
+                row.push(format!("{tpot:.0}"));
+                points.push((gb as f64, tpot));
             }
             plot.series(Series::new(system.name(), points));
             table.row(row);

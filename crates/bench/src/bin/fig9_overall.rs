@@ -2,8 +2,12 @@
 //! of fMoE and the four baselines across 3 models × 2 datasets.
 //!
 //! ```sh
-//! cargo run --release -p fmoe-bench --bin fig9_overall [--quick] [--trace]
+//! cargo run --release -p fmoe-bench --bin fig9_overall [--quick] [--trace] [--jobs N]
 //! ```
+//!
+//! `--jobs N` fans the independent (model, dataset, system) cells across
+//! N worker threads (default: available parallelism). Output is
+//! byte-identical to the sequential run — see `ParallelRunner`.
 //!
 //! With `--trace`, one representative fMoE cell is re-run with the
 //! deterministic trace recorder on, emitting a Chrome-trace timeline
@@ -12,7 +16,7 @@
 //! (`results/fig9_overall_phases.csv`), and the run's counters
 //! (`results/fig9_overall_metrics.csv`).
 
-use fmoe_bench::harness::{CellConfig, System};
+use fmoe_bench::harness::{CellConfig, ParallelRunner, System};
 use fmoe_bench::report::{write_csv, Table};
 use fmoe_model::presets;
 use fmoe_workload::DatasetSpec;
@@ -20,6 +24,7 @@ use fmoe_workload::DatasetSpec;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let trace = std::env::args().any(|a| a == "--trace");
+    let runner = ParallelRunner::from_args();
     let (requests, decode) = if quick { (6, 16) } else { (14, 24) };
 
     let mut table = Table::new(
@@ -38,29 +43,44 @@ fn main() {
     let systems = System::paper_lineup();
     let mut sums = vec![(0.0f64, 0.0f64, 0.0f64, 0u32); systems.len()];
 
+    // Every (model, dataset, system) cell is independent: enumerate them
+    // in the original loop order, fan the runs across the runner's
+    // workers, then emit rows and accumulate sums sequentially in that
+    // same order, so table, CSV bytes and float-summation order are
+    // identical to a `--jobs 1` run.
+    let mut points = Vec::new();
     for model in presets::evaluation_models() {
         for dataset in DatasetSpec::evaluation_datasets() {
-            for (si, &system) in systems.iter().enumerate() {
-                let mut cell = CellConfig::new(model.clone(), dataset.clone(), system);
-                cell.test_requests = requests;
-                cell.max_decode = decode;
-                let out = cell.run_offline();
-                let a = &out.aggregate;
-                table.row(vec![
-                    model.name.clone(),
-                    dataset.name.clone(),
-                    system.name().into(),
-                    format!("{:.1}", a.mean_ttft_ms),
-                    format!("{:.1}", a.mean_tpot_ms),
-                    format!("{:.1}%", a.hit_rate * 100.0),
-                ]);
-                let s = &mut sums[si];
-                s.0 += a.mean_ttft_ms;
-                s.1 += a.mean_tpot_ms;
-                s.2 += a.hit_rate;
-                s.3 += 1;
+            for &system in &systems {
+                points.push((model.clone(), dataset.clone(), system));
             }
         }
+    }
+    let outcomes = runner.run(&points, |_, (model, dataset, system)| {
+        let mut cell = CellConfig::new(model.clone(), dataset.clone(), *system);
+        cell.test_requests = requests;
+        cell.max_decode = decode;
+        cell.run_offline()
+    });
+    for ((model, dataset, system), out) in points.iter().zip(&outcomes) {
+        let si = systems
+            .iter()
+            .position(|s| s == system)
+            .expect("point systems come from the lineup");
+        let a = &out.aggregate;
+        table.row(vec![
+            model.name.clone(),
+            dataset.name.clone(),
+            system.name().into(),
+            format!("{:.1}", a.mean_ttft_ms),
+            format!("{:.1}", a.mean_tpot_ms),
+            format!("{:.1}%", a.hit_rate * 100.0),
+        ]);
+        let s = &mut sums[si];
+        s.0 += a.mean_ttft_ms;
+        s.1 += a.mean_tpot_ms;
+        s.2 += a.hit_rate;
+        s.3 += 1;
     }
     table.print();
     let _ = write_csv(&table, "fig9_overall");

@@ -1,0 +1,234 @@
+//! Perf smoke benchmark: wall-clock timings of fixed workloads, written
+//! to `BENCH_perf.json` so CI can archive a per-commit performance
+//! baseline (DESIGN.md §12).
+//!
+//! Scenarios:
+//!
+//! * `sweep_offline_jobs1` / `sweep_offline_jobsN` — the same fixed
+//!   (model, dataset, system) cell sweep run through [`ParallelRunner`]
+//!   sequentially and at `--jobs N` (default: available parallelism).
+//!   The ratio is reported as `sweep_speedup`; on a multi-core CI runner
+//!   it should comfortably exceed 2× at `--jobs 4`.
+//! * `matcher_semantic_fast` / `matcher_semantic_reference` — the
+//!   structure-of-arrays slab kernel vs the per-entry reference scan over
+//!   a 1000-entry Expert Map Store.
+//! * `matcher_trajectory_incremental` — the streaming trajectory tracker
+//!   over the same store.
+//!
+//! Wall-clock use is deliberate and confined to this binary: fmoe-lint's
+//! FM002 allows `Instant` only in bench *binaries*, never in harness or
+//! simulation code, so timings can never leak into simulated results.
+//!
+//! ```sh
+//! cargo run --release -p fmoe-bench --bin perf_smoke [--jobs N]
+//! ```
+
+use fmoe::map::ExpertMap;
+use fmoe::matcher::{Matcher, TrajectoryTracker};
+use fmoe::store::ExpertMapStore;
+use fmoe_bench::harness::{CellConfig, ParallelRunner, System};
+use fmoe_model::gate::TokenSpan;
+use fmoe_model::{presets, GateParams, GateSimulator, RequestRouting};
+use fmoe_workload::DatasetSpec;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One timed scenario.
+struct PerfRecord {
+    scenario: &'static str,
+    wall_ms: f64,
+    iters_per_s: f64,
+    jobs: usize,
+}
+
+fn time_iters<F: FnMut()>(iters: u64, mut f: F) -> (f64, f64) {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let iters_per_s = if wall_ms > 0.0 {
+        iters as f64 / (wall_ms / 1e3)
+    } else {
+        f64::INFINITY
+    };
+    (wall_ms, iters_per_s)
+}
+
+/// The fixed offline sweep every run times: quick-sized fig9 cells.
+fn sweep_points() -> Vec<(fmoe_model::ModelConfig, DatasetSpec, System)> {
+    let mut points = Vec::new();
+    for model in presets::evaluation_models() {
+        for dataset in DatasetSpec::evaluation_datasets() {
+            for system in System::paper_lineup() {
+                points.push((model.clone(), dataset.clone(), system));
+            }
+        }
+    }
+    points
+}
+
+fn time_sweep(jobs: usize) -> PerfRecord {
+    let points = sweep_points();
+    let runner = ParallelRunner::new(jobs);
+    let n = points.len() as u64;
+    let (wall_ms, _) = time_iters(1, || {
+        let outcomes = runner.run(&points, |_, (model, dataset, system)| {
+            let mut cell = CellConfig::new(model.clone(), dataset.clone(), *system);
+            cell.test_requests = 4;
+            cell.max_decode = 12;
+            cell.run_offline()
+        });
+        black_box(outcomes.len());
+    });
+    PerfRecord {
+        scenario: if jobs == 1 {
+            "sweep_offline_jobs1"
+        } else {
+            "sweep_offline_jobsN"
+        },
+        wall_ms,
+        iters_per_s: n as f64 / (wall_ms / 1e3),
+        jobs,
+    }
+}
+
+fn build_store(capacity: usize) -> (GateSimulator, ExpertMapStore) {
+    let model = presets::mixtral_8x7b();
+    let gate = GateSimulator::new(model.clone(), GateParams::for_model(&model));
+    let mut store = ExpertMapStore::new(
+        capacity,
+        model.num_layers as usize,
+        model.experts_per_layer as usize,
+        3,
+    );
+    let mut i = 0u64;
+    while store.len() < capacity {
+        let routing = RequestRouting {
+            cluster: i % 40,
+            request_seed: i,
+        };
+        let iter = i % 6;
+        let span = TokenSpan::single(32 + iter);
+        let rows: Vec<Vec<f64>> = (0..model.num_layers)
+            .map(|l| gate.iteration_distribution(routing, iter, l, span))
+            .collect();
+        store.insert(gate.semantic_embedding(routing, iter), ExpertMap::new(rows));
+        i += 1;
+    }
+    (gate, store)
+}
+
+fn matcher_records() -> Vec<PerfRecord> {
+    let (gate, store) = build_store(1000);
+    let query = gate.semantic_embedding(
+        RequestRouting {
+            cluster: 3,
+            request_seed: 999,
+        },
+        2,
+    );
+    let iters = 2000u64;
+    let (fast_ms, fast_ips) = time_iters(iters, || {
+        black_box(Matcher::semantic_match(&store, black_box(&query)));
+    });
+    let (ref_ms, ref_ips) = time_iters(iters, || {
+        black_box(Matcher::semantic_match_reference(&store, black_box(&query)));
+    });
+
+    let dist = gate.iteration_distribution(
+        RequestRouting {
+            cluster: 5,
+            request_seed: 4242,
+        },
+        1,
+        0,
+        TokenSpan::single(16),
+    );
+    let traj_iters = 200u64;
+    let (traj_ms, traj_ips) = time_iters(traj_iters, || {
+        let mut tracker = TrajectoryTracker::new();
+        tracker.reset(&store);
+        for _ in 0..8 {
+            tracker.observe_layer(&store, black_box(&dist));
+        }
+        black_box(tracker.best(&store));
+    });
+
+    vec![
+        PerfRecord {
+            scenario: "matcher_semantic_fast",
+            wall_ms: fast_ms,
+            iters_per_s: fast_ips,
+            jobs: 1,
+        },
+        PerfRecord {
+            scenario: "matcher_semantic_reference",
+            wall_ms: ref_ms,
+            iters_per_s: ref_ips,
+            jobs: 1,
+        },
+        PerfRecord {
+            scenario: "matcher_trajectory_incremental",
+            wall_ms: traj_ms,
+            iters_per_s: traj_ips,
+            jobs: 1,
+        },
+    ]
+}
+
+/// Hand-rolled JSON: the workspace deliberately has no JSON dependency,
+/// and the schema is flat enough that formatting is trivial.
+fn to_json(records: &[PerfRecord], jobs: usize, sweep_speedup: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"perf_smoke\",\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"sweep_speedup\": {sweep_speedup:.3},\n"));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"wall_ms\": {:.3}, \"iters_per_s\": {:.3}, \"jobs\": {}}}{}\n",
+            r.scenario,
+            r.wall_ms,
+            r.iters_per_s,
+            r.jobs,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let jobs = fmoe_bench::harness::jobs_from_args(std::env::args().skip(1));
+
+    let seq = time_sweep(1);
+    let par = time_sweep(jobs.max(2));
+    let sweep_speedup = if par.wall_ms > 0.0 {
+        seq.wall_ms / par.wall_ms
+    } else {
+        f64::INFINITY
+    };
+
+    let mut records = vec![seq, par];
+    records.extend(matcher_records());
+
+    println!("perf_smoke (jobs = {jobs})");
+    println!(
+        "{:<32} {:>12} {:>14} {:>6}",
+        "scenario", "wall_ms", "iters/s", "jobs"
+    );
+    for r in &records {
+        println!(
+            "{:<32} {:>12.3} {:>14.1} {:>6}",
+            r.scenario, r.wall_ms, r.iters_per_s, r.jobs
+        );
+    }
+    println!("sweep speedup (jobs1 / jobsN): {sweep_speedup:.2}x");
+
+    let json = to_json(&records, jobs, sweep_speedup);
+    match std::fs::write("BENCH_perf.json", &json) {
+        Ok(()) => println!("wrote BENCH_perf.json"),
+        Err(e) => eprintln!("cannot write BENCH_perf.json: {e}"),
+    }
+}

@@ -411,6 +411,140 @@ pub struct CoverageStats {
     pub mean_planned_per_layer: f64,
 }
 
+/// Deterministic fan-out of independent sweep points across scoped
+/// worker threads.
+///
+/// The determinism contract (DESIGN.md §12):
+///
+/// * **Per-point isolation** — every sweep point builds its own seeded
+///   RNG, gate, and engine inside its closure (as [`CellConfig`] runs
+///   do), so points share no mutable state and compute the same values
+///   on any schedule.
+/// * **Index-ordered collection** — workers claim indices from an atomic
+///   counter and return `(index, result)` pairs; results are reassembled
+///   into input order before anyone observes them. CSV output is
+///   therefore **byte-identical** across `--jobs` settings, locked by
+///   the cross-mode test in `crates/bench/tests/csv_determinism.rs`.
+///
+/// The runner itself touches no wall clock and no randomness, so it
+/// stays inside fmoe-lint's FM002/FM003 envelope even though it lives in
+/// the bench crate's library.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelRunner {
+    jobs: usize,
+}
+
+impl ParallelRunner {
+    /// A runner with a fixed worker count (clamped to at least 1).
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// A runner configured from the process arguments: `--jobs N` or
+    /// `--jobs=N`, defaulting to the machine's available parallelism.
+    #[must_use]
+    pub fn from_args() -> Self {
+        Self::new(jobs_from_args(std::env::args().skip(1)))
+    }
+
+    /// The worker count this runner fans out to.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Maps `f` over `items`, in parallel across up to [`Self::jobs`]
+    /// workers, returning results in **input order**. `f` receives each
+    /// item's index alongside the item. With one worker (or one item)
+    /// this degenerates to a plain sequential loop.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside `f` is propagated to the caller after the scope
+    /// joins (no result is silently dropped).
+    pub fn run<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        if self.jobs == 1 || items.len() <= 1 {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = self.jobs.min(items.len());
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            local.push((i, f(i, &items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let local = handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+                for (i, value) in local {
+                    slots[i] = Some(value);
+                }
+            }
+        });
+        let out: Vec<T> = slots.into_iter().flatten().collect();
+        assert_eq!(
+            out.len(),
+            items.len(),
+            "every sweep point must produce exactly one result"
+        );
+        out
+    }
+}
+
+/// Parses a `--jobs N` / `--jobs=N` flag out of an argument stream;
+/// defaults to [`std::thread::available_parallelism`] when absent or
+/// malformed.
+#[must_use]
+pub fn jobs_from_args<It: Iterator<Item = String>>(args: It) -> usize {
+    let default = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    let mut expect_value = false;
+    for arg in args {
+        if expect_value {
+            return arg
+                .parse()
+                .map(|n: usize| n.max(1))
+                .unwrap_or_else(|_| default());
+        }
+        if arg == "--jobs" {
+            expect_value = true;
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            return v
+                .parse()
+                .map(|n: usize| n.max(1))
+                .unwrap_or_else(|_| default());
+        }
+    }
+    default()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,5 +630,61 @@ mod tests {
         assert!((0.0..=1.0).contains(&stats.coverage));
         assert!(stats.mean_planned_per_layer >= 0.0);
         assert!(stats.mean_planned_per_layer <= f64::from(cell.model.experts_per_layer));
+    }
+
+    #[test]
+    fn parallel_runner_preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let sequential = ParallelRunner::new(1).run(&items, |i, &x| (i, x * x));
+        for jobs in [2, 3, 8, 128] {
+            let parallel = ParallelRunner::new(jobs).run(&items, |i, &x| (i, x * x));
+            assert_eq!(parallel, sequential, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_runner_handles_empty_and_singleton_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(ParallelRunner::new(4).run(&none, |_, &x| x).is_empty());
+        assert_eq!(
+            ParallelRunner::new(4).run(&[7u32], |i, &x| x + i as u32),
+            vec![7]
+        );
+    }
+
+    #[test]
+    fn parallel_runner_matches_sequential_on_sweep_cells() {
+        // The real use: full benchmark cells computed in parallel must be
+        // indistinguishable from the sequential run.
+        let cells: Vec<CellConfig> = System::paper_lineup().into_iter().map(tiny_cell).collect();
+        let seq = ParallelRunner::new(1).run(&cells, |_, cell| cell.run_offline());
+        let par = ParallelRunner::new(4).run(&cells, |_, cell| cell.run_offline());
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.system, b.system);
+            assert_eq!(a.requests, b.requests);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep point 3 exploded")]
+    fn parallel_runner_propagates_worker_panics() {
+        let items: Vec<u32> = (0..8).collect();
+        ParallelRunner::new(4).run(&items, |i, _| {
+            assert!(i != 3, "sweep point 3 exploded");
+            i
+        });
+    }
+
+    #[test]
+    fn jobs_flag_parsing() {
+        let parse = |args: &[&str]| jobs_from_args(args.iter().map(|s| (*s).to_string()));
+        assert_eq!(parse(&["--jobs", "3"]), 3);
+        assert_eq!(parse(&["--quick", "--jobs=6", "--trace"]), 6);
+        // Zero clamps to one; malformed values fall back to the default,
+        // which is at least one.
+        assert_eq!(parse(&["--jobs", "0"]), 1);
+        assert!(parse(&["--jobs", "many"]) >= 1);
+        assert!(parse(&["--quick"]) >= 1);
     }
 }

@@ -1,5 +1,6 @@
 //! Cross-process determinism: a bench binary run twice must emit
-//! byte-identical CSVs (DESIGN.md §10).
+//! byte-identical CSVs (DESIGN.md §10), and a parallel `--jobs N` run
+//! must emit the same bytes as a sequential one (DESIGN.md §12).
 //!
 //! The in-process tests in `tests/determinism.rs` would miss anything
 //! keyed off process state — `HashMap` iteration order reseeds per
@@ -13,9 +14,14 @@ use std::path::Path;
 use std::process::Command;
 
 fn run_quick_bench(workdir: &Path) -> Vec<(String, Vec<u8>)> {
+    run_quick_bench_with(workdir, &[])
+}
+
+fn run_quick_bench_with(workdir: &Path, extra_args: &[&str]) -> Vec<(String, Vec<u8>)> {
     fs::create_dir_all(workdir).expect("scratch dir");
     let out = Command::new(env!("CARGO_BIN_EXE_fig9_overall"))
         .arg("--quick")
+        .args(extra_args)
         .current_dir(workdir)
         .output()
         .expect("fig9_overall runs");
@@ -60,6 +66,30 @@ fn quick_bench_csvs_are_byte_identical_across_processes() {
             "{name} differs between two identical --quick runs: the bench \
              pipeline leaked nondeterminism (hash order, wall clock, or \
              unseeded randomness)"
+        );
+    }
+}
+
+#[test]
+fn parallel_and_sequential_runs_emit_identical_csv_bytes() {
+    // The ParallelRunner contract (DESIGN.md §12): fanning sweep cells
+    // across worker threads must not change a single output byte. Run
+    // the same bench sequentially and with four workers and diff every
+    // CSV artifact.
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("csv_jobs_determinism");
+    let sequential = run_quick_bench_with(&base.join("jobs1"), &["--jobs", "1"]);
+    let parallel = run_quick_bench_with(&base.join("jobs4"), &["--jobs", "4"]);
+    assert_eq!(
+        sequential.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        parallel.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "--jobs 1 and --jobs 4 wrote different CSV file sets"
+    );
+    for ((name, a), (_, b)) in sequential.iter().zip(&parallel) {
+        assert_eq!(
+            a, b,
+            "{name} differs between --jobs 1 and --jobs 4: parallel \
+             execution must reassemble results in input order and leak \
+             no scheduling nondeterminism into the output"
         );
     }
 }

@@ -15,7 +15,7 @@
 //! ndarrays.
 
 use crate::store::ExpertMapStore;
-use fmoe_stats::cosine_similarity;
+use fmoe_stats::{argmax_cosine_slab, cosine_similarity, top_k_cosine_slab};
 
 /// Outcome of a map search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,8 +33,31 @@ pub struct Matcher;
 impl Matcher {
     /// Semantic search: the stored entry whose embedding best matches
     /// `embedding`. `None` on an empty store.
+    ///
+    /// Uses the store's contiguous embedding slab (one streamed kernel
+    /// with precomputed norms) whenever it is available and the query
+    /// covers the slab stride; otherwise it falls back to
+    /// [`Matcher::semantic_match_reference`]. Both paths score
+    /// bit-identically — locked by a proptest.
     #[must_use]
     pub fn semantic_match(store: &ExpertMapStore, embedding: &[f64]) -> Option<MatchResult> {
+        if let Some((slab, norms, stride)) = store.embedding_slab() {
+            if let Some((entry_index, score)) = argmax_cosine_slab(embedding, slab, stride, norms) {
+                return Some(MatchResult { entry_index, score });
+            }
+        }
+        Self::semantic_match_reference(store, embedding)
+    }
+
+    /// The reference semantic search: a per-entry [`cosine_similarity`]
+    /// scan over `Vec`-of-`Vec` storage. Kept as the slow path the slab
+    /// kernel is verified against (and as the fallback for queries the
+    /// slab cannot serve, e.g. ragged embedding dimensions).
+    #[must_use]
+    pub fn semantic_match_reference(
+        store: &ExpertMapStore,
+        embedding: &[f64],
+    ) -> Option<MatchResult> {
         let mut best: Option<MatchResult> = None;
         for (i, entry) in store.entries().enumerate() {
             let score = cosine_similarity(embedding, &entry.embedding);
@@ -48,8 +71,56 @@ impl Matcher {
         best
     }
 
+    /// The `k` best semantic matches, ordered by descending score with
+    /// ties broken toward the lower entry index. Heap-selected over the
+    /// embedding slab in `O(C·log k)`; falls back to
+    /// [`Matcher::semantic_top_k_reference`] when the slab is
+    /// unavailable.
+    #[must_use]
+    pub fn semantic_top_k(store: &ExpertMapStore, embedding: &[f64], k: usize) -> Vec<MatchResult> {
+        if let Some((slab, norms, stride)) = store.embedding_slab() {
+            if embedding.len() >= stride {
+                return top_k_cosine_slab(embedding, slab, stride, norms, k)
+                    .into_iter()
+                    .map(|(entry_index, score)| MatchResult { entry_index, score })
+                    .collect();
+            }
+        }
+        Self::semantic_top_k_reference(store, embedding, k)
+    }
+
+    /// Reference top-k: score every entry, full sort, truncate.
+    #[must_use]
+    pub fn semantic_top_k_reference(
+        store: &ExpertMapStore,
+        embedding: &[f64],
+        k: usize,
+    ) -> Vec<MatchResult> {
+        let mut scored: Vec<MatchResult> = store
+            .entries()
+            .enumerate()
+            .map(|(i, entry)| MatchResult {
+                entry_index: i,
+                score: cosine_similarity(embedding, &entry.embedding),
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then(a.entry_index.cmp(&b.entry_index))
+        });
+        scored.truncate(k);
+        scored
+    }
+
     /// One-shot trajectory search over an explicit prefix (used by tests
     /// and offline analysis; the engine path uses [`TrajectoryTracker`]).
+    ///
+    /// Returns `None` for an empty or zero-norm prefix — a zero-norm
+    /// observation carries no direction to match on, and this keeps the
+    /// one-shot path agreeing with [`TrajectoryTracker::best`], which
+    /// also reports `None` in that case (previously this path returned
+    /// `Some` with score `0.0` while the tracker returned `None`).
     #[must_use]
     pub fn trajectory_match(
         store: &ExpertMapStore,
@@ -59,6 +130,9 @@ impl Matcher {
             return None;
         }
         let flat: Vec<f64> = observed_prefix.iter().flatten().copied().collect();
+        if flat.iter().map(|p| p * p).sum::<f64>() <= 0.0 {
+            return None;
+        }
         let layers = observed_prefix.len();
         let mut best: Option<MatchResult> = None;
         for (i, entry) in store.entries().enumerate() {
@@ -124,10 +198,17 @@ impl TrajectoryTracker {
             "store mutated mid-iteration; call reset() first"
         );
         let l = self.layers_observed;
-        for (dot, entry) in self.dots.iter_mut().zip(store.entries()) {
-            let j = entry.map.experts_per_layer();
-            if (l + 1) * j <= entry.flat().len() {
-                let row = &entry.flat()[l * j..(l + 1) * j];
+        let j = store.experts_per_layer();
+        let ms = store.map_stride();
+        // Stream the store's contiguous map slab instead of chasing
+        // per-entry `Vec`s; every map has exactly `L·J` elements, so one
+        // bound check covers all rows. Accumulation order per dot product
+        // is unchanged — scores stay bit-identical to the reference
+        // one-shot search.
+        if (l + 1) * j <= ms {
+            let slab = store.map_slab();
+            for (i, dot) in self.dots.iter_mut().enumerate() {
+                let row = &slab[i * ms + l * j..i * ms + (l + 1) * j];
                 for (a, b) in distribution.iter().zip(row) {
                     *dot += a * b;
                 }
@@ -145,13 +226,16 @@ impl TrajectoryTracker {
             return None;
         }
         let qn = self.query_norm2.sqrt();
+        let ps = store.num_layers() + 1;
+        let layers = self.layers_observed.min(store.num_layers());
+        let norms = store.prefix_norm2_slab();
         let mut best: Option<MatchResult> = None;
-        for (i, entry) in store.entries().enumerate() {
-            let en2 = entry.prefix_norm2(self.layers_observed);
+        for (i, &dot) in self.dots.iter().enumerate() {
+            let en2 = norms[i * ps + layers];
             let score = if en2 <= 0.0 {
                 0.0
             } else {
-                (self.dots[i] / (qn * en2.sqrt())).clamp(-1.0, 1.0)
+                (dot / (qn * en2.sqrt())).clamp(-1.0, 1.0)
             };
             if best.is_none_or(|b| score > b.score) {
                 best = Some(MatchResult {
@@ -225,6 +309,68 @@ mod tests {
     fn empty_prefix_matches_nothing() {
         let s = store_with(vec![(vec![1.0, 0.0], peaked(2, 4, &[0]))]);
         assert!(Matcher::trajectory_match(&s, &[]).is_none());
+    }
+
+    #[test]
+    fn zero_norm_prefix_agrees_between_one_shot_and_tracker() {
+        // A zero-norm observed prefix used to make the one-shot search
+        // return Some(index 0, score 0.0) while the incremental tracker
+        // returned None. Both must report None.
+        let s = store_with(vec![
+            (vec![1.0, 0.0], peaked(2, 4, &[0])),
+            (vec![0.0, 1.0], peaked(2, 4, &[1])),
+        ]);
+        let zeros = vec![vec![0.0; 4], vec![0.0; 4]];
+        assert!(Matcher::trajectory_match(&s, &zeros).is_none());
+        let mut t = TrajectoryTracker::new();
+        t.reset(&s);
+        t.observe_layer(&s, &[0.0; 4]);
+        t.observe_layer(&s, &[0.0; 4]);
+        assert!(t.best(&s).is_none());
+    }
+
+    #[test]
+    fn semantic_fast_path_matches_reference() {
+        let s = store_with(vec![
+            (vec![1.0, 0.0], peaked(2, 4, &[0])),
+            (vec![0.0, 1.0], peaked(2, 4, &[1])),
+            (vec![0.7, 0.7], peaked(2, 4, &[2])),
+        ]);
+        assert!(s.embedding_slab().is_some(), "slab path must be active");
+        for q in [[0.1, 0.99], [1.0, 0.0], [-0.3, 0.2], [0.0, 0.0]] {
+            let fast = Matcher::semantic_match(&s, &q).unwrap();
+            let slow = Matcher::semantic_match_reference(&s, &q).unwrap();
+            assert_eq!(fast.entry_index, slow.entry_index);
+            assert_eq!(fast.score.to_bits(), slow.score.to_bits());
+        }
+        // Short query: slab cannot serve it; fallback still answers.
+        let fast = Matcher::semantic_match(&s, &[1.0]).unwrap();
+        let slow = Matcher::semantic_match_reference(&s, &[1.0]).unwrap();
+        assert_eq!(fast.entry_index, slow.entry_index);
+        assert_eq!(fast.score.to_bits(), slow.score.to_bits());
+    }
+
+    #[test]
+    fn semantic_top_k_matches_reference_order() {
+        let s = store_with(vec![
+            (vec![1.0, 0.0], peaked(2, 4, &[0])),
+            (vec![0.0, 1.0], peaked(2, 4, &[1])),
+            (vec![0.7, 0.7], peaked(2, 4, &[2])),
+            (vec![1.0, 0.0], peaked(2, 4, &[3])), // exact tie with entry 0
+        ]);
+        for k in 0..=5 {
+            let fast = Matcher::semantic_top_k(&s, &[1.0, 0.05], k);
+            let slow = Matcher::semantic_top_k_reference(&s, &[1.0, 0.05], k);
+            assert_eq!(fast.len(), slow.len(), "k={k}");
+            for (f, r) in fast.iter().zip(&slow) {
+                assert_eq!(f.entry_index, r.entry_index, "k={k}");
+                assert_eq!(f.score.to_bits(), r.score.to_bits(), "k={k}");
+            }
+        }
+        // The exact tie keeps the lower index first.
+        let top = Matcher::semantic_top_k(&s, &[1.0, 0.0], 2);
+        assert_eq!(top[0].entry_index, 0);
+        assert_eq!(top[1].entry_index, 3);
     }
 
     #[test]

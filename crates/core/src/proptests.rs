@@ -107,6 +107,84 @@ proptest! {
     }
 
     #[test]
+    fn semantic_fast_path_is_bit_identical_to_reference(
+        entries in prop::collection::vec((embedding(), map()), 1..12),
+        query in embedding(),
+    ) {
+        let mut store = ExpertMapStore::new(16, L, J, 2);
+        for (e, m) in &entries {
+            store.insert(e.clone(), m.clone());
+        }
+        prop_assert!(store.embedding_slab().is_some());
+        let fast = Matcher::semantic_match(&store, &query).unwrap();
+        let slow = Matcher::semantic_match_reference(&store, &query).unwrap();
+        prop_assert_eq!(fast.entry_index, slow.entry_index);
+        prop_assert_eq!(fast.score.to_bits(), slow.score.to_bits());
+    }
+
+    #[test]
+    fn semantic_top_k_is_bit_identical_to_reference(
+        entries in prop::collection::vec((embedding(), map()), 1..12),
+        query in embedding(),
+        k in 0usize..14,
+    ) {
+        let mut store = ExpertMapStore::new(16, L, J, 2);
+        for (e, m) in &entries {
+            store.insert(e.clone(), m.clone());
+        }
+        let fast = Matcher::semantic_top_k(&store, &query, k);
+        let slow = Matcher::semantic_top_k_reference(&store, &query, k);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (f, r) in fast.iter().zip(&slow) {
+            prop_assert_eq!(f.entry_index, r.entry_index);
+            prop_assert_eq!(f.score.to_bits(), r.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn tracker_prefix_norms_agree_with_cosine_on_random_prefixes(
+        entries in prop::collection::vec((embedding(), map()), 1..8),
+        query in map(),
+        layers in 1usize..=L,
+    ) {
+        // The one-shot path recomputes the candidate norm over the common
+        // prefix inside `cosine_similarity`; the incremental tracker uses
+        // the store's precomputed `prefix_norm2` slab. Both must land on
+        // the same entry and score for every partial trajectory length.
+        let mut store = ExpertMapStore::new(16, L, J, 2);
+        for (e, m) in &entries {
+            store.insert(e.clone(), m.clone());
+        }
+        let mut tracker = TrajectoryTracker::new();
+        tracker.reset(&store);
+        for l in 0..layers {
+            tracker.observe_layer(&store, query.layer(l));
+        }
+        let prefix: Vec<Vec<f64>> =
+            (0..layers).map(|x| query.layer(x).to_vec()).collect();
+        let inc = tracker.best(&store).unwrap();
+        let os = Matcher::trajectory_match(&store, &prefix).unwrap();
+        prop_assert!((inc.score - os.score).abs() < 1e-9);
+        // On non-tied scores the winning entry must agree too.
+        if store.len() > 1 {
+            let mut scores: Vec<f64> = (0..store.len())
+                .map(|i| {
+                    let flat: Vec<f64> = prefix.iter().flatten().copied().collect();
+                    fmoe_stats::cosine_similarity(
+                        &flat,
+                        &store.entry(i).flat()[..layers * J],
+                    )
+                })
+                .collect();
+            scores.sort_by(f64::total_cmp);
+            let gap = scores[scores.len() - 1] - scores[scores.len() - 2];
+            if gap > 1e-9 {
+                prop_assert_eq!(inc.entry_index, os.entry_index);
+            }
+        }
+    }
+
+    #[test]
     fn incremental_tracker_equals_one_shot(
         entries in prop::collection::vec((embedding(), map()), 1..8),
         query in map(),

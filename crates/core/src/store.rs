@@ -125,6 +125,26 @@ pub struct ExpertMapStore {
     entries: Vec<MapEntry>,
     next_id: u64,
     stats: StoreStats,
+    /// Structure-of-arrays mirror of `entries` for the matcher fast path:
+    /// row `i` of each slab is entry `i`'s data, kept in sync by
+    /// [`ExpertMapStore::insert`] and [`ExpertMapStore::clear`].
+    ///
+    /// Row-major flattened maps, stride `L·J`.
+    map_slab: Vec<f64>,
+    /// Cumulative per-layer squared prefix norms, stride `L + 1`.
+    prefix_norm2_slab: Vec<f64>,
+    /// Embeddings, stride `emb_stride` — only maintained while every
+    /// stored embedding shares one dimension (`emb_uniform`).
+    emb_slab: Vec<f64>,
+    /// Squared embedding norms (left-to-right accumulation, matching
+    /// `cosine_similarity`'s order bit-for-bit).
+    emb_norm2: Vec<f64>,
+    /// Embedding dimension fixed by the first insert; 0 before it.
+    emb_stride: usize,
+    /// Cleared the first time an embedding with a different dimension
+    /// arrives; the semantic matcher then falls back to the reference
+    /// per-entry path.
+    emb_uniform: bool,
 }
 
 impl ExpertMapStore {
@@ -155,6 +175,12 @@ impl ExpertMapStore {
             entries: Vec::new(),
             next_id: 0,
             stats: StoreStats::default(),
+            map_slab: Vec::new(),
+            prefix_norm2_slab: Vec::new(),
+            emb_slab: Vec::new(),
+            emb_norm2: Vec::new(),
+            emb_stride: 0,
+            emb_uniform: true,
         }
     }
 
@@ -252,7 +278,9 @@ impl ExpertMapStore {
         if self.entries.len() < self.capacity {
             self.entries.push(MapEntry::new(id, embedding, map));
             self.stats.appended += 1;
-            return self.entries.len() - 1;
+            let index = self.entries.len() - 1;
+            self.sync_slabs_at(index);
+            return index;
         }
         let victim = match self.replacement {
             ReplacementPolicy::Redundancy => {
@@ -277,7 +305,83 @@ impl ExpertMapStore {
         };
         self.entries[victim] = MapEntry::new(id, embedding, map);
         self.stats.replaced += 1;
+        self.sync_slabs_at(victim);
         victim
+    }
+
+    /// Mirrors `entries[index]` into the structure-of-arrays slabs, either
+    /// appending a fresh row or overwriting a replaced victim's row.
+    fn sync_slabs_at(&mut self, index: usize) {
+        let ms = self.map_stride();
+        let ps = self.num_layers + 1;
+        let entry = &self.entries[index];
+        if index * ms == self.map_slab.len() {
+            self.map_slab.extend_from_slice(&entry.flat);
+            self.prefix_norm2_slab
+                .extend_from_slice(&entry.prefix_norm2);
+        } else {
+            self.map_slab[index * ms..(index + 1) * ms].copy_from_slice(&entry.flat);
+            self.prefix_norm2_slab[index * ps..(index + 1) * ps]
+                .copy_from_slice(&entry.prefix_norm2);
+        }
+
+        if !self.emb_uniform {
+            return;
+        }
+        let emb = &self.entries[index].embedding;
+        if self.emb_stride == 0 {
+            self.emb_stride = emb.len();
+        }
+        if emb.len() != self.emb_stride || self.emb_stride == 0 {
+            self.emb_uniform = false;
+            self.emb_slab.clear();
+            self.emb_norm2.clear();
+            return;
+        }
+        let es = self.emb_stride;
+        let norm2: f64 = emb.iter().map(|x| x * x).sum();
+        if index * es == self.emb_slab.len() {
+            self.emb_slab.extend_from_slice(emb);
+            self.emb_norm2.push(norm2);
+        } else {
+            self.emb_slab[index * es..(index + 1) * es].copy_from_slice(emb);
+            self.emb_norm2[index] = norm2;
+        }
+    }
+
+    /// Row-major slab of every stored flattened map; row `i` (stride
+    /// [`ExpertMapStore::map_stride`]) is entry `i`'s
+    /// [`MapEntry::flat`]. The matcher's trajectory fast path streams
+    /// this instead of chasing per-entry `Vec`s.
+    #[must_use]
+    pub fn map_slab(&self) -> &[f64] {
+        &self.map_slab
+    }
+
+    /// Stride of [`ExpertMapStore::map_slab`] rows: `L·J` elements.
+    #[must_use]
+    pub fn map_stride(&self) -> usize {
+        self.num_layers * self.experts_per_layer
+    }
+
+    /// Slab of cumulative squared prefix norms, stride `L + 1`; element
+    /// `i·(L+1) + l` is entry `i`'s [`MapEntry::prefix_norm2`] at `l`.
+    #[must_use]
+    pub fn prefix_norm2_slab(&self) -> &[f64] {
+        &self.prefix_norm2_slab
+    }
+
+    /// The semantic fast path's view: `(embeddings, squared norms,
+    /// stride)` — or `None` while the store is empty or after embeddings
+    /// of differing dimensions were inserted (the caller then uses the
+    /// per-entry reference path).
+    #[must_use]
+    pub fn embedding_slab(&self) -> Option<(&[f64], &[f64], usize)> {
+        if self.emb_uniform && !self.entries.is_empty() {
+            Some((&self.emb_slab, &self.emb_norm2, self.emb_stride))
+        } else {
+            None
+        }
     }
 
     /// Deployment memory footprint in bytes, assuming the paper's fp32
@@ -303,6 +407,12 @@ impl ExpertMapStore {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.stats = StoreStats::default();
+        self.map_slab.clear();
+        self.prefix_norm2_slab.clear();
+        self.emb_slab.clear();
+        self.emb_norm2.clear();
+        self.emb_stride = 0;
+        self.emb_uniform = true;
     }
 }
 
@@ -406,6 +516,102 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.stats(), StoreStats::default());
+        assert!(s.map_slab().is_empty());
+        assert!(s.prefix_norm2_slab().is_empty());
+        assert!(s.embedding_slab().is_none());
+        // The slabs rebuild after a clear, including the embedding stride.
+        s.insert(vec![1.0, 2.0], map_peaked_at(2, 4, 1));
+        let (eslab, _, stride) = s.embedding_slab().unwrap();
+        assert_eq!(stride, 2);
+        assert_eq!(eslab, &[1.0, 2.0]);
+    }
+
+    fn assert_slabs_mirror_entries(s: &ExpertMapStore) {
+        let ms = s.map_stride();
+        let ps = s.num_layers() + 1;
+        assert_eq!(s.map_slab().len(), s.len() * ms);
+        assert_eq!(s.prefix_norm2_slab().len(), s.len() * ps);
+        for (i, e) in s.entries().enumerate() {
+            assert_eq!(&s.map_slab()[i * ms..(i + 1) * ms], e.flat());
+            for l in 0..=s.num_layers() {
+                assert_eq!(
+                    s.prefix_norm2_slab()[i * ps + l].to_bits(),
+                    e.prefix_norm2(l).to_bits()
+                );
+            }
+        }
+        if let Some((eslab, enorm, stride)) = s.embedding_slab() {
+            assert_eq!(enorm.len(), s.len());
+            for (i, e) in s.entries().enumerate() {
+                assert_eq!(&eslab[i * stride..(i + 1) * stride], &e.embedding[..]);
+                let want: f64 = e.embedding.iter().map(|x| x * x).sum();
+                assert_eq!(enorm[i].to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn slabs_track_appends_and_replacements() {
+        let mut s = ExpertMapStore::new(3, 2, 4, 1);
+        for i in 0..3 {
+            s.insert(emb(i as f64), map_peaked_at(2, 4, i));
+            assert_slabs_mirror_entries(&s);
+        }
+        assert!(s.embedding_slab().is_some());
+        // Replacements overwrite the victim's slab rows in place.
+        for i in 0..4 {
+            s.insert(
+                emb(0.2 * f64::from(i)),
+                map_peaked_at(2, 4, (i as usize) % 4),
+            );
+            assert_slabs_mirror_entries(&s);
+        }
+    }
+
+    #[test]
+    fn ragged_embeddings_disable_the_embedding_slab_only() {
+        let mut s = ExpertMapStore::new(4, 2, 4, 1);
+        s.insert(vec![1.0, 0.0], map_peaked_at(2, 4, 0));
+        assert!(s.embedding_slab().is_some());
+        s.insert(vec![1.0, 0.0, 0.5], map_peaked_at(2, 4, 1));
+        assert!(s.embedding_slab().is_none());
+        // Map slabs are unaffected: map dimensions are store-enforced.
+        assert_slabs_mirror_entries(&s);
+        s.insert(vec![0.5], map_peaked_at(2, 4, 2));
+        assert!(s.embedding_slab().is_none());
+        assert_slabs_mirror_entries(&s);
+    }
+
+    #[test]
+    fn random_replacement_advances_rng_state() {
+        // Fill to capacity, then insert repeatedly: the seeded RNG state
+        // must advance between inserts, so consecutive at-capacity
+        // inserts can pick different victims.
+        let mut s = ExpertMapStore::new(4, 2, 4, 1).with_replacement(ReplacementPolicy::Random);
+        for i in 0..4 {
+            s.insert(emb(i as f64), map_peaked_at(2, 4, i));
+        }
+        let mut victims = Vec::new();
+        for i in 0..8 {
+            victims.push(s.insert(emb(0.3 * f64::from(i)), map_peaked_at(2, 4, 0)));
+        }
+        assert_eq!(s.stats().replaced, 8);
+        let distinct: std::collections::BTreeSet<usize> = victims.iter().copied().collect();
+        assert!(
+            distinct.len() >= 2,
+            "a frozen rng_state would evict one index forever: {victims:?}"
+        );
+    }
+
+    #[test]
+    fn full_store_memory_matches_at_capacity_projection() {
+        let mut s = ExpertMapStore::new(3, 2, 4, 1);
+        for i in 0..3 {
+            s.insert(emb(i as f64), map_peaked_at(2, 4, i));
+        }
+        assert_eq!(s.len(), s.capacity());
+        // Embeddings from `emb()` are 4-dimensional.
+        assert_eq!(s.memory_bytes(), s.memory_bytes_at_capacity(4));
     }
 
     #[test]

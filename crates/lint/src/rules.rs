@@ -33,8 +33,11 @@ pub struct FileContext {
     /// leak into plans, evictions, and CSV output, so unordered
     /// containers are banned outright (FM001).
     pub sim_path: bool,
-    /// `true` for the bench crate, the only place wall-clock time is
-    /// legitimate (FM002).
+    /// `true` for bench-crate *binaries* (and `tests/`/`benches/`
+    /// targets), the only places wall-clock time is legitimate (FM002).
+    /// The bench crate's library — the harness, `ParallelRunner`,
+    /// report/plot writers — feeds deterministic artifacts and stays
+    /// under the same no-wall-clock contract as the simulation crates.
     pub wall_clock_allowed: bool,
 }
 
@@ -70,7 +73,7 @@ impl FileContext {
             path: path.to_string(),
             kind,
             sim_path: SIM_PATH_CRATES.contains(&crate_dir),
-            wall_clock_allowed: crate_dir == "bench",
+            wall_clock_allowed: crate_dir == "bench" && kind != FileKind::Library,
         }
     }
 }
@@ -330,6 +333,11 @@ mod tests {
         assert_eq!(b.kind, FileKind::Binary);
         assert!(!b.sim_path);
         assert!(b.wall_clock_allowed);
+        // The bench *library* (harness, ParallelRunner, report writers)
+        // produces deterministic artifacts: no wall clock there.
+        let h = FileContext::classify("crates/bench/src/harness.rs");
+        assert_eq!(h.kind, FileKind::Library);
+        assert!(!h.wall_clock_allowed);
         let t = FileContext::classify("crates/memsim/tests/faults.rs");
         assert_eq!(t.kind, FileKind::TestOrBench);
         let root = FileContext::classify("src/lib.rs");
@@ -345,10 +353,16 @@ mod tests {
     }
 
     #[test]
-    fn fm002_allows_bench() {
+    fn fm002_allows_bench_binaries_only() {
         let src = "let t = Instant::now();";
         assert_eq!(codes(&lib_ctx("crates/stats/src/x.rs"), src), ["FM002"]);
-        assert!(codes(&lib_ctx("crates/bench/src/harness.rs"), src).is_empty());
+        // Bench binaries (perf_smoke and friends) may time themselves…
+        assert!(codes(&lib_ctx("crates/bench/src/bin/perf_smoke.rs"), src).is_empty());
+        // …but the bench library feeds deterministic CSVs and may not.
+        assert_eq!(
+            codes(&lib_ctx("crates/bench/src/harness.rs"), src),
+            ["FM002"]
+        );
     }
 
     #[test]

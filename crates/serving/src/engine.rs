@@ -202,6 +202,37 @@ struct Element {
     activated: Vec<Vec<u32>>,
 }
 
+/// Reusable per-iteration working memory. `run_iteration` is the
+/// engine's hot loop; these collections used to be constructed with
+/// `Vec::new()`/`BTreeSet::new()` on every call (and every layer). They
+/// now live on the engine, are taken with `std::mem::take` for the
+/// duration of an iteration, and are restored afterwards — `Vec::clear`
+/// keeps the backing allocation, so steady-state iterations allocate
+/// nothing for this bookkeeping.
+#[derive(Debug, Default)]
+struct IterationScratch {
+    /// Iteration-start prediction plans (semantic window).
+    begin_plans: Vec<PrefetchPlan>,
+    /// Per-layer gate-observation plans.
+    layer_plans: Vec<PrefetchPlan>,
+    /// Union of activated experts for the current layer.
+    union: BTreeSet<ExpertId>,
+    /// Pre-load residency per needed expert.
+    residency: BTreeMap<ExpertId, bool>,
+    /// In-flight transfers the layer must wait for.
+    waited_inflight: Vec<ExpertId>,
+    /// Experts needing blocking on-demand loads.
+    missing: Vec<ExpertId>,
+    /// Per-GPU link availability during on-demand serving.
+    per_gpu_now: BTreeMap<u32, Nanos>,
+    /// Experts whose on-demand load moved a reduced payload.
+    loaded: BTreeMap<ExpertId, u64>,
+    /// Stale prefetch jobs collected for cancellation.
+    stale: Vec<(u64, ExpertId)>,
+    /// Stage pins whose target layer has passed.
+    passed: Vec<ExpertId>,
+}
+
 impl Element {
     fn span(&self) -> TokenSpan {
         if self.iteration == 0 {
@@ -278,6 +309,8 @@ pub struct ServingEngine {
     /// `true` while serving a request in SLO-degraded mode: on-demand
     /// loads move half-precision payloads to cut the stall.
     degraded_mode: bool,
+    /// Reusable per-iteration working memory (see [`IterationScratch`]).
+    scratch: IterationScratch,
     /// Structured-event trace sink (disabled by default — every emission
     /// is then a single branch). Clones of this handle are shared with
     /// the transfer engine and expert cache so all three interleave into
@@ -317,6 +350,7 @@ impl ServingEngine {
             config,
             faults: None,
             degraded_mode: false,
+            scratch: IterationScratch::default(),
             trace: TraceSink::disabled(),
         };
         if engine.config.preload_all {
@@ -638,6 +672,7 @@ impl ServingEngine {
 
     /// Runs one lockstep iteration over all live elements.
     fn run_iteration(&mut self, elements: &mut [Element], predictor: &mut dyn ExpertPredictor) {
+        let mut scratch = std::mem::take(&mut self.scratch);
         let iter_start = self.clock.now();
         self.breakdown.iterations += 1;
         self.trace
@@ -685,7 +720,7 @@ impl ServingEngine {
         // iteration target a phase that has passed — drop them so the
         // links start the iteration clean. Stage pins from the previous
         // iteration are released likewise.
-        self.prune_stale_prefetches(None);
+        self.prune_stale_prefetches(None, &mut scratch.stale);
         self.cache.unpin_all();
         self.cache.notify_iteration_boundary();
         self.staged.clear();
@@ -733,17 +768,19 @@ impl ServingEngine {
         }
 
         // Step 2a: iteration-start prediction (semantic search window).
-        let mut plans: Vec<PrefetchPlan> = Vec::new();
+        scratch.begin_plans.clear();
         for el in elements.iter() {
             if el.done {
                 continue;
             }
-            plans.extend(predictor.begin_iteration(&el.context()));
+            scratch
+                .begin_plans
+                .extend(predictor.begin_iteration(&el.context()));
         }
-        if !plans.is_empty() {
+        if !scratch.begin_plans.is_empty() {
             self.apply_predictor_timing(&timing);
             let issue_at = self.prefetch_issue_time(&timing);
-            let _ = self.issue_prefetches(&plans, issue_at);
+            let _ = self.issue_prefetches(&scratch.begin_plans, issue_at);
         }
 
         let batch_tokens: u64 = elements
@@ -762,7 +799,7 @@ impl ServingEngine {
             // Drop queued prefetches whose target layer has already
             // executed this iteration — they can no longer help.
             if layer > 0 {
-                self.prune_stale_prefetches(Some(layer));
+                self.prune_stale_prefetches(Some(layer), &mut scratch.stale);
             }
             self.timeline
                 .record(self.clock.now(), TimelineEvent::LayerStart { layer });
@@ -784,8 +821,8 @@ impl ServingEngine {
             );
 
             // Gate ground truth per element; union of activated experts.
-            let mut union: BTreeSet<ExpertId> = BTreeSet::new();
-            let mut plans: Vec<PrefetchPlan> = Vec::new();
+            scratch.union.clear();
+            scratch.layer_plans.clear();
             for el in elements.iter_mut() {
                 if el.done {
                     continue;
@@ -798,16 +835,18 @@ impl ServingEngine {
                     self.gate
                         .activated_slots(el.prompt.routing, el.iteration, layer, span);
                 for &slot in &activated {
-                    union.insert(ExpertId::new(layer, slot));
+                    scratch.union.insert(ExpertId::new(layer, slot));
                 }
                 el.realized_map.push(dist.clone());
                 el.activated.push(activated);
-                plans.extend(predictor.observe_gate(&el.context(), layer, &dist));
+                scratch
+                    .layer_plans
+                    .extend(predictor.observe_gate(&el.context(), layer, &dist));
             }
-            if !plans.is_empty() {
+            if !scratch.layer_plans.is_empty() {
                 self.apply_predictor_timing(&timing);
                 let issue_at = self.prefetch_issue_time(&timing);
-                let _ = self.issue_prefetches(&plans, issue_at);
+                let _ = self.issue_prefetches(&scratch.layer_plans, issue_at);
             }
 
             // Absorb prefetches that have landed by now.
@@ -818,10 +857,13 @@ impl ServingEngine {
             // and reload), or missing (full on-demand load).
             let now = self.clock.now();
             let j = self.gate.config().experts_per_layer;
-            let mut residency: BTreeMap<ExpertId, bool> = BTreeMap::new();
-            let mut waited_inflight: Vec<ExpertId> = Vec::new();
-            let mut missing: Vec<ExpertId> = Vec::new();
-            for &e in &union {
+            scratch.residency.clear();
+            scratch.waited_inflight.clear();
+            scratch.missing.clear();
+            let residency = &mut scratch.residency;
+            let waited_inflight = &mut scratch.waited_inflight;
+            let missing = &mut scratch.missing;
+            for &e in &scratch.union {
                 let resident = self.cache.contains(e);
                 if resident {
                     residency.insert(e, true);
@@ -846,6 +888,9 @@ impl ServingEngine {
                     missing.push(ExpertId::new(layer, slot));
                 }
             }
+            let residency = &scratch.residency;
+            let waited_inflight = &scratch.waited_inflight;
+            let missing = &scratch.missing;
             for el in elements.iter_mut() {
                 if el.done {
                     continue;
@@ -870,7 +915,7 @@ impl ServingEngine {
 
             // Pin resident activated experts before loading the rest, so
             // insertions cannot evict what this layer is about to run.
-            for &e in &union {
+            for &e in &scratch.union {
                 self.cache.pin(e);
             }
 
@@ -884,12 +929,13 @@ impl ServingEngine {
                     .begin(start, Phase::OnDemandWait, NO_REQUEST, layer);
                 // Per-GPU start times: on-demand loads on a link begin
                 // after the needed in-flight jobs on that link complete.
-                let mut per_gpu_now: BTreeMap<u32, Nanos> = BTreeMap::new();
+                scratch.per_gpu_now.clear();
+                let per_gpu_now = &mut scratch.per_gpu_now;
                 let mut inflight_done = start;
                 // Promote every needed transfer first; estimating completion
                 // before all promotions are in would go stale as soon as a
                 // second job jumps the same link's queue.
-                for &e in &waited_inflight {
+                for &e in waited_inflight {
                     let gpu = self.cache.home_gpu(e);
                     let tag = e.dense_index(j) as u64;
                     self.timeline
@@ -908,7 +954,7 @@ impl ServingEngine {
                     // ahead of background prefetch traffic on its link.
                     self.transfer.promote_to_front(GpuId(gpu), tag, start);
                 }
-                for &e in &waited_inflight {
+                for &e in waited_inflight {
                     let gpu = self.cache.home_gpu(e);
                     let tag = e.dense_index(j) as u64;
                     if let Some(done) = self.transfer.completion_time_of(GpuId(gpu), tag) {
@@ -921,8 +967,9 @@ impl ServingEngine {
                 // precision when the request runs SLO-degraded or when a
                 // deadline miss forces the fallback. `loaded` records what
                 // actually moved so the cache insert matches the wire.
-                let mut loaded: BTreeMap<ExpertId, u64> = BTreeMap::new();
-                for &e in &missing {
+                scratch.loaded.clear();
+                let loaded = &mut scratch.loaded;
+                for &e in missing {
                     let gpu = self.cache.home_gpu(e);
                     let gpu_now = *per_gpu_now.get(&gpu).unwrap_or(&start);
                     let t0 = gpu_now.max(start);
@@ -992,10 +1039,10 @@ impl ServingEngine {
                 // Fold arrived prefetches (including the waited ones) in.
                 self.absorb_completions();
                 let now = self.clock.now();
-                for &e in &waited_inflight {
+                for &e in waited_inflight {
                     self.cache.pin(e);
                 }
-                for &e in &missing {
+                for &e in missing {
                     let outcome = match loaded.get(&e) {
                         Some(&sz) => self.cache.insert_sized(e, sz, now),
                         None => self.cache.insert(e, now),
@@ -1028,7 +1075,7 @@ impl ServingEngine {
             }
 
             // Expert FFN compute: per-GPU serial, cross-GPU parallel.
-            let expert_compute = self.expert_compute_time(&union, batch_tokens);
+            let expert_compute = self.expert_compute_time(&scratch.union, batch_tokens);
             self.clock.advance(expert_compute);
             self.breakdown.compute_ns += expert_compute;
             self.trace.span(
@@ -1042,17 +1089,15 @@ impl ServingEngine {
             );
             // Release this layer's pins; staged experts for *future*
             // layers stay protected until their layer executes.
-            for &e in &union {
+            for &e in &scratch.union {
                 self.cache.unpin(e);
                 self.staged.remove(&e);
             }
-            let passed: Vec<ExpertId> = self
-                .staged
-                .iter()
-                .copied()
-                .filter(|e| e.layer <= layer)
-                .collect();
-            for e in passed {
+            scratch.passed.clear();
+            scratch
+                .passed
+                .extend(self.staged.iter().copied().filter(|e| e.layer <= layer));
+            for &e in &scratch.passed {
                 self.cache.unpin(e);
                 self.staged.remove(&e);
             }
@@ -1108,6 +1153,9 @@ impl ServingEngine {
             .record(self.clock.now(), TimelineEvent::IterationEnd);
         self.trace
             .end(self.clock.now(), Phase::Iteration, NO_REQUEST, NO_LAYER);
+        // Hand the working memory back for the next iteration; the
+        // backing allocations survive the round-trip.
+        self.scratch = scratch;
     }
 
     /// Expert FFN time for a layer: experts grouped by home GPU run
@@ -1220,16 +1268,21 @@ impl ServingEngine {
     /// `before_layer = Some(l)`, jobs targeting layers `< l` of the
     /// current iteration; with `None`, every queued job (iteration
     /// boundary — a new iteration routes differently).
-    fn prune_stale_prefetches(&mut self, before_layer: Option<u32>) {
+    fn prune_stale_prefetches(
+        &mut self,
+        before_layer: Option<u32>,
+        stale: &mut Vec<(u64, ExpertId)>,
+    ) {
         self.absorb_completions();
         let now = self.clock.now();
-        let stale: Vec<(u64, ExpertId)> = self
-            .in_flight
-            .iter()
-            .filter(|(_, e)| before_layer.is_none_or(|l| e.layer < l))
-            .map(|(&tag, &e)| (tag, e))
-            .collect();
-        for (tag, expert) in stale {
+        stale.clear();
+        stale.extend(
+            self.in_flight
+                .iter()
+                .filter(|(_, e)| before_layer.is_none_or(|l| e.layer < l))
+                .map(|(&tag, &e)| (tag, e)),
+        );
+        for &(tag, expert) in stale.iter() {
             let gpu = GpuId(self.cache.home_gpu(expert));
             if self.transfer.cancel_prefetch(gpu, tag, now) {
                 self.in_flight.remove(&tag);

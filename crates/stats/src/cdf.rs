@@ -45,7 +45,10 @@ impl EmpiricalCdf {
         count as f64 / self.sorted.len() as f64
     }
 
-    /// The `q`-quantile (`q ∈ [0, 1]`) using nearest-rank interpolation.
+    /// The `q`-quantile (`q ∈ [0, 1]`) using linear interpolation between
+    /// the two nearest order statistics (the "R-7" / NumPy default): with
+    /// `pos = q·(n−1)`, the result is
+    /// `sorted[⌊pos⌋]·(1−frac) + sorted[⌈pos⌉]·frac`.
     /// Returns `None` for an empty sample; `q` outside `[0, 1]` is clamped.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<f64> {
@@ -76,13 +79,20 @@ impl EmpiricalCdf {
         let n = self.sorted.len();
         let step = (n as f64 / max_points as f64).max(1.0);
         let mut out = Vec::new();
+        let mut last_idx = None;
         let mut i = 0.0;
         while (i as usize) < n {
             let idx = i as usize;
             out.push((self.sorted[idx], (idx + 1) as f64 / n as f64));
+            last_idx = Some(idx);
             i += step;
         }
-        if out.last().map(|&(v, _)| v) != self.sorted.last().copied() {
+        // Always close the series at F = 1.0. Deciding by *index* rather
+        // than by value matters when the maximum is duplicated: the last
+        // sampled entry can share the max value while sitting at a
+        // fraction < 1.0, and a value-based check would then skip the
+        // terminal point entirely.
+        if last_idx != Some(n - 1) {
             out.push((self.sorted[n - 1], 1.0));
         }
         out
@@ -135,6 +145,42 @@ mod tests {
             assert!(w[0].0 <= w[1].0);
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn points_reach_one_with_duplicated_maxima() {
+        // sorted = [1, 2, 2]; with max_points = 2 the sampling loop emits
+        // (1, 1/3) and (2, 2/3). The last *sampled* value equals the max,
+        // so the old value-based terminal check skipped the closing
+        // (2, 1.0) point and the CDF never reached F = 1.0.
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 2.0]);
+        let pts = cdf.points(2);
+        assert_eq!(pts.last().unwrap().1, 1.0, "series must close at F=1.0");
+        assert_eq!(pts, vec![(1.0, 1.0 / 3.0), (2.0, 2.0 / 3.0), (2.0, 1.0)]);
+
+        // A heavier duplicated tail, thinned aggressively.
+        let cdf = EmpiricalCdf::new(vec![1.0, 5.0, 5.0, 5.0, 5.0, 5.0]);
+        let pts = cdf.points(3);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+
+        // When the sampling loop *does* land on the final index, no
+        // duplicate terminal point is appended.
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let pts = cdf.points(4);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts.last().unwrap(), &(4.0, 1.0));
+    }
+
+    #[test]
+    fn quantile_linear_interpolation_pinned() {
+        // Asymmetric 3-point sample: linear interpolation between order
+        // statistics gives distinctly different answers from nearest-rank,
+        // so this pins the implemented semantics.
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 10.0]);
+        assert!((cdf.quantile(0.25).unwrap() - 1.5).abs() < 1e-12);
+        assert!((cdf.quantile(0.5).unwrap() - 2.0).abs() < 1e-12);
+        assert!((cdf.quantile(0.75).unwrap() - 6.0).abs() < 1e-12);
+        assert!((cdf.quantile(0.9).unwrap() - 8.4).abs() < 1e-12);
     }
 
     #[test]

@@ -56,6 +56,130 @@ pub fn argmax_cosine(query: &[f64], candidates: &[Vec<f64>]) -> Option<(usize, f
     best
 }
 
+/// Cosine of `query` against every row of a contiguous row-major slab
+/// with precomputed squared row norms, returning the argmax.
+///
+/// `slab` holds `row_norm2.len()` rows of `stride` elements each;
+/// `row_norm2[i]` must equal the left-to-right sum of squares of row `i`.
+/// Scores are **bit-identical** to calling [`cosine_similarity`] per row:
+/// each accumulator (dot, query norm, row norm) sums the same terms in the
+/// same index order, so the split loops produce the same bits as the
+/// interleaved reference loop.
+///
+/// Ties keep the lower index (strict `>` comparison), matching
+/// [`argmax_cosine`]. Returns `None` when the slab is empty or when
+/// `query.len() < stride` — a shorter query compares only a prefix of each
+/// row, which the precomputed full-row norms cannot serve; callers fall
+/// back to the reference path in that case.
+#[must_use]
+pub fn argmax_cosine_slab(
+    query: &[f64],
+    slab: &[f64],
+    stride: usize,
+    row_norm2: &[f64],
+) -> Option<(usize, f64)> {
+    if row_norm2.is_empty() || stride == 0 || query.len() < stride {
+        return None;
+    }
+    debug_assert_eq!(slab.len(), stride * row_norm2.len());
+    let q = &query[..stride];
+    let na: f64 = q.iter().map(|x| x * x).sum();
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &nb) in row_norm2.iter().enumerate() {
+        let row = &slab[i * stride..(i + 1) * stride];
+        let score = slab_row_score(q, row, na, nb);
+        match best {
+            Some((_, bs)) if bs >= score => {}
+            _ => best = Some((i, score)),
+        }
+    }
+    best
+}
+
+/// The `k` best-scoring rows of a slab for one query, heap-selected in
+/// `O(rows · log k)` instead of a full sort.
+///
+/// Same layout contract and bit-identical scoring as
+/// [`argmax_cosine_slab`]. The result is sorted by descending score with
+/// ties broken toward the lower row index, so `result[0]` always equals
+/// `argmax_cosine_slab`'s answer. Returns an empty vector in the cases
+/// where `argmax_cosine_slab` returns `None`, or when `k == 0`.
+#[must_use]
+pub fn top_k_cosine_slab(
+    query: &[f64],
+    slab: &[f64],
+    stride: usize,
+    row_norm2: &[f64],
+    k: usize,
+) -> Vec<(usize, f64)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    if k == 0 || row_norm2.is_empty() || stride == 0 || query.len() < stride {
+        return Vec::new();
+    }
+    debug_assert_eq!(slab.len(), stride * row_norm2.len());
+    let q = &query[..stride];
+    let na: f64 = q.iter().map(|x| x * x).sum();
+    // Min-heap of the k best seen so far; `ScoredRow`'s ordering makes the
+    // heap minimum the lowest score (largest index on score ties), so a
+    // tie with the current worst keeps the earlier row.
+    let mut heap: BinaryHeap<Reverse<ScoredRow>> = BinaryHeap::with_capacity(k + 1);
+    for (i, &nb) in row_norm2.iter().enumerate() {
+        let score = slab_row_score(q, &slab[i * stride..(i + 1) * stride], na, nb);
+        let cand = ScoredRow { score, index: i };
+        if heap.len() < k {
+            heap.push(Reverse(cand));
+        } else if let Some(Reverse(worst)) = heap.peek() {
+            if cand > *worst {
+                heap.pop();
+                heap.push(Reverse(cand));
+            }
+        }
+    }
+    let mut out: Vec<ScoredRow> = heap.into_iter().map(|Reverse(s)| s).collect();
+    out.sort_unstable_by(|a, b| b.cmp(a));
+    out.into_iter().map(|s| (s.index, s.score)).collect()
+}
+
+/// One slab row's cosine score given the precomputed squared norms —
+/// the exact expression `cosine_similarity` evaluates.
+#[inline]
+fn slab_row_score(q: &[f64], row: &[f64], na: f64, nb: f64) -> f64 {
+    let mut dot = 0.0;
+    for (a, b) in q.iter().zip(row) {
+        dot += a * b;
+    }
+    if na <= 0.0 || nb <= 0.0 {
+        return 0.0;
+    }
+    (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Total order for heap selection: by score, then *descending* index, so
+/// "greater" means better score or, on ties, the earlier row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ScoredRow {
+    score: f64,
+    index: usize,
+}
+
+impl Eq for ScoredRow {}
+
+impl Ord for ScoredRow {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.index.cmp(&self.index))
+    }
+}
+
+impl PartialOrd for ScoredRow {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +235,68 @@ mod tests {
         assert_eq!(idx, 1);
         assert!(score > 0.9);
         assert!(argmax_cosine(&q, &[]).is_none());
+    }
+
+    fn slab_fixture() -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+        let rows = vec![
+            vec![0.0, 1.0, 0.5],
+            vec![1.0, 0.1, -0.2],
+            vec![-1.0, 0.0, 0.0],
+            vec![0.9, 0.2, -0.1],
+        ];
+        let slab: Vec<f64> = rows.iter().flatten().copied().collect();
+        let norms: Vec<f64> = rows.iter().map(|r| r.iter().map(|x| x * x).sum()).collect();
+        (rows, slab, norms)
+    }
+
+    #[test]
+    fn slab_argmax_is_bit_identical_to_reference() {
+        let (rows, slab, norms) = slab_fixture();
+        let q = [1.0, 0.1, -0.3];
+        let (ri, rs) = argmax_cosine(&q, &rows).unwrap();
+        let (si, ss) = argmax_cosine_slab(&q, &slab, 3, &norms).unwrap();
+        assert_eq!(ri, si);
+        assert_eq!(rs.to_bits(), ss.to_bits());
+    }
+
+    #[test]
+    fn slab_argmax_rejects_short_queries_and_empty_slabs() {
+        let (_, slab, norms) = slab_fixture();
+        assert!(argmax_cosine_slab(&[1.0, 0.1], &slab, 3, &norms).is_none());
+        assert!(argmax_cosine_slab(&[1.0, 0.1, 0.0], &[], 3, &[]).is_none());
+        assert!(argmax_cosine_slab(&[], &[], 0, &norms).is_none());
+    }
+
+    #[test]
+    fn slab_top_k_matches_full_sort() {
+        let (rows, slab, norms) = slab_fixture();
+        let q = [1.0, 0.1, -0.3];
+        let mut full: Vec<(usize, f64)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, cosine_similarity(&q, r)))
+            .collect();
+        full.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for k in 0..=5 {
+            let top = top_k_cosine_slab(&q, &slab, 3, &norms, k);
+            assert_eq!(top.len(), k.min(rows.len()));
+            for (got, want) in top.iter().zip(&full) {
+                assert_eq!(got.0, want.0, "k={k}");
+                assert_eq!(got.1.to_bits(), want.1.to_bits(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn slab_top_k_breaks_ties_toward_lower_index() {
+        // Rows 0 and 2 are identical, so they tie exactly.
+        let rows = [vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0]];
+        let slab: Vec<f64> = rows.iter().flatten().copied().collect();
+        let norms: Vec<f64> = rows.iter().map(|r| r.iter().map(|x| x * x).sum()).collect();
+        let top = top_k_cosine_slab(&[1.0, 0.0], &slab, 2, &norms, 2);
+        assert_eq!(top[0].0, 0);
+        assert_eq!(top[1].0, 2);
+        let one = top_k_cosine_slab(&[1.0, 0.0], &slab, 2, &norms, 1);
+        assert_eq!(one[0].0, 0);
     }
 }
