@@ -53,7 +53,7 @@ fn bench_full_cell(c: &mut Criterion) {
 }
 
 fn bench_continuous_batching(c: &mut Criterion) {
-    use fmoe_serving::online::serve_trace_continuous;
+    use fmoe_serving::online::{serve, ServeOptions};
     use fmoe_workload::AzureTraceSpec;
     let mut group = c.benchmark_group("continuous_batching");
     group.sample_size(10);
@@ -72,12 +72,15 @@ fn bench_continuous_batching(c: &mut Criterion) {
             let gate = cell.gate();
             let mut predictor = cell.predictor(&gate, &[]);
             let mut engine = cell.engine(cell.gate());
-            black_box(serve_trace_continuous(
-                &mut engine,
-                &trace,
-                predictor.as_mut(),
-                4,
-            ))
+            black_box(
+                serve(
+                    &mut engine,
+                    &trace,
+                    predictor.as_mut(),
+                    &ServeOptions::continuous(4),
+                )
+                .expect("continuous serving succeeds"),
+            )
         });
     });
     group.finish();

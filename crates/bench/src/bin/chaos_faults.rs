@@ -29,7 +29,7 @@ use fmoe_bench::report::{write_csv, Table};
 use fmoe_memsim::clock::SECOND;
 use fmoe_memsim::FaultSchedule;
 use fmoe_model::presets;
-use fmoe_serving::online::{serve_trace_with_slo, SloPolicy};
+use fmoe_serving::online::{serve, ServeOptions, SloPolicy};
 use fmoe_stats::EmpiricalCdf;
 use fmoe_workload::{AzureTraceSpec, DatasetSpec};
 
@@ -156,7 +156,12 @@ fn main() {
             Policy::Degrade => Some(SloPolicy::degrade(slo_queueing_ns)),
             Policy::None | Policy::Deadline => None,
         };
-        let report = serve_trace_with_slo(&mut engine, &trace, predictor.as_mut(), slo);
+        let options = match slo {
+            Some(policy) => ServeOptions::fcfs().with_slo(policy),
+            None => ServeOptions::fcfs(),
+        };
+        let report = serve(&mut engine, &trace, predictor.as_mut(), &options)
+            .expect("fcfs serving is infallible");
         assert_eq!(
             report.results.len() + report.shed.len(),
             trace.len(),

@@ -14,7 +14,7 @@
 use fmoe_bench::harness::{CellConfig, System};
 use fmoe_bench::report::{write_csv, Table};
 use fmoe_model::presets;
-use fmoe_serving::online::{serve_trace, serve_trace_continuous};
+use fmoe_serving::online::{serve, ServeOptions};
 use fmoe_stats::EmpiricalCdf;
 use fmoe_workload::{AzureTraceSpec, DatasetSpec};
 
@@ -44,10 +44,13 @@ fn main() {
         let gate = cell.gate();
         let mut predictor = cell.predictor(&gate, &[]);
         let mut engine = cell.engine(gate);
-        let results = match slots {
-            None => serve_trace(&mut engine, &trace, predictor.as_mut()),
-            Some(s) => serve_trace_continuous(&mut engine, &trace, predictor.as_mut(), s),
+        let options = match slots {
+            None => ServeOptions::fcfs(),
+            Some(s) => ServeOptions::continuous(s),
         };
+        let results = serve(&mut engine, &trace, predictor.as_mut(), &options)
+            .expect("serving succeeds")
+            .results;
         let latencies: Vec<f64> = results
             .iter()
             .map(|r| r.request_latency_ns() as f64 / 1e6)

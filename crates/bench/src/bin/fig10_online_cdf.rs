@@ -16,7 +16,7 @@ use fmoe_bench::harness::{CellConfig, ParallelRunner, System};
 use fmoe_bench::plot::{LinePlot, Series};
 use fmoe_bench::report::{write_csv, Table};
 use fmoe_model::presets;
-use fmoe_serving::online::serve_trace;
+use fmoe_serving::online::{serve, ServeOptions};
 use fmoe_stats::EmpiricalCdf;
 use fmoe_workload::{AzureTraceSpec, DatasetSpec};
 
@@ -55,7 +55,14 @@ fn main() {
         let mut spec = AzureTraceSpec::paper_online_serving(DatasetSpec::lmsys_chat());
         spec.num_requests = num_requests;
         let trace = spec.generate();
-        let results = serve_trace(&mut engine, &trace, predictor.as_mut());
+        let results = serve(
+            &mut engine,
+            &trace,
+            predictor.as_mut(),
+            &ServeOptions::fcfs(),
+        )
+        .expect("fcfs serving is infallible")
+        .results;
 
         results
             .iter()

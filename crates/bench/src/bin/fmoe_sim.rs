@@ -18,7 +18,7 @@
 use fmoe_bench::harness::{CellConfig, System};
 use fmoe_bench::report::{write_csv, Table};
 use fmoe_model::{presets, ModelConfig};
-use fmoe_serving::online::serve_trace;
+use fmoe_serving::online::{serve as serve_online, ServeOptions};
 use fmoe_workload::{AzureTraceSpec, DatasetSpec};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -229,17 +229,15 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
             spec.num_requests = cell.test_requests as u64;
             spec.generate()
         };
-        let results = if let Some(slots) = flags.get("slots") {
+        let options = if let Some(slots) = flags.get("slots") {
             let slots: usize = slots.parse().map_err(|_| format!("bad --slots: {slots}"))?;
-            fmoe_serving::online::serve_trace_continuous(
-                &mut engine,
-                &trace,
-                predictor.as_mut(),
-                slots,
-            )
+            ServeOptions::continuous(slots)
         } else {
-            serve_trace(&mut engine, &trace, predictor.as_mut())
+            ServeOptions::fcfs()
         };
+        let results = serve_online(&mut engine, &trace, predictor.as_mut(), &options)
+            .map_err(|e| format!("serving failed: {e}"))?
+            .results;
         let latencies: Vec<f64> = results
             .iter()
             .map(|r| r.request_latency_ns() as f64 / 1e6)

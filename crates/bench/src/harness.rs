@@ -243,13 +243,10 @@ impl CellConfig {
             on_demand_deadline_ns: self.on_demand_deadline_ns,
             ..EngineConfig::paper_default()
         };
-        ServingEngine::new(
-            gate,
-            GpuSpec::rtx_3090(),
-            self.topology.clone(),
-            self.system.cache_policy(self.model.experts_per_layer),
-            config,
-        )
+        ServingEngine::builder(gate, GpuSpec::rtx_3090(), self.topology.clone())
+            .policy(self.system.cache_policy(self.model.experts_per_layer))
+            .config(config)
+            .build()
     }
 
     /// Runs the standard offline experiment: populate from the 70%

@@ -1,0 +1,107 @@
+//! Cross-process checks for `fig12_cluster_scaling`:
+//!
+//! * determinism — a `--quick --jobs 1` run and a `--quick --jobs 4`
+//!   run, each in its own scratch working directory, must write
+//!   byte-identical `results/*.csv` artifacts (DESIGN.md §10/§12);
+//! * the headline claim — parsing the summary CSV must show semantic
+//!   affinity beating (or tying) round-robin on fleet cache hit rate in
+//!   every multi-replica cell, at equal shed counts.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+fn run_quick(workdir: &Path, jobs: &str) -> Vec<(String, Vec<u8>)> {
+    fs::create_dir_all(workdir).expect("scratch dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig12_cluster_scaling"))
+        .args(["--quick", "--jobs", jobs])
+        .current_dir(workdir)
+        .output()
+        .expect("fig12_cluster_scaling runs");
+    assert!(
+        out.status.success(),
+        "fig12_cluster_scaling --quick --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut csvs: Vec<(String, Vec<u8>)> = fs::read_dir(workdir.join("results"))
+        .expect("results dir written")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let bytes = fs::read(&p).expect("csv readable");
+            (name, bytes)
+        })
+        .collect();
+    csvs.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(!csvs.is_empty(), "bench produced no CSV output");
+    csvs
+}
+
+#[test]
+fn cluster_bench_is_deterministic_across_processes_and_jobs() {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fig12_determinism");
+    let sequential = run_quick(&base.join("jobs1"), "1");
+    let parallel = run_quick(&base.join("jobs4"), "4");
+    assert_eq!(
+        sequential.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        parallel.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "--jobs 1 and --jobs 4 wrote different CSV file sets"
+    );
+    for ((name, a), (_, b)) in sequential.iter().zip(&parallel) {
+        assert_eq!(
+            a, b,
+            "{name} differs between --jobs 1 and --jobs 4: the cluster \
+             dispatch or CSV pipeline leaked scheduling nondeterminism"
+        );
+    }
+}
+
+#[test]
+fn affinity_beats_round_robin_on_fleet_hit_rate_in_the_quick_sweep() {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fig12_hit_rate");
+    let csvs = run_quick(&base.join("run"), "2");
+    let (_, summary) = csvs
+        .iter()
+        .find(|(name, _)| name == "fig12_cluster_scaling.csv")
+        .expect("summary CSV present");
+    let text = String::from_utf8(summary.clone()).expect("summary CSV is UTF-8");
+
+    // Columns: replicas,rate,policy,served,shed,hit_rate,...
+    let mut cells: Vec<(usize, String, String, usize, f64)> = Vec::new();
+    for line in text.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        cells.push((
+            cols[0].parse().expect("replicas"),
+            cols[1].to_string(),
+            cols[2].to_string(),
+            cols[4].parse().expect("shed"),
+            cols[5].parse().expect("hit_rate"),
+        ));
+    }
+    let mut multi_replica_cells = 0;
+    for (replicas, rate, policy, shed, hit) in &cells {
+        if *replicas < 2 || policy != "semantic-affinity" {
+            continue;
+        }
+        let (_, _, _, rr_shed, rr_hit) = cells
+            .iter()
+            .find(|(r, s, p, _, _)| r == replicas && s == rate && p == "round-robin")
+            .expect("round-robin cell for the same load");
+        assert_eq!(shed, rr_shed, "hit rates compared at unequal shed counts");
+        assert!(
+            hit >= rr_hit,
+            "semantic affinity lost fleet hit rate to round-robin at \
+             {replicas} replicas, rate {rate}: {hit:.4} < {rr_hit:.4}"
+        );
+        multi_replica_cells += 1;
+    }
+    assert!(
+        multi_replica_cells > 0,
+        "the quick sweep must contain multi-replica cells"
+    );
+}

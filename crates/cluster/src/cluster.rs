@@ -1,0 +1,291 @@
+//! The [`Cluster`]: N independent engine replicas behind one router.
+
+use crate::report::{ClusterReport, ReplicaReport};
+use crate::routing::{shortest_queue, RoutingPolicy, RoutingStats};
+use fmoe_memsim::Nanos;
+use fmoe_model::GateSimulator;
+use fmoe_serving::online::{serve_event_fcfs, FcfsOutcome};
+use fmoe_serving::{
+    EngineBuilder, ExpertPredictor, OnlineResult, ServingEngine, ShedRequest, SloPolicy,
+};
+use fmoe_trace::TraceRecord;
+use fmoe_workload::TraceEvent;
+use serde::Serialize;
+
+/// One replica: an engine, its predictor, and FIFO-queue bookkeeping.
+struct Replica {
+    engine: ServingEngine,
+    predictor: Box<dyn ExpertPredictor>,
+    /// Finish times of served requests, monotone under FCFS.
+    finish_times: Vec<Nanos>,
+    /// Cursor into `finish_times`: everything before it finished at or
+    /// before the most recent arrival instant (arrivals are monotone, so
+    /// the cursor only moves forward — O(1) amortized depth queries).
+    drained: usize,
+    results: Vec<OnlineResult>,
+    shed: Vec<ShedRequest>,
+    max_queue_depth: usize,
+    /// Σ (depth including the arriving request) over routed arrivals.
+    depth_sum: u64,
+    arrivals: u64,
+}
+
+impl Replica {
+    /// Requests routed here that are still queued or in service at `t`:
+    /// served requests whose finish time lies beyond `t`. Shed requests
+    /// never occupy the queue (they are rejected the instant their turn
+    /// comes, contributing no service time).
+    fn queue_depth(&mut self, t: Nanos) -> usize {
+        while self.drained < self.finish_times.len() && self.finish_times[self.drained] <= t {
+            self.drained += 1;
+        }
+        self.finish_times.len() - self.drained
+    }
+}
+
+/// A per-replica trace record in the merged cluster timeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterTraceRecord {
+    /// Which replica emitted the record.
+    pub replica: usize,
+    /// The record itself (timestamps are each replica's virtual time;
+    /// all replicas share t = 0 at cluster start).
+    pub record: TraceRecord,
+}
+
+/// A deterministic multi-replica serving cluster.
+///
+/// Replicas are added through [`Cluster::add_replica`] (which finishes an
+/// [`EngineBuilder`], so every replica is built the one supported way),
+/// then a shared trace is pushed through [`Cluster::dispatch`]. Each
+/// replica is an independent FCFS queue: once a request is routed, it is
+/// served by [`serve_event_fcfs`] with exactly the semantics of
+/// `fmoe_serving::serve` — which makes a 1-replica cluster byte-identical
+/// to single-engine serving.
+pub struct Cluster {
+    /// Embedding oracle for [`RoutingPolicy::SemanticAffinity`]: the
+    /// router observes the same iteration-0 semantic embedding the
+    /// engines feed their predictors.
+    gate: GateSimulator,
+    policy: RoutingPolicy,
+    slo: Option<SloPolicy>,
+    replicas: Vec<Replica>,
+    /// Next replica for [`RoutingPolicy::RoundRobin`].
+    rr_next: usize,
+    routing: RoutingStats,
+}
+
+impl Cluster {
+    /// Creates an empty cluster. `gate` must simulate the same model the
+    /// replicas serve (its only cluster-level role is producing prompt
+    /// embeddings for affinity routing).
+    #[must_use]
+    pub fn new(gate: GateSimulator, policy: RoutingPolicy, slo: Option<SloPolicy>) -> Self {
+        Self {
+            gate,
+            policy,
+            slo,
+            replicas: Vec::new(),
+            rr_next: 0,
+            routing: RoutingStats::default(),
+        }
+    }
+
+    /// Builds `engine` and registers it (with its predictor) as the next
+    /// replica. Returns the new replica's id. Install a recording
+    /// `TraceSink` on the builder to have the replica contribute to
+    /// [`Cluster::take_merged_trace`].
+    pub fn add_replica(
+        &mut self,
+        engine: EngineBuilder,
+        predictor: Box<dyn ExpertPredictor>,
+    ) -> usize {
+        self.replicas.push(Replica {
+            engine: engine.build(),
+            predictor,
+            finish_times: Vec::new(),
+            drained: 0,
+            results: Vec::new(),
+            shed: Vec::new(),
+            max_queue_depth: 0,
+            depth_sum: 0,
+            arrivals: 0,
+        });
+        self.replicas.len() - 1
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The routing policy in force.
+    #[must_use]
+    pub fn policy(&self) -> RoutingPolicy {
+        self.policy
+    }
+
+    /// Read access to a replica's engine (diagnostics).
+    #[must_use]
+    pub fn replica_engine(&self, replica: usize) -> Option<&ServingEngine> {
+        self.replicas.get(replica).map(|r| &r.engine)
+    }
+
+    /// Routes and serves every trace event, returning the aggregated
+    /// report. Events must be sorted by arrival time. Dispatching on an
+    /// empty cluster serves nothing and returns an empty report. State
+    /// (caches, stores, queues) persists across calls, so consecutive
+    /// dispatches model one continuous workload; the report covers
+    /// everything routed so far.
+    pub fn dispatch(&mut self, trace: &[TraceEvent]) -> ClusterReport {
+        if self.replicas.is_empty() {
+            return ClusterReport {
+                replicas: Vec::new(),
+                routing: self.routing,
+            };
+        }
+        for event in trace {
+            let mut depths = Vec::with_capacity(self.replicas.len());
+            for replica in &mut self.replicas {
+                depths.push(replica.queue_depth(event.arrival_ns));
+            }
+            let chosen = self.route(event, &depths);
+            let replica = &mut self.replicas[chosen];
+            let depth_here = depths[chosen] + 1;
+            replica.max_queue_depth = replica.max_queue_depth.max(depth_here);
+            replica.depth_sum += depth_here as u64;
+            replica.arrivals += 1;
+            match serve_event_fcfs(
+                &mut replica.engine,
+                event,
+                replica.predictor.as_mut(),
+                self.slo,
+            ) {
+                FcfsOutcome::Served(result) => {
+                    replica.finish_times.push(result.finish_ns);
+                    replica.results.push(result);
+                }
+                FcfsOutcome::Shed(request) => replica.shed.push(request),
+            }
+        }
+        self.report()
+    }
+
+    /// Picks the replica for `event` given per-replica queue `depths`.
+    fn route(&mut self, event: &TraceEvent, depths: &[usize]) -> usize {
+        match self.policy {
+            RoutingPolicy::RoundRobin => {
+                let chosen = self.rr_next % self.replicas.len();
+                self.rr_next += 1;
+                chosen
+            }
+            RoutingPolicy::JoinShortestQueue => shortest_queue(depths),
+            RoutingPolicy::SemanticAffinity(cfg) => {
+                let embedding = self.gate.semantic_embedding(event.prompt.routing, 0);
+                // Highest affinity wins; `total_cmp` keeps NaN-free
+                // ordering deterministic and strict `>` breaks ties
+                // toward the lowest replica id.
+                let mut best: Option<(usize, f64)> = None;
+                for (i, replica) in self.replicas.iter().enumerate() {
+                    if let Some(score) = replica.predictor.semantic_affinity(&embedding) {
+                        let better = match best {
+                            None => true,
+                            Some((_, incumbent)) => {
+                                score.total_cmp(&incumbent) == std::cmp::Ordering::Greater
+                            }
+                        };
+                        if better {
+                            best = Some((i, score));
+                        }
+                    }
+                }
+                let Some((preferred, _)) = best else {
+                    // No replica has semantic history yet: place by load.
+                    self.routing.cold_fallbacks += 1;
+                    return shortest_queue(depths);
+                };
+                let mean = depths.iter().sum::<usize>() as f64 / depths.len() as f64;
+                if depths[preferred] as f64 > cfg.imbalance_factor * mean {
+                    self.routing.jsq_fallbacks += 1;
+                    shortest_queue(depths)
+                } else {
+                    self.routing.affinity_routed += 1;
+                    preferred
+                }
+            }
+        }
+    }
+
+    /// Builds the cumulative report.
+    fn report(&self) -> ClusterReport {
+        let replicas = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(id, replica)| ReplicaReport {
+                replica: id,
+                results: replica.results.clone(),
+                shed: replica.shed.clone(),
+                degraded_serves: replica
+                    .results
+                    .iter()
+                    .filter(|r| r.metrics.served_degraded)
+                    .count() as u64,
+                cache: replica.engine.cache_stats(),
+                max_queue_depth: replica.max_queue_depth,
+                mean_queue_depth: if replica.arrivals == 0 {
+                    0.0
+                } else {
+                    replica.depth_sum as f64 / replica.arrivals as f64
+                },
+            })
+            .collect();
+        ClusterReport {
+            replicas,
+            routing: self.routing,
+        }
+    }
+
+    /// Drains every replica's trace sink and merges the streams into one
+    /// cluster timeline: ordered by record timestamp, ties broken by
+    /// lower replica id, per-replica order preserved. Replicas whose
+    /// sink is disabled (the default) contribute nothing.
+    pub fn take_merged_trace(&mut self) -> Vec<ClusterTraceRecord> {
+        let streams: Vec<Vec<TraceRecord>> = self
+            .replicas
+            .iter_mut()
+            .map(|r| r.engine.trace_sink().take_records())
+            .collect();
+        let total: usize = streams.iter().map(Vec::len).sum();
+        let mut merged = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; streams.len()];
+        while merged.len() < total {
+            // Min over stream heads by (at_ns, replica id); strict `<`
+            // on timestamps keeps the tie with the lowest id.
+            let mut pick: Option<usize> = None;
+            for (replica, stream) in streams.iter().enumerate() {
+                if cursors[replica] >= stream.len() {
+                    continue;
+                }
+                let at = stream[cursors[replica]].at_ns;
+                let better = match pick {
+                    None => true,
+                    Some(p) => at < streams[p][cursors[p]].at_ns,
+                };
+                if better {
+                    pick = Some(replica);
+                }
+            }
+            let Some(replica) = pick else {
+                break;
+            };
+            merged.push(ClusterTraceRecord {
+                replica,
+                record: streams[replica][cursors[replica]],
+            });
+            cursors[replica] += 1;
+        }
+        merged
+    }
+}

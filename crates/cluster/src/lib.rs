@@ -1,0 +1,42 @@
+//! Cluster-level serving: N independent [`fmoe_serving::ServingEngine`]
+//! replicas behind one router.
+//!
+//! The ROADMAP's north star is a fleet, not a single engine — and fMoE's
+//! Expert Map Store (paper §4) gives a cluster router a signal no
+//! baseline has: a replica whose store has seen semantically similar
+//! prompts will prefetch better, so routing for *cache locality* and
+//! routing for *load* pull in different directions. This crate models
+//! that tension deterministically, in virtual time:
+//!
+//! * [`Cluster`] owns the replicas (each with its own cache, transfer
+//!   engine, expert-map store, and optional fault schedule) plus
+//!   per-replica FIFO queues, and dispatches a shared trace through a
+//!   pluggable [`RoutingPolicy`].
+//! * [`RoutingPolicy::SemanticAffinity`] routes each request to the
+//!   replica whose predictor reports the highest
+//!   [`fmoe_serving::ExpertPredictor::semantic_affinity`] to the prompt
+//!   embedding (fMoE answers via its `top_k_cosine_slab` fast path),
+//!   with a load-imbalance escape hatch that falls back to
+//!   join-shortest-queue when the preferred replica's queue exceeds a
+//!   configurable factor of the cluster mean.
+//! * Replicas are independent FCFS queues driven by
+//!   [`fmoe_serving::serve_event_fcfs`], so a 1-replica cluster under
+//!   any policy is *exactly* `fmoe_serving::serve` — pinned by tests.
+//! * Per-replica `TraceSink`s merge into one cluster timeline
+//!   ([`Cluster::take_merged_trace`]) ordered by virtual time with
+//!   replica id as the tie-break.
+//!
+//! Everything follows the workspace determinism contract: no wall clock,
+//! no unseeded randomness, `BTreeMap`-only state, byte-identical reports
+//! run-to-run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod report;
+pub mod routing;
+
+pub use cluster::{Cluster, ClusterTraceRecord};
+pub use report::{ClusterReport, ReplicaReport};
+pub use routing::{AffinityConfig, RoutingPolicy, RoutingStats};

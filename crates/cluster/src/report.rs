@@ -1,0 +1,110 @@
+//! Aggregated outcome of a cluster dispatch.
+
+use crate::routing::RoutingStats;
+use fmoe_cache::CacheStats;
+use fmoe_serving::{OnlineResult, ShedRequest};
+use fmoe_stats::EmpiricalCdf;
+use serde::Serialize;
+
+/// One replica's share of a [`ClusterReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplicaReport {
+    /// Replica id (index in the cluster).
+    pub replica: usize,
+    /// Served requests, in this replica's arrival order.
+    pub results: Vec<OnlineResult>,
+    /// Requests the SLO policy shed on this replica, in arrival order.
+    pub shed: Vec<ShedRequest>,
+    /// How many of `results` were served in degraded mode.
+    pub degraded_serves: u64,
+    /// Expert-cache counters (hits/misses/evictions) for the replica.
+    pub cache: CacheStats,
+    /// Peak FIFO queue depth observed at any arrival (the arriving
+    /// request included; shed requests never occupy the queue).
+    pub max_queue_depth: usize,
+    /// Mean queue depth over this replica's arrivals, requests included.
+    pub mean_queue_depth: f64,
+}
+
+impl ReplicaReport {
+    /// End-to-end latencies of served requests, in nanoseconds.
+    #[must_use]
+    pub fn latencies_ns(&self) -> Vec<f64> {
+        self.results
+            .iter()
+            .map(|r| r.request_latency_ns() as f64)
+            .collect()
+    }
+
+    /// Latency quantile in nanoseconds; `None` when nothing was served.
+    #[must_use]
+    pub fn latency_quantile_ns(&self, q: f64) -> Option<f64> {
+        EmpiricalCdf::new(self.latencies_ns()).quantile(q)
+    }
+}
+
+/// Fleet-wide outcome of [`crate::Cluster::dispatch`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterReport {
+    /// Per-replica breakdown, in replica-id order.
+    pub replicas: Vec<ReplicaReport>,
+    /// Routing-decision counters (see [`RoutingStats`]).
+    pub routing: RoutingStats,
+}
+
+impl ClusterReport {
+    /// Total requests served across the fleet.
+    #[must_use]
+    pub fn total_served(&self) -> usize {
+        self.replicas.iter().map(|r| r.results.len()).sum()
+    }
+
+    /// Total requests shed across the fleet.
+    #[must_use]
+    pub fn total_shed(&self) -> usize {
+        self.replicas.iter().map(|r| r.shed.len()).sum()
+    }
+
+    /// Goodput: fraction of dispatched requests that were served.
+    #[must_use]
+    pub fn goodput(&self) -> f64 {
+        let total = self.total_served() + self.total_shed();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_served() as f64 / total as f64
+        }
+    }
+
+    /// Fleet cache hit rate: pooled hits over pooled accesses across all
+    /// replica caches — the locality number `SemanticAffinity` exists to
+    /// improve.
+    #[must_use]
+    pub fn fleet_hit_rate(&self) -> f64 {
+        let hits: u64 = self.replicas.iter().map(|r| r.cache.hits).sum();
+        let misses: u64 = self.replicas.iter().map(|r| r.cache.misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Fleet-wide end-to-end latency CDF over every served request.
+    #[must_use]
+    pub fn fleet_latency_cdf(&self) -> EmpiricalCdf {
+        EmpiricalCdf::new(
+            self.replicas
+                .iter()
+                .flat_map(ReplicaReport::latencies_ns)
+                .collect(),
+        )
+    }
+
+    /// Fleet-wide latency quantile in nanoseconds; `None` when nothing
+    /// was served.
+    #[must_use]
+    pub fn fleet_latency_quantile_ns(&self, q: f64) -> Option<f64> {
+        self.fleet_latency_cdf().quantile(q)
+    }
+}

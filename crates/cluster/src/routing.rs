@@ -1,0 +1,100 @@
+//! Request → replica placement policies.
+
+use serde::Serialize;
+
+/// Tuning for [`RoutingPolicy::SemanticAffinity`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AffinityConfig {
+    /// Load-imbalance escape hatch: when the affinity-preferred replica's
+    /// queue depth exceeds `imbalance_factor ×` the cluster-mean depth,
+    /// the request is routed by join-shortest-queue instead. Larger
+    /// values chase cache locality harder at the price of hot spots;
+    /// `0.0` degenerates to JSQ whenever the preferred replica has any
+    /// queue at all while another is idle.
+    pub imbalance_factor: f64,
+}
+
+impl Default for AffinityConfig {
+    fn default() -> Self {
+        Self {
+            imbalance_factor: 2.0,
+        }
+    }
+}
+
+/// How the cluster assigns each arriving request to a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum RoutingPolicy {
+    /// Cycle through replicas in id order, ignoring load and history.
+    RoundRobin,
+    /// Route to the replica with the fewest requests still queued or in
+    /// service at the arrival instant; ties go to the lowest replica id.
+    JoinShortestQueue,
+    /// Route to the replica whose predictor reports the highest semantic
+    /// affinity to the prompt embedding (ties → lowest replica id),
+    /// falling back to join-shortest-queue when no replica has history
+    /// yet or when the preferred replica is overloaded per
+    /// [`AffinityConfig::imbalance_factor`].
+    SemanticAffinity(AffinityConfig),
+}
+
+impl RoutingPolicy {
+    /// Display name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::RoundRobin => "round-robin",
+            Self::JoinShortestQueue => "jsq",
+            Self::SemanticAffinity(_) => "semantic-affinity",
+        }
+    }
+}
+
+/// How routing decisions broke down over a dispatch. All zero for the
+/// load-only policies; under [`RoutingPolicy::SemanticAffinity`] every
+/// request lands in exactly one bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct RoutingStats {
+    /// Requests placed on their affinity-preferred replica.
+    pub affinity_routed: u64,
+    /// Requests diverted to JSQ by the imbalance escape hatch.
+    pub jsq_fallbacks: u64,
+    /// Requests routed by JSQ because no replica had semantic history.
+    pub cold_fallbacks: u64,
+}
+
+/// Join-shortest-queue over per-replica depths; strict `<` breaks ties
+/// toward the lowest replica id. Returns 0 for an empty slice (callers
+/// guard against empty clusters).
+#[must_use]
+pub(crate) fn shortest_queue(depths: &[usize]) -> usize {
+    let mut best = 0usize;
+    for (i, &d) in depths.iter().enumerate() {
+        if d < depths[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shortest_queue_breaks_ties_low() {
+        assert_eq!(shortest_queue(&[2, 1, 1, 3]), 1);
+        assert_eq!(shortest_queue(&[0, 0, 0]), 0);
+        assert_eq!(shortest_queue(&[5]), 0);
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(RoutingPolicy::RoundRobin.name(), "round-robin");
+        assert_eq!(RoutingPolicy::JoinShortestQueue.name(), "jsq");
+        assert_eq!(
+            RoutingPolicy::SemanticAffinity(AffinityConfig::default()).name(),
+            "semantic-affinity"
+        );
+    }
+}

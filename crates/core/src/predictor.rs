@@ -293,6 +293,21 @@ impl ExpertPredictor for FmoePredictor {
         self.store.clear();
         self.elements.clear();
     }
+
+    fn semantic_affinity(&self, embedding: &[f64]) -> Option<f64> {
+        // Mean cosine score of the store's best AFFINITY_TOP_K matches —
+        // through the same `top_k_cosine_slab` fast path the matcher
+        // uses, so the signal costs one slab scan. A single best match
+        // would be noisy (one lucky map dominates); averaging a few asks
+        // "has this replica seen a *population* of similar prompts".
+        const AFFINITY_TOP_K: usize = 4;
+        let matches = Matcher::semantic_top_k(&self.store, embedding, AFFINITY_TOP_K);
+        if matches.is_empty() {
+            return None;
+        }
+        let sum: f64 = matches.iter().map(|m| m.score).sum();
+        Some(sum / matches.len() as f64)
+    }
 }
 
 #[cfg(test)]

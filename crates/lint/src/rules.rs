@@ -51,6 +51,7 @@ pub const SIM_PATH_CRATES: &[&str] = &[
     "model",
     "workload",
     "trace",
+    "cluster",
 ];
 
 impl FileContext {

@@ -136,6 +136,12 @@ pub enum ServeError {
         /// The request the scheduler could not account for.
         request_id: u64,
     },
+    /// The requested `ServeOptions` combination is not supported (e.g.
+    /// continuous batching with per-request degradation).
+    UnsupportedOptions {
+        /// Why the combination is rejected.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -149,6 +155,9 @@ impl std::fmt::Display for ServeError {
             Self::Transfer(e) => write!(f, "transfer failed: {e}"),
             Self::UnknownRequest { request_id } => {
                 write!(f, "request {request_id} finished without being admitted")
+            }
+            Self::UnsupportedOptions { reason } => {
+                write!(f, "unsupported serve options: {reason}")
             }
         }
     }
@@ -318,7 +327,134 @@ pub struct ServingEngine {
     trace: TraceSink,
 }
 
+/// Fluent constructor for [`ServingEngine`]: gathers the model, device,
+/// eviction policy, and every post-construction knob so a fully
+/// configured engine is buildable in one expression. The `fmoe-cluster`
+/// crate constructs replicas exclusively through this builder; the
+/// individual setters on [`ServingEngine`] remain for runtime retuning.
+pub struct EngineBuilder {
+    gate: GateSimulator,
+    gpu: GpuSpec,
+    topology: Topology,
+    policy: Box<dyn EvictionPolicy>,
+    config: EngineConfig,
+    trace_sink: Option<TraceSink>,
+    fault_schedule: Option<FaultSchedule>,
+    retry_policy: Option<RetryPolicy>,
+    timeline: bool,
+}
+
+impl EngineBuilder {
+    /// Starts a builder with the paper-default [`EngineConfig`] and an
+    /// LRU eviction policy.
+    #[must_use]
+    pub fn new(gate: GateSimulator, gpu: GpuSpec, topology: Topology) -> Self {
+        Self {
+            gate,
+            gpu,
+            topology,
+            policy: Box::new(fmoe_cache::LruPolicy::new()),
+            config: EngineConfig::paper_default(),
+            trace_sink: None,
+            fault_schedule: None,
+            retry_policy: None,
+            timeline: false,
+        }
+    }
+
+    /// Replaces the eviction policy (default: LRU).
+    #[must_use]
+    pub fn policy(mut self, policy: Box<dyn EvictionPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the whole engine configuration.
+    #[must_use]
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the total expert-cache budget in bytes.
+    #[must_use]
+    pub fn cache_budget(mut self, total_bytes: u64) -> Self {
+        self.config.cache_budget_bytes = total_bytes;
+        self
+    }
+
+    /// Caps decode length per request.
+    #[must_use]
+    pub fn max_decode(mut self, iterations: u64) -> Self {
+        self.config.max_decode_iterations = Some(iterations);
+        self
+    }
+
+    /// Sets the deadline for blocking on-demand loads.
+    #[must_use]
+    pub fn on_demand_deadline(mut self, deadline_ns: Nanos) -> Self {
+        self.config.on_demand_deadline_ns = Some(deadline_ns);
+        self
+    }
+
+    /// Installs a structured-event trace sink (default: disabled).
+    #[must_use]
+    pub fn trace_sink(mut self, sink: TraceSink) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// Installs a fault schedule (default: no failure model).
+    #[must_use]
+    pub fn fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.fault_schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the transfer retry/backoff policy for transient faults.
+    #[must_use]
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry_policy = Some(retry);
+        self
+    }
+
+    /// Enables execution-timeline recording (default: off).
+    #[must_use]
+    pub fn timeline(mut self, enabled: bool) -> Self {
+        self.timeline = enabled;
+        self
+    }
+
+    /// Builds the engine, delegating to [`ServingEngine::new`] and the
+    /// existing setters so builder-built and hand-assembled engines are
+    /// indistinguishable.
+    #[must_use]
+    pub fn build(self) -> ServingEngine {
+        let mut engine =
+            ServingEngine::new(self.gate, self.gpu, self.topology, self.policy, self.config);
+        if let Some(sink) = self.trace_sink {
+            engine.set_trace_sink(sink);
+        }
+        if let Some(schedule) = self.fault_schedule {
+            engine.set_fault_schedule(schedule);
+        }
+        if let Some(retry) = self.retry_policy {
+            engine.set_retry_policy(retry);
+        }
+        if self.timeline {
+            engine.set_timeline_enabled(true);
+        }
+        engine
+    }
+}
+
 impl ServingEngine {
+    /// Starts an [`EngineBuilder`] for one model on one topology.
+    #[must_use]
+    pub fn builder(gate: GateSimulator, gpu: GpuSpec, topology: Topology) -> EngineBuilder {
+        EngineBuilder::new(gate, gpu, topology)
+    }
+
     /// Builds an engine for one model on one topology.
     #[must_use]
     pub fn new(

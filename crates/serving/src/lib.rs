@@ -26,13 +26,17 @@ pub mod online;
 pub mod predictor;
 pub mod timeline;
 
-pub use engine::{EngineConfig, ServeError, ServingEngine};
+pub use engine::{EngineBuilder, EngineConfig, ServeError, ServingEngine};
 pub use metrics::{AggregateMetrics, Breakdown, RequestMetrics};
 pub use online::{
-    serve_trace, serve_trace_continuous, serve_trace_with_slo, try_serve_trace_continuous,
-    OnlineReport, OnlineResult, ShedRequest, SloAction, SloPolicy,
+    serve, serve_event_fcfs, FcfsOutcome, OnlineReport, OnlineResult, Scheduler, ServeOptions,
+    ShedRequest, SloAction, SloPolicy,
 };
-pub use predictor::{ExpertPredictor, IterationContext, PredictorTiming, PrefetchPlan};
+#[allow(deprecated)]
+pub use online::{
+    serve_trace, serve_trace_continuous, serve_trace_with_slo, try_serve_trace_continuous,
+};
+pub use predictor::{ExpertPredictor, IterationContext, NoPrefetch, PredictorTiming, PrefetchPlan};
 pub use timeline::{Timeline, TimelineEntry, TimelineEvent};
 
 #[cfg(test)]

@@ -1,11 +1,16 @@
 //! Trace-driven online serving (paper §6.3, Figure 10).
 //!
-//! Requests arrive on a trace's schedule and are served FCFS by one
-//! engine. The reported *request latency* is end-to-end: queueing (waiting
-//! for earlier requests) plus serving time — the quantity whose CDF the
-//! paper plots. Caches and policy state stay warm across requests, and for
-//! fMoE the Expert Map Store starts empty and fills online, exactly as in
-//! the paper's setup.
+//! Requests arrive on a trace's schedule and are served by one engine
+//! under a [`Scheduler`] discipline — one-at-a-time FCFS or continuous
+//! batching — behind the single entry point [`serve`]. The reported
+//! *request latency* is end-to-end: queueing (waiting for earlier
+//! requests) plus serving time — the quantity whose CDF the paper plots.
+//! Caches and policy state stay warm across requests, and for fMoE the
+//! Expert Map Store starts empty and fills online, exactly as in the
+//! paper's setup.
+//!
+//! The older `serve_trace*` entry points remain as thin `#[deprecated]`
+//! wrappers around [`serve`].
 
 use crate::engine::{ServeError, ServingEngine};
 use crate::metrics::RequestMetrics;
@@ -27,7 +32,7 @@ pub enum SloAction {
     Degrade,
 }
 
-/// SLO admission policy for [`serve_trace_with_slo`].
+/// SLO admission policy for [`serve`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SloPolicy {
     /// Maximum tolerable queueing delay, in nanoseconds. A request still
@@ -57,6 +62,71 @@ impl SloPolicy {
     }
 }
 
+/// Scheduling discipline for [`serve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Scheduler {
+    /// One request at a time, in arrival order. Results come back in
+    /// trace order.
+    Fcfs,
+    /// Continuous batching: up to `max_slots` requests share each
+    /// iteration, new arrivals joining at iteration boundaries
+    /// (prefilling alongside others' decodes) and finished requests
+    /// leaving immediately. Results come back in completion order.
+    /// Requires unique request ids within the trace (generated traces
+    /// comply); `max_slots` is clamped to at least 1.
+    Continuous {
+        /// Maximum number of requests sharing an iteration.
+        max_slots: usize,
+    },
+}
+
+/// Options for [`serve`]: scheduling discipline plus an optional SLO
+/// admission policy.
+///
+/// `Default` is plain FCFS with no SLO — exactly the paper's Figure 10
+/// setup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ServeOptions {
+    /// Scheduling discipline.
+    pub scheduler: Scheduler,
+    /// Optional SLO admission policy. Under `Continuous` scheduling only
+    /// [`SloAction::Shed`] is supported (see [`serve`] errors).
+    pub slo: Option<SloPolicy>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self::fcfs()
+    }
+}
+
+impl ServeOptions {
+    /// One-at-a-time FCFS, no SLO.
+    #[must_use]
+    pub fn fcfs() -> Self {
+        Self {
+            scheduler: Scheduler::Fcfs,
+            slo: None,
+        }
+    }
+
+    /// Continuous batching with `max_slots` concurrent requests, no SLO.
+    #[must_use]
+    pub fn continuous(max_slots: usize) -> Self {
+        Self {
+            scheduler: Scheduler::Continuous { max_slots },
+            slo: None,
+        }
+    }
+
+    /// Adds an SLO admission policy.
+    #[must_use]
+    pub fn with_slo(mut self, slo: SloPolicy) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+}
+
 /// A request rejected by the SLO policy.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct ShedRequest {
@@ -68,12 +138,14 @@ pub struct ShedRequest {
     pub queued_ns: Nanos,
 }
 
-/// Outcome of an SLO-aware trace replay: served results plus the
-/// requests the policy shed. `results.len() + shed.len()` always equals
-/// the trace length.
-#[derive(Debug, Clone, Serialize)]
+/// Outcome of a trace replay: served results plus the requests the SLO
+/// policy shed. `results.len() + shed.len()` always equals the trace
+/// length.
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct OnlineReport {
-    /// Served requests, in trace (arrival) order.
+    /// Served requests — in trace (arrival) order under
+    /// [`Scheduler::Fcfs`], in completion order under
+    /// [`Scheduler::Continuous`].
     pub results: Vec<OnlineResult>,
     /// Requests rejected by the SLO policy, in trace order.
     pub shed: Vec<ShedRequest>,
@@ -123,23 +195,153 @@ impl OnlineResult {
     }
 }
 
-/// Replays a trace through an engine with FCFS scheduling.
+/// Outcome of dispatching one trace event FCFS (see [`serve_event_fcfs`]).
+#[derive(Debug, Clone)]
+pub enum FcfsOutcome {
+    /// The request was served.
+    Served(OnlineResult),
+    /// The SLO policy rejected the request.
+    Shed(ShedRequest),
+}
+
+/// Serves one trace event FCFS on `engine`, applying the optional SLO
+/// policy when the request's turn comes.
+///
+/// This is the exact per-event step of [`serve`] under
+/// [`Scheduler::Fcfs`], exposed so multi-engine schedulers (the
+/// `fmoe-cluster` crate) can drive independent per-replica FIFO queues
+/// with byte-identical semantics. Events must be fed in arrival order.
+pub fn serve_event_fcfs(
+    engine: &mut ServingEngine,
+    event: &TraceEvent,
+    predictor: &mut dyn ExpertPredictor,
+    slo: Option<SloPolicy>,
+) -> FcfsOutcome {
+    // FCFS: the engine serves the request when both it and the request
+    // are ready.
+    engine.idle_until(event.arrival_ns);
+    let queued = engine.now().saturating_sub(event.arrival_ns);
+    let mut degrade = false;
+    if let Some(policy) = slo {
+        if queued > policy.max_queueing_ns {
+            match policy.action {
+                SloAction::Shed => {
+                    let trace_sink = engine.trace_sink();
+                    trace_sink.instant(
+                        engine.now(),
+                        Marker::Shed,
+                        event.prompt.id,
+                        NO_LAYER,
+                        NO_SLOT,
+                        NO_GPU,
+                        queued,
+                    );
+                    trace_sink.count("online.shed", 1);
+                    return FcfsOutcome::Shed(ShedRequest {
+                        request_id: event.prompt.id,
+                        arrival_ns: event.arrival_ns,
+                        queued_ns: queued,
+                    });
+                }
+                SloAction::Degrade => degrade = true,
+            }
+        }
+    }
+    let start = engine.now();
+    // Queueing happened over `[arrival, start]`: record it retroactively
+    // as a span ending now, so the queue wait shows up on the request's
+    // own track in the exported timeline.
+    if queued > 0 {
+        engine.trace_sink().span(
+            start,
+            Phase::Queue,
+            event.prompt.id,
+            NO_LAYER,
+            NO_GPU,
+            queued,
+            0,
+        );
+    }
+    if degrade {
+        let trace_sink = engine.trace_sink();
+        trace_sink.instant(
+            start,
+            Marker::DegradedServe,
+            event.prompt.id,
+            NO_LAYER,
+            NO_SLOT,
+            NO_GPU,
+            queued,
+        );
+        trace_sink.count("online.degraded_serves", 1);
+    }
+    let metrics = if degrade {
+        engine.serve_request_degraded(event.prompt, predictor)
+    } else {
+        engine.serve_request(event.prompt, predictor)
+    };
+    let finish = engine.now();
+    engine
+        .trace_sink()
+        .observe("online.request_latency_ns", finish - event.arrival_ns);
+    FcfsOutcome::Served(OnlineResult {
+        request_id: event.prompt.id,
+        arrival_ns: event.arrival_ns,
+        start_ns: start,
+        finish_ns: finish,
+        metrics,
+    })
+}
+
+/// Replays a trace through an engine under `options` — the single online
+/// serving entry point.
 ///
 /// Events must be sorted by arrival time (as produced by
-/// `fmoe_workload::AzureTraceSpec::generate`).
-pub fn serve_trace(
+/// `fmoe_workload::AzureTraceSpec::generate`). With
+/// [`Scheduler::Fcfs`] requests are served one at a time in arrival
+/// order; with [`Scheduler::Continuous`] up to `max_slots` requests share
+/// each iteration. An optional [`SloPolicy`] sheds (or, under FCFS,
+/// degrades) requests whose queueing delay blows the budget when their
+/// turn comes.
+///
+/// # Errors
+///
+/// * [`ServeError::UnsupportedOptions`] — `Continuous` scheduling
+///   combined with [`SloAction::Degrade`]: the engine's degraded mode
+///   applies engine-wide during an iteration, so per-request degradation
+///   inside a shared batch would silently mis-model; the combination is
+///   rejected instead.
+/// * [`ServeError::UnknownRequest`] — the engine reported a finished
+///   request that was never admitted (an engine bookkeeping invariant;
+///   surfaced as a typed error rather than a panic).
+pub fn serve(
     engine: &mut ServingEngine,
     trace: &[TraceEvent],
     predictor: &mut dyn ExpertPredictor,
-) -> Vec<OnlineResult> {
-    serve_trace_with_slo(engine, trace, predictor, None).results
+    options: &ServeOptions,
+) -> Result<OnlineReport, ServeError> {
+    match options.scheduler {
+        Scheduler::Fcfs => Ok(serve_fcfs(engine, trace, predictor, options.slo)),
+        Scheduler::Continuous { max_slots } => {
+            if matches!(
+                options.slo,
+                Some(SloPolicy {
+                    action: SloAction::Degrade,
+                    ..
+                })
+            ) {
+                return Err(ServeError::UnsupportedOptions {
+                    reason: "continuous batching cannot degrade individual requests \
+                             (engine degraded mode is engine-wide); use SloAction::Shed",
+                });
+            }
+            serve_continuous(engine, trace, predictor, max_slots, options.slo)
+        }
+    }
 }
 
-/// Replays a trace FCFS under an optional SLO policy: a request whose
-/// accumulated queueing delay exceeds the policy's budget when its turn
-/// comes is shed (never served) or served in degraded mode, per
-/// [`SloAction`]. With `slo = None` this is exactly [`serve_trace`].
-pub fn serve_trace_with_slo(
+/// FCFS replay: [`serve_event_fcfs`] over the trace, in order.
+fn serve_fcfs(
     engine: &mut ServingEngine,
     trace: &[TraceEvent],
     predictor: &mut dyn ExpertPredictor,
@@ -149,82 +351,15 @@ pub fn serve_trace_with_slo(
     let mut shed = Vec::new();
     let mut degraded_serves = 0u64;
     for event in trace {
-        // FCFS: the engine serves the request when both it and the
-        // request are ready.
-        engine.idle_until(event.arrival_ns);
-        let queued = engine.now().saturating_sub(event.arrival_ns);
-        let mut degrade = false;
-        if let Some(policy) = slo {
-            if queued > policy.max_queueing_ns {
-                match policy.action {
-                    SloAction::Shed => {
-                        let trace_sink = engine.trace_sink();
-                        trace_sink.instant(
-                            engine.now(),
-                            Marker::Shed,
-                            event.prompt.id,
-                            NO_LAYER,
-                            NO_SLOT,
-                            NO_GPU,
-                            queued,
-                        );
-                        trace_sink.count("online.shed", 1);
-                        shed.push(ShedRequest {
-                            request_id: event.prompt.id,
-                            arrival_ns: event.arrival_ns,
-                            queued_ns: queued,
-                        });
-                        continue;
-                    }
-                    SloAction::Degrade => degrade = true,
+        match serve_event_fcfs(engine, event, predictor, slo) {
+            FcfsOutcome::Served(result) => {
+                if result.metrics.served_degraded {
+                    degraded_serves += 1;
                 }
+                results.push(result);
             }
+            FcfsOutcome::Shed(request) => shed.push(request),
         }
-        let start = engine.now();
-        // Queueing happened over `[arrival, start]`: record it
-        // retroactively as a span ending now, so the queue wait shows up
-        // on the request's own track in the exported timeline.
-        if queued > 0 {
-            engine.trace_sink().span(
-                start,
-                Phase::Queue,
-                event.prompt.id,
-                NO_LAYER,
-                NO_GPU,
-                queued,
-                0,
-            );
-        }
-        if degrade {
-            let trace_sink = engine.trace_sink();
-            trace_sink.instant(
-                start,
-                Marker::DegradedServe,
-                event.prompt.id,
-                NO_LAYER,
-                NO_SLOT,
-                NO_GPU,
-                queued,
-            );
-            trace_sink.count("online.degraded_serves", 1);
-        }
-        let metrics = if degrade {
-            degraded_serves += 1;
-            engine.serve_request_degraded(event.prompt, predictor)
-        } else {
-            engine.serve_request(event.prompt, predictor)
-        };
-        let finish = engine.now();
-        engine
-            .trace_sink()
-            .observe("online.request_latency_ns", finish - event.arrival_ns);
-        results.push(OnlineResult {
-            request_id: event.prompt.id,
-            arrival_ns: event.arrival_ns,
-            start_ns: start,
-            finish_ns: finish,
-            metrics,
-        });
     }
     OnlineReport {
         results,
@@ -233,41 +368,20 @@ pub fn serve_trace_with_slo(
     }
 }
 
-/// Replays a trace with **continuous batching**: up to `max_slots`
-/// requests share each iteration, new arrivals joining at iteration
-/// boundaries (prefilling alongside others' decodes) and finished
-/// requests leaving immediately. Compare with [`serve_trace`]'s
-/// one-at-a-time FCFS to see what continuous batching buys under bursts.
-///
-/// Requires unique request ids within the trace (generated traces comply).
-/// Results are returned in completion order.
-pub fn serve_trace_continuous(
+/// Continuous-batching replay: admit while slots are free, step the
+/// shared batch, collect finishes. An SLO policy (Shed only) rejects
+/// requests whose queueing delay has blown the budget by the time a slot
+/// frees up for them.
+fn serve_continuous(
     engine: &mut ServingEngine,
     trace: &[TraceEvent],
     predictor: &mut dyn ExpertPredictor,
     max_slots: usize,
-) -> Vec<OnlineResult> {
-    match try_serve_trace_continuous(engine, trace, predictor, max_slots) {
-        Ok(results) => results,
-        Err(e) => panic!("continuous trace serving failed: {e}"),
-    }
-}
-
-/// Non-panicking variant of [`serve_trace_continuous`].
-///
-/// # Errors
-///
-/// [`ServeError::UnknownRequest`] if the engine reports a finished
-/// request that was never admitted (an engine bookkeeping invariant;
-/// surfaced as a typed error rather than a panic).
-pub fn try_serve_trace_continuous(
-    engine: &mut ServingEngine,
-    trace: &[TraceEvent],
-    predictor: &mut dyn ExpertPredictor,
-    max_slots: usize,
-) -> Result<Vec<OnlineResult>, ServeError> {
+    slo: Option<SloPolicy>,
+) -> Result<OnlineReport, ServeError> {
     let max_slots = max_slots.max(1);
     let mut results = Vec::with_capacity(trace.len());
+    let mut shed = Vec::new();
     let mut next_arrival = 0usize;
     // request id -> (arrival_ns, admission time).
     let mut admissions: std::collections::BTreeMap<u64, (Nanos, Nanos)> =
@@ -279,9 +393,33 @@ pub fn try_serve_trace_continuous(
             && trace[next_arrival].arrival_ns <= engine.now()
         {
             let event = &trace[next_arrival];
+            let queued = engine.now().saturating_sub(event.arrival_ns);
+            if let Some(policy) = slo {
+                if queued > policy.max_queueing_ns {
+                    // Only Shed reaches here; Degrade was rejected up
+                    // front in `serve`.
+                    let trace_sink = engine.trace_sink();
+                    trace_sink.instant(
+                        engine.now(),
+                        Marker::Shed,
+                        event.prompt.id,
+                        NO_LAYER,
+                        NO_SLOT,
+                        NO_GPU,
+                        queued,
+                    );
+                    trace_sink.count("online.shed", 1);
+                    shed.push(ShedRequest {
+                        request_id: event.prompt.id,
+                        arrival_ns: event.arrival_ns,
+                        queued_ns: queued,
+                    });
+                    next_arrival += 1;
+                    continue;
+                }
+            }
             let _slot = engine.admit(event.prompt);
             let admitted = engine.now();
-            let queued = admitted.saturating_sub(event.arrival_ns);
             if queued > 0 {
                 engine.trace_sink().span(
                     admitted,
@@ -297,6 +435,9 @@ pub fn try_serve_trace_continuous(
             next_arrival += 1;
         }
         if engine.active_requests() == 0 {
+            if next_arrival >= trace.len() {
+                break;
+            }
             // Idle: jump to the next arrival.
             let arrival = trace[next_arrival].arrival_ns;
             engine.idle_until(arrival);
@@ -321,7 +462,93 @@ pub fn try_serve_trace_continuous(
             });
         }
     }
-    Ok(results)
+    Ok(OnlineReport {
+        results,
+        shed,
+        degraded_serves: 0,
+    })
+}
+
+/// Replays a trace through an engine with FCFS scheduling.
+///
+/// Events must be sorted by arrival time (as produced by
+/// `fmoe_workload::AzureTraceSpec::generate`).
+#[deprecated(note = "use `serve` with `ServeOptions::fcfs()`")]
+pub fn serve_trace(
+    engine: &mut ServingEngine,
+    trace: &[TraceEvent],
+    predictor: &mut dyn ExpertPredictor,
+) -> Vec<OnlineResult> {
+    // The FCFS path is infallible, so the error arm is unreachable.
+    serve(engine, trace, predictor, &ServeOptions::fcfs())
+        .map(|report| report.results)
+        .unwrap_or_default()
+}
+
+/// Replays a trace FCFS under an optional SLO policy: a request whose
+/// accumulated queueing delay exceeds the policy's budget when its turn
+/// comes is shed (never served) or served in degraded mode, per
+/// [`SloAction`].
+#[deprecated(note = "use `serve` with `ServeOptions::fcfs().with_slo(..)`")]
+pub fn serve_trace_with_slo(
+    engine: &mut ServingEngine,
+    trace: &[TraceEvent],
+    predictor: &mut dyn ExpertPredictor,
+    slo: Option<SloPolicy>,
+) -> OnlineReport {
+    let options = ServeOptions {
+        scheduler: Scheduler::Fcfs,
+        slo,
+    };
+    // The FCFS path is infallible, so the error arm is unreachable.
+    serve(engine, trace, predictor, &options).unwrap_or_default()
+}
+
+/// Replays a trace with **continuous batching**: up to `max_slots`
+/// requests share each iteration. Results are returned in completion
+/// order.
+///
+/// An engine bookkeeping error (which the original version of this
+/// function turned into a panic) now yields an empty result set; use
+/// [`serve`] to observe the typed error.
+#[deprecated(note = "use `serve` with `ServeOptions::continuous(max_slots)`")]
+pub fn serve_trace_continuous(
+    engine: &mut ServingEngine,
+    trace: &[TraceEvent],
+    predictor: &mut dyn ExpertPredictor,
+    max_slots: usize,
+) -> Vec<OnlineResult> {
+    serve(
+        engine,
+        trace,
+        predictor,
+        &ServeOptions::continuous(max_slots),
+    )
+    .map(|report| report.results)
+    .unwrap_or_default()
+}
+
+/// Fallible continuous-batching replay.
+///
+/// # Errors
+///
+/// [`ServeError::UnknownRequest`] if the engine reports a finished
+/// request that was never admitted (an engine bookkeeping invariant;
+/// surfaced as a typed error rather than a panic).
+#[deprecated(note = "use `serve` with `ServeOptions::continuous(max_slots)`")]
+pub fn try_serve_trace_continuous(
+    engine: &mut ServingEngine,
+    trace: &[TraceEvent],
+    predictor: &mut dyn ExpertPredictor,
+    max_slots: usize,
+) -> Result<Vec<OnlineResult>, ServeError> {
+    serve(
+        engine,
+        trace,
+        predictor,
+        &ServeOptions::continuous(max_slots),
+    )
+    .map(|report| report.results)
 }
 
 #[cfg(test)]
@@ -360,11 +587,17 @@ mod tests {
         spec.generate()
     }
 
+    fn serve_fcfs_results(e: &mut ServingEngine, t: &[TraceEvent]) -> Vec<OnlineResult> {
+        serve(e, t, &mut NoPrefetch, &ServeOptions::fcfs())
+            .expect("fcfs serving is infallible")
+            .results
+    }
+
     #[test]
     fn fcfs_never_starts_before_arrival() {
         let mut e = engine();
         let t = trace(8);
-        let results = serve_trace(&mut e, &t, &mut NoPrefetch);
+        let results = serve_fcfs_results(&mut e, &t);
         assert_eq!(results.len(), 8);
         for r in &results {
             assert!(r.start_ns >= r.arrival_ns);
@@ -383,7 +616,7 @@ mod tests {
         // for the first.
         let mut t = trace(2);
         t[1].arrival_ns = t[0].arrival_ns;
-        let results = serve_trace(&mut e, &t, &mut NoPrefetch);
+        let results = serve_fcfs_results(&mut e, &t);
         assert_eq!(results[0].queueing_ns(), 0);
         assert!(results[1].queueing_ns() > 0);
         assert_eq!(results[1].start_ns, results[0].finish_ns);
@@ -393,7 +626,7 @@ mod tests {
     fn served_in_trace_order() {
         let mut e = engine();
         let t = trace(6);
-        let results = serve_trace(&mut e, &t, &mut NoPrefetch);
+        let results = serve_fcfs_results(&mut e, &t);
         for w in results.windows(2) {
             assert!(w[0].finish_ns <= w[1].start_ns);
         }
@@ -402,16 +635,21 @@ mod tests {
     #[test]
     fn empty_trace_yields_no_results() {
         let mut e = engine();
-        assert!(serve_trace(&mut e, &[], &mut NoPrefetch).is_empty());
+        assert!(serve_fcfs_results(&mut e, &[]).is_empty());
         let mut e2 = engine();
-        assert!(serve_trace_continuous(&mut e2, &[], &mut NoPrefetch, 4).is_empty());
+        let report = serve(&mut e2, &[], &mut NoPrefetch, &ServeOptions::continuous(4))
+            .expect("empty trace serves");
+        assert!(report.results.is_empty());
+        assert!(report.shed.is_empty());
     }
 
     #[test]
     fn continuous_batching_serves_every_request_once() {
         let mut e = engine();
         let t = trace(10);
-        let results = serve_trace_continuous(&mut e, &t, &mut NoPrefetch, 3);
+        let report = serve(&mut e, &t, &mut NoPrefetch, &ServeOptions::continuous(3))
+            .expect("continuous serving succeeds");
+        let results = report.results;
         assert_eq!(results.len(), 10);
         let mut ids: Vec<u64> = results.iter().map(|r| r.request_id).collect();
         ids.sort_unstable();
@@ -432,9 +670,16 @@ mod tests {
         t[1].arrival_ns = t[0].arrival_ns;
 
         let mut fcfs_engine = engine();
-        let fcfs = serve_trace(&mut fcfs_engine, &t, &mut NoPrefetch);
+        let fcfs = serve_fcfs_results(&mut fcfs_engine, &t);
         let mut cb_engine = engine();
-        let cb = serve_trace_continuous(&mut cb_engine, &t, &mut NoPrefetch, 2);
+        let cb = serve(
+            &mut cb_engine,
+            &t,
+            &mut NoPrefetch,
+            &ServeOptions::continuous(2),
+        )
+        .expect("continuous serving succeeds")
+        .results;
 
         let fcfs_last = fcfs.iter().map(|r| r.finish_ns).max().unwrap();
         let cb_last = cb.iter().map(|r| r.finish_ns).max().unwrap();
@@ -457,7 +702,9 @@ mod tests {
         let mut e = engine();
         // With a single slot, continuous batching degenerates to FCFS
         // semantics: total completion matches the sequential scheduler.
-        let cb = serve_trace_continuous(&mut e, &t, &mut NoPrefetch, 1);
+        let cb = serve(&mut e, &t, &mut NoPrefetch, &ServeOptions::continuous(1))
+            .expect("continuous serving succeeds")
+            .results;
         assert_eq!(cb.len(), 6);
         let mut finishes: Vec<_> = cb.iter().map(|r| r.finish_ns).collect();
         finishes.sort_unstable();
@@ -466,12 +713,13 @@ mod tests {
     }
 
     #[test]
-    fn slo_none_matches_plain_serve_trace() {
+    fn slo_none_matches_plain_fcfs() {
         let t = trace(6);
         let mut e1 = engine();
-        let plain = serve_trace(&mut e1, &t, &mut NoPrefetch);
+        let plain = serve_fcfs_results(&mut e1, &t);
         let mut e2 = engine();
-        let report = serve_trace_with_slo(&mut e2, &t, &mut NoPrefetch, None);
+        let report = serve(&mut e2, &t, &mut NoPrefetch, &ServeOptions::fcfs())
+            .expect("fcfs serving is infallible");
         assert!(report.shed.is_empty());
         assert_eq!(report.degraded_serves, 0);
         assert_eq!(plain.len(), report.results.len());
@@ -491,7 +739,13 @@ mod tests {
             ev.arrival_ns = 0;
         }
         let mut e = engine();
-        let report = serve_trace_with_slo(&mut e, &t, &mut NoPrefetch, Some(SloPolicy::shed(0)));
+        let report = serve(
+            &mut e,
+            &t,
+            &mut NoPrefetch,
+            &ServeOptions::fcfs().with_slo(SloPolicy::shed(0)),
+        )
+        .expect("fcfs serving is infallible");
         assert_eq!(report.results.len() + report.shed.len(), 5);
         assert_eq!(report.results.len(), 1, "only the head avoids queueing");
         assert_eq!(report.shed.len(), 4);
@@ -508,7 +762,13 @@ mod tests {
             ev.arrival_ns = 0;
         }
         let mut e = engine();
-        let report = serve_trace_with_slo(&mut e, &t, &mut NoPrefetch, Some(SloPolicy::degrade(0)));
+        let report = serve(
+            &mut e,
+            &t,
+            &mut NoPrefetch,
+            &ServeOptions::fcfs().with_slo(SloPolicy::degrade(0)),
+        )
+        .expect("fcfs serving is infallible");
         assert_eq!(report.results.len(), 4, "degrade mode sheds nothing");
         assert!(report.shed.is_empty());
         assert_eq!(report.degraded_serves, 3, "head request is within SLO");
@@ -525,38 +785,119 @@ mod tests {
     fn generous_slo_sheds_nothing() {
         let t = trace(6);
         let mut e = engine();
-        let report = serve_trace_with_slo(
+        let report = serve(
             &mut e,
             &t,
             &mut NoPrefetch,
-            Some(SloPolicy::shed(u64::MAX / 2)),
-        );
+            &ServeOptions::fcfs().with_slo(SloPolicy::shed(u64::MAX / 2)),
+        )
+        .expect("fcfs serving is infallible");
         assert_eq!(report.results.len(), 6);
         assert!(report.shed.is_empty());
     }
 
     #[test]
-    fn try_continuous_matches_panicking_variant() {
+    fn continuous_slo_shed_accounts_for_all() {
+        // Everyone arrives at t=0 with a single slot and zero queueing
+        // budget: the head request is admitted immediately, everyone
+        // queued behind it is shed when a slot finally frees.
+        let mut t = trace(5);
+        for ev in &mut t {
+            ev.arrival_ns = 0;
+        }
+        let mut e = engine();
+        let report = serve(
+            &mut e,
+            &t,
+            &mut NoPrefetch,
+            &ServeOptions::continuous(1).with_slo(SloPolicy::shed(0)),
+        )
+        .expect("continuous serving succeeds");
+        assert_eq!(report.results.len() + report.shed.len(), 5);
+        assert_eq!(report.results.len(), 1, "only the head avoids queueing");
+        for s in &report.shed {
+            assert!(s.queued_ns > 0);
+        }
+        assert_eq!(e.active_requests(), 0);
+    }
+
+    #[test]
+    fn continuous_generous_slo_matches_no_slo() {
         let t = trace(6);
         let mut e1 = engine();
-        let a = serve_trace_continuous(&mut e1, &t, &mut NoPrefetch, 3);
+        let plain = serve(&mut e1, &t, &mut NoPrefetch, &ServeOptions::continuous(3))
+            .expect("continuous serving succeeds");
         let mut e2 = engine();
-        let b = try_serve_trace_continuous(&mut e2, &t, &mut NoPrefetch, 3).expect("serves");
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.request_id, y.request_id);
-            assert_eq!(x.finish_ns, y.finish_ns);
-        }
+        let slo = serve(
+            &mut e2,
+            &t,
+            &mut NoPrefetch,
+            &ServeOptions::continuous(3).with_slo(SloPolicy::shed(u64::MAX / 2)),
+        )
+        .expect("continuous serving succeeds");
+        assert!(slo.shed.is_empty());
+        assert_eq!(format!("{plain:?}"), format!("{slo:?}"));
+    }
+
+    #[test]
+    fn continuous_degrade_is_a_typed_error() {
+        let t = trace(2);
+        let mut e = engine();
+        let err = serve(
+            &mut e,
+            &t,
+            &mut NoPrefetch,
+            &ServeOptions::continuous(2).with_slo(SloPolicy::degrade(0)),
+        )
+        .expect_err("continuous + degrade must be rejected");
+        assert!(matches!(err, ServeError::UnsupportedOptions { .. }));
+        assert!(err.to_string().contains("unsupported serve options"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_serve() {
+        let t = trace(6);
+
+        let mut e1 = engine();
+        let legacy = serve_trace(&mut e1, &t, &mut NoPrefetch);
+        let mut e2 = engine();
+        let unified = serve_fcfs_results(&mut e2, &t);
+        assert_eq!(format!("{legacy:?}"), format!("{unified:?}"));
+
+        let slo = Some(SloPolicy::shed(0));
+        let mut e3 = engine();
+        let legacy_slo = serve_trace_with_slo(&mut e3, &t, &mut NoPrefetch, slo);
+        let mut e4 = engine();
+        let unified_slo = serve(
+            &mut e4,
+            &t,
+            &mut NoPrefetch,
+            &ServeOptions::fcfs().with_slo(SloPolicy::shed(0)),
+        )
+        .expect("fcfs serving is infallible");
+        assert_eq!(format!("{legacy_slo:?}"), format!("{unified_slo:?}"));
+
+        let mut e5 = engine();
+        let legacy_cb = serve_trace_continuous(&mut e5, &t, &mut NoPrefetch, 3);
+        let mut e6 = engine();
+        let try_cb = try_serve_trace_continuous(&mut e6, &t, &mut NoPrefetch, 3).expect("serves");
+        let mut e7 = engine();
+        let unified_cb = serve(&mut e7, &t, &mut NoPrefetch, &ServeOptions::continuous(3))
+            .expect("continuous serving succeeds")
+            .results;
+        assert_eq!(format!("{legacy_cb:?}"), format!("{unified_cb:?}"));
+        assert_eq!(format!("{try_cb:?}"), format!("{unified_cb:?}"));
     }
 
     #[test]
     fn trace_sink_does_not_perturb_serving_and_captures_phases() {
         let t = trace(4);
         let mut plain = engine();
-        let base = serve_trace(&mut plain, &t, &mut NoPrefetch);
+        let base = serve_fcfs_results(&mut plain, &t);
         let mut traced = engine();
         traced.set_trace_sink(fmoe_trace::TraceSink::recording(1 << 16));
-        let got = serve_trace(&mut traced, &t, &mut NoPrefetch);
+        let got = serve_fcfs_results(&mut traced, &t);
         assert_eq!(base.len(), got.len());
         for (a, b) in base.iter().zip(&got) {
             assert_eq!(a.request_id, b.request_id);

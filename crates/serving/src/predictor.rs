@@ -151,6 +151,17 @@ pub trait ExpertPredictor: Send {
     fn loads_entire_layer(&self) -> bool {
         false
     }
+
+    /// Cosine affinity in `[-1, 1]` between `embedding` and the policy's
+    /// accumulated history, or `None` when the policy keeps no semantic
+    /// history (or has none yet). Cluster-level routers use this to send
+    /// a request to the replica whose predictor has served semantically
+    /// similar prompts — fMoE's Expert Map Store makes the signal
+    /// meaningful; history-less baselines keep the default `None` and
+    /// routers fall back to load-based placement.
+    fn semantic_affinity(&self, _embedding: &[f64]) -> Option<f64> {
+        None
+    }
 }
 
 /// A trivial predictor that never prefetches: pure on-demand loading.

@@ -10,7 +10,7 @@ use fmoe::{FmoeConfig, FmoePredictor};
 use fmoe_cache::FmoePriorityPolicy;
 use fmoe_memsim::Topology;
 use fmoe_model::{presets, GateParams, GateSimulator, GpuSpec};
-use fmoe_serving::{serve_trace, EngineConfig, ServingEngine};
+use fmoe_serving::{serve, EngineConfig, ServeOptions, ServingEngine};
 use fmoe_stats::EmpiricalCdf;
 use fmoe_workload::{AzureTraceSpec, DatasetSpec};
 
@@ -39,7 +39,9 @@ fn main() {
         EngineConfig::paper_default().with_max_decode(24),
     );
 
-    let results = serve_trace(&mut engine, &trace, &mut predictor);
+    let results = serve(&mut engine, &trace, &mut predictor, &ServeOptions::fcfs())
+        .expect("fcfs serving is infallible")
+        .results;
 
     // The paper plots the CDF of end-to-end request latency.
     let latencies: Vec<f64> = results

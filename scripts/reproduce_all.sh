@@ -34,6 +34,7 @@ EXTENSION_BINS=(
   ext_conversations
   ext_kv_budget
   ext_theory_coverage
+  fig12_cluster_scaling
 )
 
 for bin in "${PAPER_BINS[@]}" "${EXTENSION_BINS[@]}"; do

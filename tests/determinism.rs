@@ -12,9 +12,7 @@ use fmoe::{FmoeConfig, FmoePredictor};
 use fmoe_cache::FmoePriorityPolicy;
 use fmoe_memsim::{FaultSchedule, Topology};
 use fmoe_model::{presets, GateParams, GateSimulator, GpuSpec};
-use fmoe_serving::{
-    serve_trace, serve_trace_with_slo, EngineConfig, ServingEngine, SloAction, SloPolicy,
-};
+use fmoe_serving::{serve, EngineConfig, ServeOptions, ServingEngine, SloAction, SloPolicy};
 use fmoe_workload::{AzureTraceSpec, DatasetSpec, TraceEvent};
 
 fn engine() -> ServingEngine {
@@ -50,12 +48,14 @@ fn trace(n: u64) -> Vec<TraceEvent> {
 }
 
 #[test]
-fn serve_trace_is_byte_identical_across_runs() {
+fn serve_fcfs_is_byte_identical_across_runs() {
     let events = trace(10);
     let run = || {
         let mut eng = engine();
         let mut pred = predictor();
-        let results = serve_trace(&mut eng, &events, &mut pred);
+        let results = serve(&mut eng, &events, &mut pred, &ServeOptions::fcfs())
+            .expect("fcfs serving is infallible")
+            .results;
         format!("{results:?}")
     };
     let first = run();
@@ -63,12 +63,12 @@ fn serve_trace_is_byte_identical_across_runs() {
     assert!(!first.is_empty());
     assert_eq!(
         first, second,
-        "serve_trace must be byte-identical for identical inputs"
+        "serve must be byte-identical for identical inputs"
     );
 }
 
 #[test]
-fn serve_trace_with_slo_and_inert_faults_is_byte_identical() {
+fn serve_with_slo_and_inert_faults_is_byte_identical() {
     let events = trace(10);
     let slo = SloPolicy {
         max_queueing_ns: 2_000_000,
@@ -80,7 +80,13 @@ fn serve_trace_with_slo_and_inert_faults_is_byte_identical() {
             eng.set_fault_schedule(schedule);
         }
         let mut pred = predictor();
-        let report = serve_trace_with_slo(&mut eng, &events, &mut pred, Some(slo));
+        let report = serve(
+            &mut eng,
+            &events,
+            &mut pred,
+            &ServeOptions::fcfs().with_slo(slo),
+        )
+        .expect("fcfs serving is infallible");
         format!("{report:?}")
     };
     let plain = run(None);
@@ -117,7 +123,9 @@ fn trace_sink_state_never_perturbs_serving_output() {
             eng.set_trace_sink(sink);
         }
         let mut pred = predictor();
-        let results = serve_trace(&mut eng, &events, &mut pred);
+        let results = serve(&mut eng, &events, &mut pred, &ServeOptions::fcfs())
+            .expect("fcfs serving is infallible")
+            .results;
         format!("{results:?}")
     };
     let bare = run(None);
@@ -144,7 +152,13 @@ fn enabled_tracing_exports_are_byte_identical_across_runs() {
         let mut eng = engine();
         eng.set_trace_sink(fmoe_trace::TraceSink::recording(1 << 16));
         let mut pred = predictor();
-        let _ = serve_trace_with_slo(&mut eng, &events, &mut pred, Some(slo));
+        let _ = serve(
+            &mut eng,
+            &events,
+            &mut pred,
+            &ServeOptions::fcfs().with_slo(slo),
+        )
+        .expect("fcfs serving is infallible");
         let records = eng.trace_sink().take_records();
         let metrics = eng.trace_sink().metrics_snapshot();
         (

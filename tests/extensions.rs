@@ -198,7 +198,7 @@ fn kv_aware_budget_squeezes_and_reclaims() {
 
 #[test]
 fn continuous_batching_with_fmoe_predictor() {
-    use fmoe_serving::online::serve_trace_continuous;
+    use fmoe_serving::online::{serve, ServeOptions};
     use fmoe_workload::AzureTraceSpec;
     let m = model();
     let mut predictor = FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m));
@@ -206,7 +206,14 @@ fn continuous_batching_with_fmoe_predictor() {
     let mut spec = AzureTraceSpec::paper_online_serving(DatasetSpec::tiny_test());
     spec.num_requests = 10;
     let trace = spec.generate();
-    let results = serve_trace_continuous(&mut eng, &trace, &mut predictor, 3);
+    let results = serve(
+        &mut eng,
+        &trace,
+        &mut predictor,
+        &ServeOptions::continuous(3),
+    )
+    .expect("continuous serving succeeds")
+    .results;
     assert_eq!(results.len(), 10);
     // The store learned online despite slot reuse across requests.
     assert!(predictor.store_len() > 10);

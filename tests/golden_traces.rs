@@ -18,7 +18,7 @@
 
 use fmoe_bench::{CellConfig, System};
 use fmoe_model::presets;
-use fmoe_serving::serve_trace;
+use fmoe_serving::{serve, ServeOptions};
 use fmoe_trace::TraceSink;
 use fmoe_workload::{AzureTraceSpec, DatasetSpec};
 use std::path::PathBuf;
@@ -45,7 +45,14 @@ fn rendered_trace(system: System) -> String {
     let mut spec = AzureTraceSpec::paper_online_serving(DatasetSpec::tiny_test());
     spec.num_requests = 3;
     let events = spec.generate();
-    let results = serve_trace(&mut engine, &events, predictor.as_mut());
+    let results = serve(
+        &mut engine,
+        &events,
+        predictor.as_mut(),
+        &ServeOptions::fcfs(),
+    )
+    .expect("fcfs serving is infallible")
+    .results;
     assert_eq!(results.len(), 3, "golden scenario serves every request");
     assert_eq!(
         engine.trace_sink().dropped_records(),

@@ -6,7 +6,7 @@ use fmoe::{FmoeConfig, FmoePredictor};
 use fmoe_cache::FmoePriorityPolicy;
 use fmoe_memsim::Topology;
 use fmoe_model::{presets, GateParams, GateSimulator, GpuSpec};
-use fmoe_serving::{serve_trace, serve_trace_with_slo, EngineConfig, ServingEngine, SloPolicy};
+use fmoe_serving::{serve, EngineConfig, ServeOptions, ServingEngine, SloPolicy};
 use fmoe_workload::{AzureTraceSpec, DatasetSpec, TraceEvent};
 
 fn engine() -> ServingEngine {
@@ -36,6 +36,16 @@ fn trace(n: u64) -> Vec<TraceEvent> {
     spec.generate()
 }
 
+fn serve_fcfs(
+    eng: &mut ServingEngine,
+    t: &[TraceEvent],
+    predictor: &mut FmoePredictor,
+) -> Vec<fmoe_serving::OnlineResult> {
+    serve(eng, t, predictor, &ServeOptions::fcfs())
+        .expect("fcfs serving is infallible")
+        .results
+}
+
 #[test]
 fn online_serving_from_cold_store() {
     let m = presets::small_test_model();
@@ -43,7 +53,7 @@ fn online_serving_from_cold_store() {
     assert_eq!(predictor.store_len(), 0);
 
     let mut eng = engine();
-    let results = serve_trace(&mut eng, &trace(12), &mut predictor);
+    let results = serve_fcfs(&mut eng, &trace(12), &mut predictor);
     assert_eq!(results.len(), 12);
     // The store filled online (one map per served iteration, capped).
     assert!(
@@ -67,7 +77,7 @@ fn online_hit_rate_improves_as_history_accumulates() {
     let m = presets::small_test_model();
     let mut predictor = FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m));
     let mut eng = engine();
-    let results = serve_trace(&mut eng, &trace(24), &mut predictor);
+    let results = serve_fcfs(&mut eng, &trace(24), &mut predictor);
 
     // Compare the first third against the last third: the growing map
     // store and warm cache should lift hit rates online.
@@ -98,7 +108,7 @@ fn queueing_latency_appears_under_bursts() {
     for e in &mut t {
         e.arrival_ns = 0;
     }
-    let results = serve_trace(&mut eng, &t, &mut predictor);
+    let results = serve_fcfs(&mut eng, &t, &mut predictor);
     // All but the first request queue.
     assert_eq!(results[0].queueing_ns(), 0);
     for r in &results[1..] {
@@ -121,7 +131,13 @@ fn slo_report_accounts_for_every_trace_request() {
     for policy in [SloPolicy::shed(0), SloPolicy::degrade(0)] {
         let mut predictor = FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m));
         let mut eng = engine();
-        let report = serve_trace_with_slo(&mut eng, &t, &mut predictor, Some(policy));
+        let report = serve(
+            &mut eng,
+            &t,
+            &mut predictor,
+            &ServeOptions::fcfs().with_slo(policy),
+        )
+        .expect("fcfs serving is infallible");
         // Shed + served always sums to the trace length.
         assert_eq!(report.results.len() + report.shed.len(), t.len());
         // Queueing delays are non-negative by construction and shed
@@ -148,15 +164,16 @@ fn slo_report_accounts_for_every_trace_request() {
 }
 
 #[test]
-fn slo_disabled_report_matches_plain_serve_trace() {
+fn slo_disabled_report_matches_plain_fcfs_serve() {
     let m = presets::small_test_model();
     let t = trace(8);
     let mut p1 = FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m));
     let mut e1 = engine();
-    let plain = serve_trace(&mut e1, &t, &mut p1);
+    let plain = serve_fcfs(&mut e1, &t, &mut p1);
     let mut p2 = FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m));
     let mut e2 = engine();
-    let report = serve_trace_with_slo(&mut e2, &t, &mut p2, None);
+    let report =
+        serve(&mut e2, &t, &mut p2, &ServeOptions::fcfs()).expect("fcfs serving is infallible");
     assert!(report.shed.is_empty());
     assert_eq!(report.degraded_serves, 0);
     assert_eq!(plain.len(), report.results.len());
@@ -177,7 +194,7 @@ fn idle_gaps_do_not_corrupt_state() {
     let mut t = trace(4);
     t[2].arrival_ns += 3_600_000_000_000; // +1 hour
     t[3].arrival_ns = t[2].arrival_ns + 1;
-    let results = serve_trace(&mut eng, &t, &mut predictor);
+    let results = serve_fcfs(&mut eng, &t, &mut predictor);
     assert_eq!(results.len(), 4);
     assert!(results[2].start_ns >= t[2].arrival_ns);
     assert!(results[3].finish_ns > results[2].finish_ns);

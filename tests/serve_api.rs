@@ -1,0 +1,173 @@
+//! Serving-API equivalence suite.
+//!
+//! The unified [`fmoe_serving::serve`] entry point replaced four older
+//! functions (`serve_trace`, `serve_trace_with_slo`,
+//! `serve_trace_continuous`, `try_serve_trace_continuous`), which remain
+//! as deprecated wrappers. This suite pins the refactor: on the same
+//! deterministic scenario, `serve` must produce **byte-identical**
+//! results, timeline entries, and exported trace text to each legacy
+//! entry point. Any divergence means the unification changed behaviour
+//! rather than just the API surface.
+#![allow(deprecated)]
+
+use fmoe::{FmoeConfig, FmoePredictor};
+use fmoe_cache::FmoePriorityPolicy;
+use fmoe_memsim::Topology;
+use fmoe_model::{presets, GateParams, GateSimulator, GpuSpec};
+use fmoe_serving::{
+    serve, serve_trace, serve_trace_continuous, serve_trace_with_slo, try_serve_trace_continuous,
+    EngineConfig, ServeOptions, ServingEngine, SloPolicy,
+};
+use fmoe_trace::TraceSink;
+use fmoe_workload::{AzureTraceSpec, DatasetSpec, TraceEvent};
+
+fn engine() -> ServingEngine {
+    let m = presets::small_test_model();
+    let gate = GateSimulator::new(m.clone(), GateParams::for_model(&m));
+    let mut e = ServingEngine::new(
+        gate,
+        GpuSpec::rtx_3090(),
+        Topology::single_gpu(8 << 30),
+        Box::new(FmoePriorityPolicy::new()),
+        EngineConfig {
+            cache_budget_bytes: m.expert_bytes() * 16,
+            preload_all: false,
+            max_decode_iterations: Some(4),
+            context_collection_ns: 10_000,
+            framework_overhead_per_layer_ns: 50_000,
+            ..EngineConfig::paper_default()
+        },
+    );
+    e.set_timeline_enabled(true);
+    e.set_trace_sink(TraceSink::recording(1 << 16));
+    e
+}
+
+fn predictor() -> FmoePredictor {
+    let m = presets::small_test_model();
+    FmoePredictor::new(m.clone(), FmoeConfig::for_model(&m))
+}
+
+fn trace(n: u64) -> Vec<TraceEvent> {
+    let mut spec = AzureTraceSpec::paper_online_serving(DatasetSpec::tiny_test());
+    spec.num_requests = n;
+    spec.generate()
+}
+
+/// Everything observable about a serving run, rendered to bytes: the
+/// per-request results, the engine timeline, and the canonical trace
+/// text. Equality here is the refactor's contract.
+fn fingerprint(run: impl FnOnce(&mut ServingEngine, &mut FmoePredictor) -> String) -> String {
+    let mut engine = engine();
+    let mut predictor = predictor();
+    let results = run(&mut engine, &mut predictor);
+    format!(
+        "results:\n{results}\ntimeline:\n{:?}\ntrace:\n{}",
+        engine.take_timeline(),
+        fmoe_trace::events_text(&engine.trace_sink().take_records())
+    )
+}
+
+#[test]
+fn serve_matches_legacy_serve_trace() {
+    let events = trace(10);
+    let unified = fingerprint(|e, p| {
+        let report = serve(e, &events, p, &ServeOptions::fcfs()).expect("fcfs is infallible");
+        format!("{:?}", report.results)
+    });
+    let legacy = fingerprint(|e, p| format!("{:?}", serve_trace(e, &events, p)));
+    assert_eq!(unified, legacy, "serve != serve_trace on the same scenario");
+}
+
+#[test]
+fn serve_matches_legacy_serve_trace_with_slo() {
+    // A t=0 burst against a zero-budget shed policy exercises both the
+    // shed and the served paths.
+    let mut events = trace(10);
+    for e in &mut events {
+        e.arrival_ns = 0;
+    }
+    for slo in [None, Some(SloPolicy::shed(0))] {
+        let unified = fingerprint(|e, p| {
+            let options = ServeOptions {
+                slo,
+                ..ServeOptions::fcfs()
+            };
+            let report = serve(e, &events, p, &options).expect("fcfs is infallible");
+            format!("{report:?}")
+        });
+        let legacy = fingerprint(|e, p| format!("{:?}", serve_trace_with_slo(e, &events, p, slo)));
+        assert_eq!(
+            unified, legacy,
+            "serve != serve_trace_with_slo (slo: {slo:?})"
+        );
+    }
+}
+
+#[test]
+fn serve_matches_legacy_continuous_entry_points() {
+    let events = trace(10);
+    for slots in [1usize, 4] {
+        let unified = fingerprint(|e, p| {
+            let report =
+                serve(e, &events, p, &ServeOptions::continuous(slots)).expect("bookkeeping holds");
+            format!("{:?}", report.results)
+        });
+        let legacy =
+            fingerprint(|e, p| format!("{:?}", serve_trace_continuous(e, &events, p, slots)));
+        assert_eq!(
+            unified, legacy,
+            "serve != serve_trace_continuous (slots: {slots})"
+        );
+        let fallible = fingerprint(|e, p| {
+            format!(
+                "{:?}",
+                try_serve_trace_continuous(e, &events, p, slots).expect("bookkeeping holds")
+            )
+        });
+        assert_eq!(
+            unified, fallible,
+            "serve != try_serve_trace_continuous (slots: {slots})"
+        );
+    }
+}
+
+#[test]
+fn builder_built_engine_matches_hand_assembled_engine() {
+    let events = trace(8);
+    let unified = fingerprint(|e, p| {
+        let report = serve(e, &events, p, &ServeOptions::fcfs()).expect("fcfs is infallible");
+        format!("{:?}", report.results)
+    });
+
+    // Same configuration through EngineBuilder instead of the setters.
+    let m = presets::small_test_model();
+    let gate = GateSimulator::new(m.clone(), GateParams::for_model(&m));
+    let mut engine =
+        ServingEngine::builder(gate, GpuSpec::rtx_3090(), Topology::single_gpu(8 << 30))
+            .policy(Box::new(FmoePriorityPolicy::new()))
+            .config(EngineConfig {
+                cache_budget_bytes: m.expert_bytes() * 16,
+                preload_all: false,
+                max_decode_iterations: Some(4),
+                context_collection_ns: 10_000,
+                framework_overhead_per_layer_ns: 50_000,
+                ..EngineConfig::paper_default()
+            })
+            .timeline(true)
+            .trace_sink(TraceSink::recording(1 << 16))
+            .build();
+    let mut p = predictor();
+    let report =
+        serve(&mut engine, &events, &mut p, &ServeOptions::fcfs()).expect("fcfs is infallible");
+    let built = format!(
+        "results:\n{:?}\ntimeline:\n{:?}\ntrace:\n{}",
+        report.results,
+        engine.take_timeline(),
+        fmoe_trace::events_text(&engine.trace_sink().take_records())
+    );
+    assert_eq!(
+        unified, built,
+        "EngineBuilder must assemble the exact engine the setters do"
+    );
+}
