@@ -23,6 +23,11 @@
 //!
 //! `--jobs N` fans the independent (intensity, policy) cells across
 //! worker threads; output bytes are identical to a sequential run.
+//!
+//! This bench injects faults *inside one engine* — degraded links,
+//! dropped transfers, squeezed budgets. Its fleet-level counterpart is
+//! `fig13_cluster_chaos`, where whole replicas crash, drain, and restart
+//! (cold or donor-warmed) behind health-aware routing; see DESIGN.md §14.
 
 use fmoe_bench::harness::{CellConfig, ParallelRunner, System};
 use fmoe_bench::report::{write_csv, Table};

@@ -1,0 +1,107 @@
+//! Cross-process checks for `fig13_cluster_chaos`:
+//!
+//! * determinism — a `--quick --jobs 1` run and a `--quick --jobs 4`
+//!   run, each in its own scratch working directory, must write
+//!   byte-identical `results/*.csv` artifacts (DESIGN.md §10/§12);
+//! * the headline claim — parsing the summary CSV must show the
+//!   donor-warmed restart recovering the pre-crash fleet hit rate in
+//!   strictly fewer post-recovery requests than the cold restart in
+//!   every (intensity, policy) cell, while paying real warmup bytes.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+fn run_quick(workdir: &Path, jobs: &str) -> Vec<(String, Vec<u8>)> {
+    fs::create_dir_all(workdir).expect("scratch dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig13_cluster_chaos"))
+        .args(["--quick", "--jobs", jobs])
+        .current_dir(workdir)
+        .output()
+        .expect("fig13_cluster_chaos runs");
+    assert!(
+        out.status.success(),
+        "fig13_cluster_chaos --quick --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut csvs: Vec<(String, Vec<u8>)> = fs::read_dir(workdir.join("results"))
+        .expect("results dir written")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let bytes = fs::read(&p).expect("csv readable");
+            (name, bytes)
+        })
+        .collect();
+    csvs.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(!csvs.is_empty(), "bench produced no CSV output");
+    csvs
+}
+
+#[test]
+fn chaos_bench_is_deterministic_across_processes_and_jobs() {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fig13_determinism");
+    let sequential = run_quick(&base.join("jobs1"), "1");
+    let parallel = run_quick(&base.join("jobs4"), "4");
+    assert_eq!(
+        sequential.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        parallel.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "--jobs 1 and --jobs 4 wrote different CSV file sets"
+    );
+    for ((name, a), (_, b)) in sequential.iter().zip(&parallel) {
+        assert_eq!(
+            a, b,
+            "{name} differs between --jobs 1 and --jobs 4: the chaos \
+             dispatch or CSV pipeline leaked scheduling nondeterminism"
+        );
+    }
+}
+
+#[test]
+fn donor_warmed_recovers_faster_than_cold_in_the_quick_sweep() {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fig13_recovery");
+    let csvs = run_quick(&base.join("run"), "2");
+    let (_, summary) = csvs
+        .iter()
+        .find(|(name, _)| name == "fig13_cluster_chaos.csv")
+        .expect("summary CSV present");
+    let text = String::from_utf8(summary.clone()).expect("summary CSV is UTF-8");
+
+    // Columns: intensity,policy,warmup,served,shed,goodput,avail,
+    // hit_rate,p99_ms,failovers,warmup_mb,recovery_reqs
+    let mut cells: Vec<(String, String, String, f64, u64)> = Vec::new();
+    for line in text.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        cells.push((
+            cols[0].to_string(),
+            cols[1].to_string(),
+            cols[2].to_string(),
+            cols[10].parse().expect("warmup_mb"),
+            cols[11].parse().expect("recovery_reqs"),
+        ));
+    }
+    let mut compared = 0;
+    for (intensity, policy, warmup, warm_mb, warm_reqs) in &cells {
+        if warmup != "donor-warmed" {
+            continue;
+        }
+        let (_, _, _, cold_mb, cold_reqs) = cells
+            .iter()
+            .find(|(i, p, w, _, _)| i == intensity && p == policy && w == "cold")
+            .expect("cold cell for the same intensity and policy");
+        assert!(
+            warm_reqs < cold_reqs,
+            "donor-warmed restart did not recover faster than cold at \
+             intensity {intensity}, {policy}: {warm_reqs} vs {cold_reqs}"
+        );
+        assert!(*warm_mb > 0.0, "donor-warmed restart copies real bytes");
+        assert_eq!(*cold_mb, 0.0, "cold restart copies nothing");
+        compared += 1;
+    }
+    assert!(compared > 0, "the quick sweep must contain warmup pairs");
+}

@@ -34,6 +34,20 @@ impl CacheStats {
     pub fn accesses(&self) -> u64 {
         self.hits + self.misses
     }
+
+    /// Field-wise sum with `other`. Used to carry counters across a
+    /// replica restart: `ExpertCache::clear` resets stats, so lifetime
+    /// accounting adds the pre-restart snapshot back in.
+    #[must_use]
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            insertions: self.insertions + other.insertions,
+            evictions: self.evictions + other.evictions,
+            rejected_inserts: self.rejected_inserts + other.rejected_inserts,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -54,5 +68,30 @@ mod tests {
     #[test]
     fn empty_stats_hit_rate_is_zero() {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merged_sums_field_wise_with_default_identity() {
+        let a = CacheStats {
+            hits: 3,
+            misses: 1,
+            insertions: 5,
+            evictions: 2,
+            rejected_inserts: 1,
+        };
+        let b = CacheStats {
+            hits: 7,
+            misses: 9,
+            insertions: 1,
+            evictions: 0,
+            rejected_inserts: 4,
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.hits, 10);
+        assert_eq!(m.misses, 10);
+        assert_eq!(m.insertions, 6);
+        assert_eq!(m.evictions, 2);
+        assert_eq!(m.rejected_inserts, 5);
+        assert_eq!(a.merged(&CacheStats::default()), a);
     }
 }

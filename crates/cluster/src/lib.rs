@@ -25,6 +25,16 @@
 //! * Per-replica `TraceSink`s merge into one cluster timeline
 //!   ([`Cluster::take_merged_trace`]) ordered by virtual time with
 //!   replica id as the tie-break.
+//! * A seeded `fmoe_faults::ReplicaFaultSchedule`
+//!   ([`Cluster::set_replica_fault_schedule`]) injects replica crashes,
+//!   brownouts, and planned drains: routing becomes health-aware,
+//!   crashed replicas' unfinished work fails over to healthy peers
+//!   (capped re-dispatch, then shed — counted in [`FailoverStats`]),
+//!   and restarts come back cold or donor-warmed ([`WarmupMode`]) with
+//!   the warmup copy paying real transfer cost through `fmoe-memsim`.
+//!   Lifecycle markers (crash/drain/restart/failover/warmup) land in
+//!   the merged timeline; an inert schedule leaves every output
+//!   byte-identical to a schedule-free run.
 //!
 //! Everything follows the workspace determinism contract: no wall clock,
 //! no unseeded randomness, `BTreeMap`-only state, byte-identical reports
@@ -34,9 +44,11 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod lifecycle;
 pub mod report;
 pub mod routing;
 
 pub use cluster::{Cluster, ClusterTraceRecord};
+pub use lifecycle::{FailoverConfig, FailoverStats, WarmupMode};
 pub use report::{ClusterReport, ReplicaReport};
 pub use routing::{AffinityConfig, RoutingPolicy, RoutingStats};

@@ -1,0 +1,102 @@
+//! Replica lifecycle policy knobs and failover accounting.
+
+use serde::Serialize;
+
+/// How a restarted replica's cache and Expert Map Store come back after
+/// a crash window closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum WarmupMode {
+    /// Restart with an empty cache and a reset predictor: every expert
+    /// is re-learned from live traffic. The replica accepts requests the
+    /// instant its crash window closes.
+    Cold,
+    /// Seed the restarted replica's cache residency and Expert Map Store
+    /// from the healthiest surviving peer (highest lifetime cache hit
+    /// rate; ties to the lowest replica id). The copy pays a bulk
+    /// transfer cost through the replica's `fmoe-memsim` links, so the
+    /// replica rejoins the rotation *later* than a cold restart — the
+    /// trade the cluster chaos benchmark quantifies.
+    DonorWarmed,
+}
+
+impl WarmupMode {
+    /// Display name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Cold => "cold",
+            Self::DonorWarmed => "donor-warmed",
+        }
+    }
+}
+
+/// Failover policy for crashed replicas' reconciled work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FailoverConfig {
+    /// Maximum number of times one request may be re-dispatched after
+    /// losing its replica before the cluster sheds it. Guards against a
+    /// request ping-ponging through a cascade of crashing replicas.
+    pub max_redispatches: u32,
+    /// How restarted replicas warm back up.
+    pub warmup: WarmupMode,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        Self {
+            max_redispatches: 3,
+            warmup: WarmupMode::Cold,
+        }
+    }
+}
+
+/// Counters describing replica-lifecycle churn over a dispatch. All zero
+/// when the installed [`fmoe_faults::ReplicaFaultSchedule`] is inert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FailoverStats {
+    /// Crash windows that opened (replica outages).
+    pub crashes: u64,
+    /// Crash windows that closed (replica restarts).
+    pub recoveries: u64,
+    /// Planned drain windows that opened.
+    pub drains: u64,
+    /// Re-dispatch attempts: requests a crash invalidated that were
+    /// routed to a healthy replica.
+    pub failed_over: u64,
+    /// Failed-over requests whose re-dispatch ultimately completed (they
+    /// stand in some replica's results at report time).
+    pub failover_completed: u64,
+    /// Requests shed because they exhausted
+    /// [`FailoverConfig::max_redispatches`].
+    pub failover_shed: u64,
+    /// Requests shed because no healthy replica existed to take them
+    /// (at arrival or at failover time).
+    pub no_healthy_shed: u64,
+    /// Donor-warmed restarts that copied state from a peer.
+    pub warmup_transfers: u64,
+    /// Total bytes moved by warmup transfers (cache residency plus
+    /// Expert Map Store snapshots).
+    pub warmup_bytes: u64,
+    /// Total virtual nanoseconds restarted replicas spent warming up
+    /// (unavailable to the router) after their crash windows closed.
+    pub warmup_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_mode_names_are_stable() {
+        assert_eq!(WarmupMode::Cold.name(), "cold");
+        assert_eq!(WarmupMode::DonorWarmed.name(), "donor-warmed");
+    }
+
+    #[test]
+    fn default_config_is_cold_with_bounded_redispatch() {
+        let cfg = FailoverConfig::default();
+        assert_eq!(cfg.warmup, WarmupMode::Cold);
+        assert!(cfg.max_redispatches >= 1);
+        assert_eq!(FailoverStats::default(), FailoverStats::default());
+    }
+}

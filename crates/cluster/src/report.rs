@@ -1,5 +1,6 @@
 //! Aggregated outcome of a cluster dispatch.
 
+use crate::lifecycle::FailoverStats;
 use crate::routing::RoutingStats;
 use fmoe_cache::CacheStats;
 use fmoe_serving::{OnlineResult, ShedRequest};
@@ -50,6 +51,17 @@ pub struct ClusterReport {
     pub replicas: Vec<ReplicaReport>,
     /// Routing-decision counters (see [`RoutingStats`]).
     pub routing: RoutingStats,
+    /// Replica-lifecycle counters (see [`FailoverStats`]); all zero
+    /// under an inert (or absent) replica fault schedule.
+    pub failover: FailoverStats,
+    /// Cluster-level sheds: requests that exhausted their re-dispatch
+    /// budget after repeated crashes, or arrived during a full outage.
+    /// Disjoint from the per-replica SLO sheds. Empty under an inert
+    /// schedule.
+    pub failover_shed: Vec<ShedRequest>,
+    /// Requests routed by `dispatch` so far (failover re-dispatches
+    /// re-route existing requests and do not re-count).
+    pub dispatched: u64,
 }
 
 impl ClusterReport {
@@ -59,10 +71,19 @@ impl ClusterReport {
         self.replicas.iter().map(|r| r.results.len()).sum()
     }
 
-    /// Total requests shed across the fleet.
+    /// Total requests shed across the fleet: per-replica SLO sheds plus
+    /// cluster-level failover sheds.
     #[must_use]
     pub fn total_shed(&self) -> usize {
-        self.replicas.iter().map(|r| r.shed.len()).sum()
+        self.replicas.iter().map(|r| r.shed.len()).sum::<usize>() + self.failover_shed.len()
+    }
+
+    /// The zero-lost-requests identity: every dispatched request is
+    /// accounted for exactly once, as served (possibly after failover)
+    /// or shed (by a replica's SLO policy or by the cluster itself).
+    #[must_use]
+    pub fn accounting_balances(&self) -> bool {
+        self.dispatched == (self.total_served() + self.total_shed()) as u64
     }
 
     /// Goodput: fraction of dispatched requests that were served.

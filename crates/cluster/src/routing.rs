@@ -63,15 +63,26 @@ pub struct RoutingStats {
     pub cold_fallbacks: u64,
 }
 
-/// Join-shortest-queue over per-replica depths; strict `<` breaks ties
-/// toward the lowest replica id. Returns 0 for an empty slice (callers
-/// guard against empty clusters).
+/// Join-shortest-queue over per-replica *effective* depths, considering
+/// only healthy replicas. Effective depths are real-valued so brownout
+/// penalties compose (see `Cluster::dispatch`); with every replica
+/// healthy and un-browned they equal the integer queue depths, making
+/// this byte-identical to plain JSQ. Strict `<` under `total_cmp`
+/// breaks ties toward the lowest replica id. `None` when no replica is
+/// healthy.
 #[must_use]
-pub(crate) fn shortest_queue(depths: &[usize]) -> usize {
-    let mut best = 0usize;
-    for (i, &d) in depths.iter().enumerate() {
-        if d < depths[best] {
-            best = i;
+pub(crate) fn shortest_effective_queue(effective: &[f64], healthy: &[bool]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, &d) in effective.iter().enumerate() {
+        if !healthy[i] {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(b) => d.total_cmp(&effective[b]) == std::cmp::Ordering::Less,
+        };
+        if better {
+            best = Some(i);
         }
     }
     best
@@ -82,10 +93,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn shortest_queue_breaks_ties_low() {
-        assert_eq!(shortest_queue(&[2, 1, 1, 3]), 1);
-        assert_eq!(shortest_queue(&[0, 0, 0]), 0);
-        assert_eq!(shortest_queue(&[5]), 0);
+    fn shortest_effective_queue_breaks_ties_low() {
+        let all = [true; 4];
+        assert_eq!(
+            shortest_effective_queue(&[2.0, 1.0, 1.0, 3.0], &all),
+            Some(1)
+        );
+        assert_eq!(
+            shortest_effective_queue(&[0.0, 0.0, 0.0], &all[..3]),
+            Some(0)
+        );
+        assert_eq!(shortest_effective_queue(&[5.0], &all[..1]), Some(0));
+    }
+
+    #[test]
+    fn shortest_effective_queue_skips_unhealthy() {
+        assert_eq!(
+            shortest_effective_queue(&[0.0, 4.0, 2.0], &[false, true, true]),
+            Some(2)
+        );
+        assert_eq!(shortest_effective_queue(&[1.0, 2.0], &[false, false]), None);
     }
 
     #[test]

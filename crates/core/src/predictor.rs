@@ -308,6 +308,33 @@ impl ExpertPredictor for FmoePredictor {
         let sum: f64 = matches.iter().map(|m| m.score).sum();
         Some(sum / matches.len() as f64)
     }
+
+    fn warm_state(&self) -> Option<Vec<u8>> {
+        // The wire encoding used for on-disk persistence doubles as the
+        // donor-warmed restart payload; its byte length is the transfer
+        // cost a recovering replica pays to copy this store.
+        if self.store.is_empty() {
+            return None;
+        }
+        let mut buf = Vec::new();
+        self.store.save_to(&mut buf).ok()?;
+        Some(buf)
+    }
+
+    fn restore_warm_state(&mut self, snapshot: &[u8]) -> bool {
+        let mut r = snapshot;
+        match ExpertMapStore::load_from(&mut r) {
+            Ok(store)
+                if store.num_layers() == self.model.num_layers as usize
+                    && store.experts_per_layer() == self.model.experts_per_layer as usize =>
+            {
+                self.store = store;
+                self.elements.clear();
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -509,6 +536,49 @@ mod tests {
         let g = gate();
         let same = plan_coverage(&g, 6, 6, false);
         assert!(same > 0.6, "full-request coverage too weak: {same}");
+    }
+
+    #[test]
+    fn warm_state_round_trips_through_a_cold_peer() {
+        let g = gate();
+        let mut donor = predictor();
+        donor.populate_from_history(&g, &history(6, 10), 6);
+        assert!(donor.store_len() > 0);
+        let snapshot = donor.warm_state().expect("populated store snapshots");
+
+        let mut restarted = predictor();
+        assert!(
+            restarted.warm_state().is_none(),
+            "empty store has no warm state"
+        );
+        assert!(restarted.restore_warm_state(&snapshot));
+        assert_eq!(restarted.store_len(), donor.store_len());
+        // The restored store carries the donor's semantic history: the
+        // affinity signal agrees between donor and restarted peer up to
+        // the wire encoding's quantization.
+        let routing = RequestRouting {
+            cluster: 6,
+            request_seed: 4242,
+        };
+        let emb = g.semantic_embedding(routing, 0);
+        let donor_affinity = donor.semantic_affinity(&emb).expect("donor has history");
+        let restored_affinity = restarted
+            .semantic_affinity(&emb)
+            .expect("restored peer has history");
+        assert!(
+            (donor_affinity - restored_affinity).abs() < 1e-6,
+            "affinity drifted through snapshot: {donor_affinity} vs {restored_affinity}"
+        );
+    }
+
+    #[test]
+    fn restore_warm_state_rejects_garbage_and_keeps_state() {
+        let g = gate();
+        let mut p = predictor();
+        p.populate_from_history(&g, &history(6, 4), 6);
+        let before = p.store_len();
+        assert!(!p.restore_warm_state(b"not a store snapshot"));
+        assert_eq!(p.store_len(), before);
     }
 
     #[test]

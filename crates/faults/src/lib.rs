@@ -17,15 +17,25 @@
 //! * **Memory-pressure spikes** — during `[start, end)` the effective
 //!   expert-cache budget shrinks by a factor.
 //!
+//! Above the link level, [`ReplicaFaultSchedule`] models faults at
+//! *fleet* scope — whole-replica crash windows, brownout (slow
+//! degradation) windows, and planned drain/restart events — consumed by
+//! the cluster dispatcher for failover routing and warm restart.
+//!
 //! The crate is deliberately dependency-free (time is `u64` nanoseconds,
-//! GPUs are `u32` indices) so `fmoe-memsim` can consume it without a
-//! dependency cycle. [`FaultSchedule::none`] is the identity schedule:
-//! consumers must behave byte-identically to a fault-free build when
-//! given it.
+//! GPUs and replicas are `u32` indices) so `fmoe-memsim` and
+//! `fmoe-cluster` can consume it without a dependency cycle.
+//! [`FaultSchedule::none`] and [`ReplicaFaultSchedule::none`] are the
+//! identity schedules: consumers must behave byte-identically to a
+//! fault-free build when given them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod replica;
 pub mod schedule;
 
+pub use replica::{
+    ReplicaFaultSchedule, ReplicaFaultScheduleBuilder, ReplicaTransition, TransitionKind,
+};
 pub use schedule::{FaultSchedule, FaultScheduleBuilder, LinkSegment, PressureWindow};

@@ -1,0 +1,523 @@
+//! Cluster-scope fault schedule: replica crashes, brownouts, and drains.
+//!
+//! The link-level [`crate::FaultSchedule`] perturbs one replica's
+//! transfer fabric; this module models faults at the *fleet* level,
+//! where the unit of failure is a whole serving replica. Three window
+//! kinds, all half-open `[start, end)` in virtual nanoseconds:
+//!
+//! * **Crash windows** — the replica is gone: queued and in-flight work
+//!   is lost and must be failed over; at the window's end the replica
+//!   restarts (cold or donor-warmed, the consumer's choice).
+//! * **Brownout windows** — the replica still serves but slowly; the
+//!   `slowdown` factor (≥ 1) penalizes it in load-aware routing.
+//! * **Drain windows** — planned maintenance: the replica stops
+//!   accepting new requests but finishes its queue and keeps its cache,
+//!   so no failover or warmup is needed at the end.
+//!
+//! Like [`crate::FaultSchedule`], the schedule is a pure value: seeded,
+//! deterministic, and inert-by-construction when empty. Consumers must
+//! behave byte-identically to a schedule-free build when given
+//! [`ReplicaFaultSchedule::none`].
+
+use crate::schedule::{Nanos, SplitMix64};
+
+/// One crash or drain window on a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReplicaWindow {
+    /// Affected replica index.
+    replica: u32,
+    /// Window start (inclusive), virtual ns.
+    start: Nanos,
+    /// Window end (exclusive), virtual ns.
+    end: Nanos,
+}
+
+/// One slow-degradation window on a replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BrownoutWindow {
+    /// Affected replica index.
+    replica: u32,
+    /// Window start (inclusive), virtual ns.
+    start: Nanos,
+    /// Window end (exclusive), virtual ns.
+    end: Nanos,
+    /// Service-time multiplier, ≥ 1.0 (1.0 = healthy speed).
+    slowdown: f64,
+}
+
+/// What changed about a replica at a transition instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TransitionKind {
+    /// The replica crashed: its queue and in-flight work are lost.
+    CrashStart,
+    /// The replica's crash window closed: it restarts (cold or warmed).
+    Recovery,
+    /// The replica entered a planned drain: unroutable, queue completes.
+    DrainStart,
+    /// The drain window closed: the replica accepts traffic again.
+    DrainEnd,
+}
+
+/// One effective state change of one replica, derived from the window
+/// set. Overlapping windows of the same kind coalesce: a transition is
+/// emitted only when the replica's crashed/draining state actually
+/// flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaTransition {
+    /// Instant of the state change, virtual ns.
+    pub at: Nanos,
+    /// Which replica changed state.
+    pub replica: u32,
+    /// How it changed.
+    pub kind: TransitionKind,
+}
+
+/// A deterministic, seeded schedule of replica-level fault events.
+///
+/// Construct with [`ReplicaFaultSchedule::none`] (identity), the
+/// [`ReplicaFaultSchedule::builder`] for explicit windows, or
+/// [`ReplicaFaultSchedule::synthetic`] for a randomized schedule
+/// parameterized by an intensity knob (used by the cluster chaos
+/// benchmark).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaFaultSchedule {
+    seed: u64,
+    crash_windows: Vec<ReplicaWindow>,
+    brownout_windows: Vec<BrownoutWindow>,
+    drain_windows: Vec<ReplicaWindow>,
+}
+
+impl Default for ReplicaFaultSchedule {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl ReplicaFaultSchedule {
+    /// The identity schedule: no replica ever crashes, browns out, or
+    /// drains. Consumers must behave byte-identically to a
+    /// schedule-free build when given this.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            crash_windows: Vec::new(),
+            brownout_windows: Vec::new(),
+            drain_windows: Vec::new(),
+        }
+    }
+
+    /// Starts building an explicit schedule.
+    #[must_use]
+    pub fn builder(seed: u64) -> ReplicaFaultScheduleBuilder {
+        ReplicaFaultScheduleBuilder {
+            schedule: ReplicaFaultSchedule {
+                seed,
+                ..Self::none()
+            },
+        }
+    }
+
+    /// A randomized schedule over `[0, horizon)` whose severity scales
+    /// with `intensity` in `[0, 1]`. Zero intensity yields the identity
+    /// schedule. Crashes and drains are only generated for fleets of at
+    /// least two replicas (crashing a singleton just sheds everything,
+    /// which is not an interesting chaos experiment), and at most
+    /// `num_replicas - 1` distinct replicas receive crash windows so a
+    /// failover target always exists.
+    #[must_use]
+    pub fn synthetic(seed: u64, intensity: f64, horizon: Nanos, num_replicas: u32) -> Self {
+        let intensity = intensity.clamp(0.0, 1.0);
+        if intensity == 0.0 || horizon == 0 || num_replicas == 0 {
+            return Self::none();
+        }
+        let mut rng = SplitMix64::new(seed ^ 0xC1A5_7E12);
+        let mut builder = Self::builder(seed);
+
+        // Crashes: one to (num_replicas - 1), each covering a slice of
+        // the horizon that deepens with intensity. Replica indices are
+        // drawn from [1, num_replicas) so replica 0 always survives as
+        // a failover target and donor.
+        if num_replicas >= 2 {
+            let max_crashes = u64::from(num_replicas) - 1;
+            let crashes = 1 + (intensity * rng.next_below(max_crashes.max(1)) as f64) as u64;
+            for _ in 0..crashes.min(max_crashes) {
+                let replica = 1 + rng.next_below(max_crashes) as u32;
+                let len = (horizon / 10).max(1)
+                    + (intensity * rng.next_below((horizon / 5).max(1)) as f64) as u64;
+                let start = (horizon / 10) + rng.next_below((horizon / 2).max(1));
+                builder = builder.crash(replica, start, start.saturating_add(len));
+            }
+        }
+
+        // Brownouts: any replica may slow down, deeper at higher
+        // intensity.
+        let brownouts = 1 + rng.next_below(u64::from(num_replicas));
+        for _ in 0..brownouts {
+            let replica = rng.next_below(u64::from(num_replicas)) as u32;
+            let len = (horizon / 8).max(1) + rng.next_below((horizon / 4).max(1));
+            let start = rng.next_below(horizon);
+            let slowdown = 1.0 + intensity * (0.5 + 2.5 * rng.unit_f64());
+            builder = builder.brownout(replica, start, start.saturating_add(len), slowdown);
+        }
+
+        // Planned drains only at meaningful intensity, again sparing
+        // replica 0.
+        if intensity > 0.5 && num_replicas >= 2 {
+            let replica = 1 + rng.next_below(u64::from(num_replicas) - 1) as u32;
+            let len = (horizon / 12).max(1) + rng.next_below((horizon / 12).max(1));
+            let start = rng.next_below(horizon);
+            builder = builder.drain(replica, start, start.saturating_add(len));
+        }
+
+        builder.build()
+    }
+
+    /// `true` when this schedule can never perturb a replica.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.crash_windows.is_empty()
+            && self.brownout_windows.is_empty()
+            && self.drain_windows.is_empty()
+    }
+
+    /// `true` when `replica` is inside a crash window at `at`.
+    #[must_use]
+    pub fn is_crashed(&self, replica: u32, at: Nanos) -> bool {
+        self.crash_windows
+            .iter()
+            .any(|w| w.replica == replica && w.start <= at && at < w.end)
+    }
+
+    /// `true` when `replica` is inside a drain window at `at`.
+    #[must_use]
+    pub fn is_draining(&self, replica: u32, at: Nanos) -> bool {
+        self.drain_windows
+            .iter()
+            .any(|w| w.replica == replica && w.start <= at && at < w.end)
+    }
+
+    /// `true` when `replica` must not receive new requests at `at`
+    /// (crashed or draining).
+    #[must_use]
+    pub fn is_down(&self, replica: u32, at: Nanos) -> bool {
+        self.is_crashed(replica, at) || self.is_draining(replica, at)
+    }
+
+    /// The service-time multiplier for `replica` at `at`: the product
+    /// of all active brownout windows' slowdowns, `1.0` when healthy.
+    #[must_use]
+    pub fn slowdown(&self, replica: u32, at: Nanos) -> f64 {
+        self.brownout_windows
+            .iter()
+            .filter(|w| w.replica == replica && w.start <= at && at < w.end)
+            .map(|w| w.slowdown)
+            .product()
+    }
+
+    /// All effective state changes, sorted by `(at, replica, kind)`.
+    ///
+    /// Overlapping or abutting windows of the same kind coalesce: a
+    /// transition appears only where the replica's crashed (or
+    /// draining) state actually flips, so a consumer replaying the list
+    /// in order always sees alternating start/end events per replica
+    /// and kind.
+    #[must_use]
+    pub fn transitions(&self) -> Vec<ReplicaTransition> {
+        let mut instants: Vec<(u32, Nanos)> = Vec::new();
+        for w in self.crash_windows.iter().chain(self.drain_windows.iter()) {
+            instants.push((w.replica, w.start));
+            instants.push((w.replica, w.end));
+        }
+        instants.sort_unstable();
+        instants.dedup();
+
+        let mut out = Vec::new();
+        for (replica, at) in instants {
+            // With integer nanoseconds the state "just before `at`" is
+            // the state at `at - 1`; before time zero every replica is
+            // healthy.
+            let (was_crashed, was_draining) = if at == 0 {
+                (false, false)
+            } else {
+                (
+                    self.is_crashed(replica, at - 1),
+                    self.is_draining(replica, at - 1),
+                )
+            };
+            let crashed = self.is_crashed(replica, at);
+            let draining = self.is_draining(replica, at);
+            if !was_crashed && crashed {
+                out.push(ReplicaTransition {
+                    at,
+                    replica,
+                    kind: TransitionKind::CrashStart,
+                });
+            }
+            if was_crashed && !crashed {
+                out.push(ReplicaTransition {
+                    at,
+                    replica,
+                    kind: TransitionKind::Recovery,
+                });
+            }
+            if !was_draining && draining {
+                out.push(ReplicaTransition {
+                    at,
+                    replica,
+                    kind: TransitionKind::DrainStart,
+                });
+            }
+            if was_draining && !draining {
+                out.push(ReplicaTransition {
+                    at,
+                    replica,
+                    kind: TransitionKind::DrainEnd,
+                });
+            }
+        }
+        out.sort_by_key(|t| (t.at, t.replica, t.kind));
+        out
+    }
+}
+
+/// Builder for explicit [`ReplicaFaultSchedule`]s.
+#[derive(Debug, Clone)]
+pub struct ReplicaFaultScheduleBuilder {
+    schedule: ReplicaFaultSchedule,
+}
+
+impl ReplicaFaultScheduleBuilder {
+    /// Adds a crash window: during `[start, end)` `replica` is gone and
+    /// its queued/in-flight work must be failed over; at `end` it
+    /// restarts. A zero-length window (`start >= end`) covers no
+    /// instant and is dropped as a no-op.
+    #[must_use]
+    pub fn crash(mut self, replica: u32, start: Nanos, end: Nanos) -> Self {
+        if start >= end {
+            return self;
+        }
+        self.schedule.crash_windows.push(ReplicaWindow {
+            replica,
+            start,
+            end,
+        });
+        self
+    }
+
+    /// Adds a brownout window: during `[start, end)` `replica` serves
+    /// at `slowdown` × its nominal service time. `slowdown` is clamped
+    /// to at least `1.0`; a factor of exactly `1.0` (no degradation) or
+    /// a zero-length window is dropped as a no-op.
+    #[must_use]
+    pub fn brownout(mut self, replica: u32, start: Nanos, end: Nanos, slowdown: f64) -> Self {
+        let slowdown = if slowdown.is_finite() {
+            slowdown.max(1.0)
+        } else {
+            1.0
+        };
+        if start >= end || slowdown == 1.0 {
+            return self;
+        }
+        self.schedule.brownout_windows.push(BrownoutWindow {
+            replica,
+            start,
+            end,
+            slowdown,
+        });
+        self
+    }
+
+    /// Adds a planned drain window: during `[start, end)` `replica`
+    /// accepts no new requests but finishes its queue and keeps its
+    /// cache. A zero-length window is dropped as a no-op.
+    #[must_use]
+    pub fn drain(mut self, replica: u32, start: Nanos, end: Nanos) -> Self {
+        if start >= end {
+            return self;
+        }
+        self.schedule.drain_windows.push(ReplicaWindow {
+            replica,
+            start,
+            end,
+        });
+        self
+    }
+
+    /// Finalizes the schedule.
+    #[must_use]
+    pub fn build(self) -> ReplicaFaultSchedule {
+        self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert_identity() {
+        let s = ReplicaFaultSchedule::none();
+        assert!(s.is_inert());
+        assert!(!s.is_down(0, 12345));
+        assert!(!s.is_crashed(3, 0));
+        assert!(!s.is_draining(1, u64::MAX));
+        assert_eq!(s.slowdown(0, 999), 1.0);
+        assert!(s.transitions().is_empty());
+        assert_eq!(s, ReplicaFaultSchedule::default());
+    }
+
+    #[test]
+    fn crash_window_bounds_are_half_open() {
+        let s = ReplicaFaultSchedule::builder(1).crash(2, 100, 200).build();
+        assert!(!s.is_crashed(2, 99));
+        assert!(s.is_crashed(2, 100));
+        assert!(s.is_crashed(2, 199));
+        assert!(!s.is_crashed(2, 200));
+        assert!(s.is_down(2, 150));
+        // Other replicas untouched.
+        assert!(!s.is_down(1, 150));
+    }
+
+    #[test]
+    fn drain_is_down_but_not_crashed() {
+        let s = ReplicaFaultSchedule::builder(1).drain(0, 10, 20).build();
+        assert!(s.is_down(0, 15));
+        assert!(s.is_draining(0, 15));
+        assert!(!s.is_crashed(0, 15));
+    }
+
+    #[test]
+    fn overlapping_brownouts_compound() {
+        let s = ReplicaFaultSchedule::builder(1)
+            .brownout(0, 0, 100, 2.0)
+            .brownout(0, 50, 80, 1.5)
+            .brownout(1, 0, 100, 4.0)
+            .build();
+        assert_eq!(s.slowdown(0, 10), 2.0);
+        assert_eq!(s.slowdown(0, 60), 3.0);
+        assert_eq!(s.slowdown(0, 100), 1.0);
+        assert_eq!(s.slowdown(1, 10), 4.0);
+    }
+
+    #[test]
+    fn brownout_slowdown_clamps_below_one() {
+        // Speedups are not a fault; sub-1 factors clamp to no-op.
+        let s = ReplicaFaultSchedule::builder(1)
+            .brownout(0, 0, 100, 0.5)
+            .build();
+        assert!(s.is_inert());
+        assert_eq!(s.slowdown(0, 50), 1.0);
+    }
+
+    #[test]
+    fn transitions_are_sorted_and_typed() {
+        let s = ReplicaFaultSchedule::builder(1)
+            .crash(1, 100, 200)
+            .drain(0, 150, 250)
+            .build();
+        let t = s.transitions();
+        assert_eq!(
+            t,
+            vec![
+                ReplicaTransition {
+                    at: 100,
+                    replica: 1,
+                    kind: TransitionKind::CrashStart
+                },
+                ReplicaTransition {
+                    at: 150,
+                    replica: 0,
+                    kind: TransitionKind::DrainStart
+                },
+                ReplicaTransition {
+                    at: 200,
+                    replica: 1,
+                    kind: TransitionKind::Recovery
+                },
+                ReplicaTransition {
+                    at: 250,
+                    replica: 0,
+                    kind: TransitionKind::DrainEnd
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn overlapping_crash_windows_coalesce() {
+        // [100, 200) and [150, 300) form one effective outage
+        // [100, 300): exactly one CrashStart and one Recovery.
+        let s = ReplicaFaultSchedule::builder(1)
+            .crash(0, 100, 200)
+            .crash(0, 150, 300)
+            .build();
+        let t = s.transitions();
+        assert_eq!(
+            t,
+            vec![
+                ReplicaTransition {
+                    at: 100,
+                    replica: 0,
+                    kind: TransitionKind::CrashStart
+                },
+                ReplicaTransition {
+                    at: 300,
+                    replica: 0,
+                    kind: TransitionKind::Recovery
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn crash_window_starting_at_zero_transitions_at_zero() {
+        let s = ReplicaFaultSchedule::builder(1).crash(0, 0, 50).build();
+        let t = s.transitions();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].at, 0);
+        assert_eq!(t[0].kind, TransitionKind::CrashStart);
+        assert_eq!(t[1].at, 50);
+        assert_eq!(t[1].kind, TransitionKind::Recovery);
+    }
+
+    #[test]
+    fn zero_length_windows_are_dropped_as_no_ops() {
+        let s = ReplicaFaultSchedule::builder(1)
+            .crash(0, 500, 500)
+            .drain(1, 70, 70)
+            .brownout(2, 900, 900, 3.0)
+            .crash(3, 200, 100)
+            .build();
+        assert!(s.is_inert());
+        assert!(s.transitions().is_empty());
+    }
+
+    #[test]
+    fn synthetic_zero_intensity_is_identity() {
+        assert!(ReplicaFaultSchedule::synthetic(9, 0.0, 1_000_000, 4).is_inert());
+        assert!(ReplicaFaultSchedule::synthetic(9, 0.7, 0, 4).is_inert());
+        assert!(ReplicaFaultSchedule::synthetic(9, 0.7, 1_000_000, 0).is_inert());
+    }
+
+    #[test]
+    fn synthetic_is_reproducible_and_spares_replica_zero() {
+        let a = ReplicaFaultSchedule::synthetic(9, 0.8, 1_000_000_000, 4);
+        let b = ReplicaFaultSchedule::synthetic(9, 0.8, 1_000_000_000, 4);
+        assert_eq!(a, b);
+        assert!(!a.is_inert());
+        // Replica 0 never crashes or drains, so a failover target and
+        // warmup donor always exist.
+        for t in a.transitions() {
+            if matches!(
+                t.kind,
+                TransitionKind::CrashStart | TransitionKind::DrainStart
+            ) {
+                assert_ne!(t.replica, 0);
+            }
+        }
+        // A singleton fleet gets brownouts at most — never crashes.
+        let solo = ReplicaFaultSchedule::synthetic(9, 0.8, 1_000_000_000, 1);
+        assert!(solo.transitions().is_empty());
+    }
+}

@@ -279,18 +279,19 @@ impl FaultScheduleBuilder {
 }
 
 /// SplitMix64: tiny deterministic generator for schedule synthesis and
-/// failure decisions.
+/// failure decisions. Shared with the replica-scope schedule so both
+/// synthesize from the same primitive.
 #[derive(Debug, Clone)]
-struct SplitMix64 {
+pub(crate) struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Self { state: seed }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -298,12 +299,12 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
-    fn next_below(&mut self, bound: u64) -> u64 {
+    pub(crate) fn next_below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);
         self.next_u64() % bound
     }
 
-    fn unit_f64(&mut self) -> f64 {
+    pub(crate) fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 }

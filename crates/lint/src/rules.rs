@@ -52,6 +52,7 @@ pub const SIM_PATH_CRATES: &[&str] = &[
     "workload",
     "trace",
     "cluster",
+    "faults",
 ];
 
 impl FileContext {
@@ -341,6 +342,11 @@ mod tests {
         assert!(!h.wall_clock_allowed);
         let t = FileContext::classify("crates/memsim/tests/faults.rs");
         assert_eq!(t.kind, FileKind::TestOrBench);
+        // Fault schedules feed the engines' virtual-time math directly:
+        // the faults crate is sim-path and under the full contract.
+        let f = FileContext::classify("crates/faults/src/replica.rs");
+        assert_eq!(f.kind, FileKind::Library);
+        assert!(f.sim_path);
         let root = FileContext::classify("src/lib.rs");
         assert_eq!(root.kind, FileKind::Library);
         assert!(!root.sim_path);

@@ -196,6 +196,12 @@ pub struct TransferStats {
     pub degraded_on_demand: u64,
     /// On-demand loads that missed their deadline outright.
     pub missed_deadlines: u64,
+    /// Warm-restart cache-seeding bulk loads performed.
+    pub warmup_loads: u64,
+    /// Bytes moved by warm-restart cache seeding.
+    pub warmup_bytes: u64,
+    /// Total virtual nanoseconds spent inside warmup transfers.
+    pub warmup_ns: Nanos,
 }
 
 #[derive(Debug, Clone)]
@@ -627,6 +633,45 @@ impl TransferEngine {
         done
     }
 
+    /// A warm-restart seeding transfer: one bulk load of `bytes` onto
+    /// `gpu`'s link starting at `now`, returning the completion instant.
+    ///
+    /// Used when a restarted cluster replica copies cache residency (and
+    /// its donor's Expert Map Store snapshot) from a healthy peer. The
+    /// transfer occupies the link exactly like an on-demand load — the
+    /// prefetch queue makes no progress until it completes — but is
+    /// booked under separate warmup counters so recovery cost stays
+    /// distinguishable from steady-state miss servicing. Faults on the
+    /// link (degradation windows, transient failures) apply as usual.
+    pub fn warmup_load(&mut self, gpu: GpuId, bytes: u64, now: Nanos) -> Nanos {
+        self.advance_to(now);
+        let done = match &self.faults {
+            None => now + self.links[gpu.index()].link.transfer_time(bytes),
+            Some(_) => {
+                let od_tag = self.next_on_demand_tag();
+                let proj = self.project_on_demand(gpu, od_tag, bytes, now);
+                self.account_on_demand_retries(&proj);
+                proj.done
+            }
+        };
+        let link = self.link_mut(gpu);
+        link.synced_at = done;
+        self.stats.warmup_loads += 1;
+        self.stats.warmup_bytes += bytes;
+        self.stats.warmup_ns += done - now;
+        self.trace.span(
+            done,
+            Phase::Transfer,
+            NO_REQUEST,
+            NO_LAYER,
+            gpu.0,
+            done - now,
+            bytes,
+        );
+        self.trace.count("transfer.warmup_loads", 1);
+        done
+    }
+
     /// Like [`Self::on_demand_load`], but with a completion deadline and
     /// a degraded fallback payload (typically half-precision weights).
     ///
@@ -1019,6 +1064,28 @@ mod tests {
         assert_eq!(s.on_demand_loads, 1);
         assert_eq!(s.on_demand_bytes, 64 * MB);
         assert_eq!(s.on_demand_blocked_ns, done - 1000);
+    }
+
+    #[test]
+    fn warmup_load_books_separate_counters_and_pauses_prefetch() {
+        let mut e = engine(1);
+        e.submit_prefetch(GpuId(0), 1, 100 * MB, 0);
+        let half = link().transfer_time(100 * MB) / 2;
+        let done = e.warmup_load(GpuId(0), 64 * MB, half);
+        assert_eq!(done, half + link().transfer_time(64 * MB));
+        let s = e.stats();
+        assert_eq!(s.warmup_loads, 1);
+        assert_eq!(s.warmup_bytes, 64 * MB);
+        assert_eq!(s.warmup_ns, done - half);
+        // Warmup is not an on-demand miss.
+        assert_eq!(s.on_demand_loads, 0);
+        assert_eq!(s.on_demand_bytes, 0);
+        // The prefetch queue was frozen for the warmup's duration.
+        let expected = link().transfer_time(100 * MB) + link().transfer_time(64 * MB);
+        e.advance_to(expected + 1);
+        let finished = e.drain_completions();
+        assert_eq!(finished.len(), 1);
+        assert_eq!(finished[0].completed_at, expected);
     }
 
     #[test]

@@ -604,6 +604,76 @@ impl ServingEngine {
         self.transfer.set_retry_policy(retry);
     }
 
+    /// Experts currently resident in the cache, in stable (sorted) order.
+    /// A cluster uses this as the donor set when warm-seeding a
+    /// restarted replica.
+    #[must_use]
+    pub fn resident_experts(&self) -> Vec<ExpertId> {
+        self.cache.resident_experts().collect()
+    }
+
+    /// Restarts the engine at virtual instant `at` after a replica
+    /// crash: the cache empties, staged/in-flight transfer state is
+    /// dropped (the fabric died with the process — a fresh
+    /// [`TransferEngine`] is built, inheriting the installed trace sink,
+    /// fault schedule, and retry policy), and the clock is *replaced*
+    /// rather than rewound, since the eager simulation may have run past
+    /// the crash instant serving work the crash invalidated.
+    ///
+    /// Returns the pre-crash [`fmoe_cache::CacheStats`] snapshot:
+    /// `ExpertCache::clear` resets counters, so lifetime accounting must
+    /// carry the snapshot externally (see `fmoe_cache::CacheStats::merged`).
+    pub fn restart_at(&mut self, at: Nanos) -> fmoe_cache::CacheStats {
+        let pre_crash = self.cache.stats();
+        self.cache.clear(true);
+        self.staged.clear();
+        self.in_flight.clear();
+        self.active.clear();
+        self.free_slots.clear();
+        self.next_slot = 0;
+        self.degraded_mode = false;
+        let retry = self.transfer.retry_policy();
+        let mut transfer = TransferEngine::new(&self.topology);
+        transfer.set_trace_sink(self.trace.clone());
+        if let Some(faults) = &self.faults {
+            transfer.set_fault_schedule(faults.clone());
+        }
+        transfer.set_retry_policy(retry);
+        self.transfer = transfer;
+        self.clock = VirtualClock::new();
+        self.clock.advance_to(at);
+        pre_crash
+    }
+
+    /// Seeds the (just-restarted) engine's cache with `experts`, paying
+    /// the bulk transfer cost of the payload — `experts.len() ×` expert
+    /// size, plus `extra_bytes` of side state (e.g. a donor's Expert Map
+    /// Store snapshot) charged to GPU 0's link — through the memsim
+    /// links starting at `now`. Per-GPU payloads move in parallel (one
+    /// link each); the returned instant is when the *last* link
+    /// finishes, and the engine idles forward to it, so the replica
+    /// accepts no work during warmup.
+    pub fn warm_seed(&mut self, experts: &[ExpertId], extra_bytes: u64, now: Nanos) -> Nanos {
+        let num_gpus = self.topology.num_gpus.max(1) as usize;
+        let mut per_gpu_bytes = vec![0u64; num_gpus];
+        per_gpu_bytes[0] += extra_bytes;
+        for &e in experts {
+            let gpu = self.cache.home_gpu(e) as usize % num_gpus;
+            per_gpu_bytes[gpu] += self.cache.expert_bytes();
+        }
+        let mut done = now;
+        for (gpu, &bytes) in per_gpu_bytes.iter().enumerate() {
+            if bytes > 0 {
+                done = done.max(self.transfer.warmup_load(GpuId(gpu as u32), bytes, now));
+            }
+        }
+        for &e in experts {
+            let _ = self.cache.insert(e, done);
+        }
+        self.idle_until(done);
+        done
+    }
+
     /// Admits a request into the engine's **continuous batch**: it joins
     /// the running batch at the next [`Self::step`] boundary, prefilling
     /// while earlier requests keep decoding — the scheduling modern

@@ -162,6 +162,24 @@ pub trait ExpertPredictor: Send {
     fn semantic_affinity(&self, _embedding: &[f64]) -> Option<f64> {
         None
     }
+
+    /// Serializes the policy's transferable warm state — for fMoE the
+    /// Expert Map Store — or `None` when the policy keeps no state worth
+    /// copying to a restarted peer. The byte length doubles as the
+    /// transfer payload size when a cluster seeds a recovering replica
+    /// from a donor (donor-warmed restart), so implementations should
+    /// return a faithful wire encoding, not an in-memory dump.
+    fn warm_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Replaces the policy's accumulated state with a donor's
+    /// [`ExpertPredictor::warm_state`] snapshot. Returns `true` when the
+    /// snapshot was understood and adopted; the default rejects all
+    /// snapshots (history-less policies have nothing to restore into).
+    fn restore_warm_state(&mut self, _snapshot: &[u8]) -> bool {
+        false
+    }
 }
 
 /// A trivial predictor that never prefetches: pure on-demand loading.

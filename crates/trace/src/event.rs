@@ -106,6 +106,20 @@ pub enum Marker {
     Shed,
     /// A request finished serving end to end.
     RequestFinished,
+    /// A cluster replica crashed; its queued/in-flight work is lost.
+    ReplicaCrash,
+    /// A cluster replica entered (value `1`) or left (value `0`) a
+    /// planned drain.
+    ReplicaDrain,
+    /// A crashed cluster replica restarted; the value is the warmup
+    /// transfer cost in virtual nanoseconds (`0` for a cold restart).
+    ReplicaRestart,
+    /// A request originally routed to a crashed replica was re-dispatched
+    /// to a healthy one; the value is its re-dispatch count so far.
+    Failover,
+    /// A restarted replica's cache was seeded from a donor peer; the
+    /// value is the number of bytes transferred.
+    CacheWarmup,
 }
 
 impl Marker {
@@ -131,6 +145,11 @@ impl Marker {
             Marker::DegradedServe => "degraded_serve",
             Marker::Shed => "shed",
             Marker::RequestFinished => "request_finished",
+            Marker::ReplicaCrash => "replica_crash",
+            Marker::ReplicaDrain => "replica_drain",
+            Marker::ReplicaRestart => "replica_restart",
+            Marker::Failover => "failover",
+            Marker::CacheWarmup => "cache_warmup",
         }
     }
 }

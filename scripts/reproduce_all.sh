@@ -35,6 +35,12 @@ EXTENSION_BINS=(
   ext_kv_budget
   ext_theory_coverage
   fig12_cluster_scaling
+  # Fault tolerance, both granularities: chaos_faults injects link/memory
+  # faults inside one engine's transfer fabric (DESIGN.md §9);
+  # fig13_cluster_chaos crashes, drains, and warm-restarts whole replicas
+  # in the fleet (DESIGN.md §14).
+  chaos_faults
+  fig13_cluster_chaos
 )
 
 for bin in "${PAPER_BINS[@]}" "${EXTENSION_BINS[@]}"; do
