@@ -12,11 +12,16 @@
 //! ```
 //!
 //! * `rule` and `path` are required; `contains` optionally narrows the
-//!   match to lines containing the substring.
+//!   match to diagnostics whose offending source line *or message*
+//!   contains the substring (message matching lets one entry suppress a
+//!   family of FM010/FM011 call-chain diagnostics that all end at the
+//!   same documented panic site).
 //! * `justification` is required and must be non-empty — an empty
 //!   justification is itself an error (FM000).
-//! * Entries that suppress nothing produce an FM000 warning so the file
-//!   cannot accumulate dead exceptions.
+//! * Entries that suppress nothing produce an FM000 *error* in
+//!   workspace runs, so stale suppressions fail CI under `--deny-all`.
+//!   Single-file runs skip the staleness check (entries for other files
+//!   would look unused).
 
 use crate::diag::{Diagnostic, Severity};
 
@@ -27,7 +32,8 @@ pub struct AllowEntry {
     pub rule: String,
     /// Repo-relative path (matched exactly or as a suffix).
     pub path: String,
-    /// Optional substring the offending source line must contain.
+    /// Optional substring the offending source line or the diagnostic
+    /// message must contain.
     pub contains: Option<String>,
     /// Why the violation is intended. Must be non-empty.
     pub justification: String,
@@ -160,7 +166,7 @@ impl Allowlist {
                 continue;
             }
             if let Some(c) = &e.contains {
-                if !d.line_text.contains(c.as_str()) {
+                if !d.line_text.contains(c.as_str()) && !d.message.contains(c.as_str()) {
                     continue;
                 }
             }
@@ -170,7 +176,9 @@ impl Allowlist {
         hit
     }
 
-    /// FM000 warnings for entries that never suppressed anything.
+    /// FM000 errors for entries that never suppressed anything. Only
+    /// meaningful after a *workspace* run — callers linting a file
+    /// subset must not invoke this.
     #[must_use]
     pub fn unused_warnings(&self, toml_path: &str) -> Vec<Diagnostic> {
         self.entries
@@ -179,7 +187,7 @@ impl Allowlist {
             .filter(|&(_, used)| !used)
             .map(|(e, _)| Diagnostic {
                 code: "FM000",
-                severity: Severity::Warning,
+                severity: Severity::Error,
                 path: toml_path.to_string(),
                 line: e.line,
                 col: 1,
@@ -267,13 +275,25 @@ justification = "sentinel"
     }
 
     #[test]
-    fn unused_entries_warn() {
+    fn unused_entries_are_errors() {
         let toml = "[[allow]]\nrule = \"FM001\"\npath = \"never.rs\"\njustification = \"x\"\n";
         let (al, problems) = Allowlist::parse("lint.toml", toml);
         assert!(problems.is_empty());
-        let warnings = al.unused_warnings("lint.toml");
-        assert_eq!(warnings.len(), 1);
-        assert!(warnings[0].message.contains("unused allowlist entry"));
+        let stale = al.unused_warnings("lint.toml");
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].message.contains("unused allowlist entry"));
+        assert_eq!(stale[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn contains_matches_message_too() {
+        let toml = "[[allow]]\nrule = \"FM010\"\npath = \"crates/x/src/a.rs\"\n\
+                    contains = \"serve_batch\"\njustification = \"documented panic\"\n";
+        let (mut al, problems) = Allowlist::parse("lint.toml", toml);
+        assert!(problems.is_empty());
+        let mut d = sample_diag("FM010", "crates/x/src/a.rs", "pub fn serve_request(");
+        d.message = "call chain: serve_request \u{2192} serve_batch".to_string();
+        assert!(al.suppresses(&d));
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Mechanical autofixes for the rewrites FM001 and FM005 already know,
+//! behind a dry-run diff.
+//!
+//! Only unambiguous patterns are rewritten:
+//!
+//! * **FM001** — `HashMap` → `BTreeMap`, `HashSet` → `BTreeSet` at the
+//!   flagged token (covers both the `use std::collections::…` import
+//!   and the type positions). Lines that rely on hash-only API
+//!   (`with_capacity`, `with_hasher`) are skipped — a blind type swap
+//!   there would not compile.
+//! * **FM005** — `a == 1.5` / `1.5 == a` → `a.total_cmp(&1.5).is_eq()`
+//!   (and `!=` → `.is_ne()`), only when one side is an identifier and
+//!   the other a float literal on the same line. Anything else
+//!   (expression operands, two identifiers) is left for a human.
+//!
+//! Fixes are planned against the *post-allowlist* diagnostics, so
+//! justified sentinels in `lint.toml` are never rewritten. The dry-run
+//! renders a unified-style diff and touches nothing; CI asserts the
+//! diff is empty on a clean tree (autofix idempotence gate).
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One line rewrite inside a file.
+#[derive(Debug, Clone)]
+pub struct Edit {
+    /// 1-based line number.
+    pub line: u32,
+    /// The line before the rewrite.
+    pub old: String,
+    /// The line after the rewrite.
+    pub new: String,
+}
+
+/// All rewrites planned for one file.
+#[derive(Debug, Clone)]
+pub struct FilePlan {
+    /// Repo-relative path.
+    pub path: String,
+    /// Line edits, sorted by line number.
+    pub edits: Vec<Edit>,
+}
+
+/// Plans fixes for every fixable diagnostic. Diagnostics that do not
+/// match an unambiguous pattern are silently skipped.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] when a flagged file cannot be read.
+pub fn plan(root: &Path, diagnostics: &[Diagnostic]) -> io::Result<Vec<FilePlan>> {
+    // Group fixable diagnostics by file.
+    let mut by_file: BTreeMap<&str, Vec<&Diagnostic>> = BTreeMap::new();
+    for d in diagnostics {
+        if d.code == "FM001" || d.code == "FM005" {
+            by_file.entry(d.path.as_str()).or_default().push(d);
+        }
+    }
+    let mut plans = Vec::new();
+    for (path, diags) in by_file {
+        let source = fs::read_to_string(root.join(path))?;
+        let tokens = lex(&source);
+        let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+        // Collect (line, col-span, replacement) edits, then apply the
+        // per-line edits right-to-left so earlier columns stay valid.
+        let mut raw: Vec<(u32, u32, u32, String)> = Vec::new();
+        for d in diags {
+            match d.code {
+                "FM001" => plan_fm001(&lines, d, &mut raw),
+                "FM005" => plan_fm005(&tokens, d, &mut raw),
+                _ => {}
+            }
+        }
+        if raw.is_empty() {
+            continue;
+        }
+        raw.sort_by_key(|a| (a.0, std::cmp::Reverse(a.1)));
+        raw.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        let mut edits: BTreeMap<u32, (String, String)> = BTreeMap::new();
+        for (line_no, start_col, end_col, replacement) in raw {
+            let idx = line_no as usize - 1;
+            let Some(line) = lines.get(idx) else { continue };
+            let old_original = edits
+                .get(&line_no)
+                .map_or_else(|| line.clone(), |(old, _)| old.clone());
+            let chars: Vec<char> = line.chars().collect();
+            let (s, e) = (start_col as usize - 1, end_col as usize - 1);
+            if s >= chars.len() || e > chars.len() || s >= e {
+                continue;
+            }
+            let new_line: String = chars[..s].iter().collect::<String>()
+                + &replacement
+                + &chars[e..].iter().collect::<String>();
+            lines[idx] = new_line.clone();
+            edits.insert(line_no, (old_original, new_line));
+        }
+        let edits: Vec<Edit> = edits
+            .into_iter()
+            .map(|(line, (old, new))| Edit { line, old, new })
+            .collect();
+        if !edits.is_empty() {
+            plans.push(FilePlan {
+                path: path.to_string(),
+                edits,
+            });
+        }
+    }
+    Ok(plans)
+}
+
+/// FM001: swap the flagged `HashMap`/`HashSet` token for its ordered
+/// counterpart.
+fn plan_fm001(lines: &[String], d: &Diagnostic, out: &mut Vec<(u32, u32, u32, String)>) {
+    let Some(line) = lines.get(d.line as usize - 1) else {
+        return;
+    };
+    // Hash-only constructors have no BTree equivalent; skip the line.
+    if line.contains("with_capacity") || line.contains("with_hasher") {
+        return;
+    }
+    let chars: Vec<char> = line.chars().collect();
+    let start = d.col as usize - 1;
+    for (word, replacement) in [("HashMap", "BTreeMap"), ("HashSet", "BTreeSet")] {
+        let end = start + word.len();
+        if end <= chars.len() && chars[start..end].iter().collect::<String>() == word {
+            out.push((
+                d.line,
+                d.col,
+                d.col + word.len() as u32,
+                replacement.to_string(),
+            ));
+            return;
+        }
+    }
+}
+
+/// FM005: rewrite `ident == float` / `float == ident` into `total_cmp`.
+fn plan_fm005(tokens: &[Token], d: &Diagnostic, out: &mut Vec<(u32, u32, u32, String)>) {
+    let Some(op_idx) = tokens
+        .iter()
+        .position(|t| t.line == d.line && t.col == d.col && (t.is_punct("==") || t.is_punct("!=")))
+    else {
+        return;
+    };
+    let Some(prev) = op_idx.checked_sub(1).and_then(|i| tokens.get(i)) else {
+        return;
+    };
+    let Some(next) = tokens.get(op_idx + 1) else {
+        return;
+    };
+    if prev.line != d.line || next.line != d.line {
+        return;
+    }
+    // Refuse when the identifier side is actually part of a larger
+    // expression (a method call or field access feeding the operand).
+    let before_prev = op_idx.checked_sub(2).and_then(|i| tokens.get(i));
+    let (ident, float) = match (prev.kind, next.kind) {
+        (TokenKind::Ident, TokenKind::Float) => {
+            if before_prev.is_some_and(|t| t.is_punct(".") || t.is_punct("::")) {
+                return;
+            }
+            (prev, next)
+        }
+        (TokenKind::Float, TokenKind::Ident) => {
+            if tokens
+                .get(op_idx + 2)
+                .is_some_and(|t| t.is_punct(".") || t.is_punct("::") || t.is_punct("("))
+            {
+                return;
+            }
+            (next, prev)
+        }
+        _ => return,
+    };
+    let method = if tokens[op_idx].is_punct("==") {
+        "is_eq"
+    } else {
+        "is_ne"
+    };
+    // The rewrite spans from the left operand through the right one.
+    let start = prev.col;
+    let end = next.col + next.text.chars().count() as u32;
+    out.push((
+        d.line,
+        start,
+        end,
+        format!("{}.total_cmp(&{}).{}()", ident.text, float.text, method),
+    ));
+}
+
+/// Renders the plans as a unified-style diff.
+#[must_use]
+pub fn render_diff(plans: &[FilePlan]) -> String {
+    let mut out = String::new();
+    for plan in plans {
+        out.push_str(&format!("--- a/{}\n+++ b/{}\n", plan.path, plan.path));
+        for e in &plan.edits {
+            out.push_str(&format!("@@ -{line},1 +{line},1 @@\n", line = e.line));
+            out.push_str(&format!("-{}\n+{}\n", e.old, e.new));
+        }
+    }
+    out
+}
+
+/// Applies the plans in place. Returns the number of edited lines.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] when a file cannot be read or written.
+pub fn apply(root: &Path, plans: &[FilePlan]) -> io::Result<usize> {
+    let mut edited = 0usize;
+    for plan in plans {
+        let full = root.join(&plan.path);
+        let source = fs::read_to_string(&full)?;
+        let ends_with_newline = source.ends_with('\n');
+        let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+        for e in &plan.edits {
+            let idx = e.line as usize - 1;
+            if lines.get(idx).map(String::as_str) == Some(e.old.as_str()) {
+                lines[idx] = e.new.clone();
+                edited += 1;
+            }
+        }
+        let mut text = lines.join("\n");
+        if ends_with_newline {
+            text.push('\n');
+        }
+        fs::write(&full, text)?;
+    }
+    Ok(edited)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn diag(code: &'static str, path: &str, line: u32, col: u32) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            path: path.into(),
+            line,
+            col,
+            message: String::new(),
+            line_text: String::new(),
+        }
+    }
+
+    fn plan_on_source(source: &str, diags: &[Diagnostic]) -> Vec<FilePlan> {
+        let dir = std::env::temp_dir().join(format!(
+            "fmoe-lint-fix-{}-{:p}",
+            std::process::id(),
+            &source
+        ));
+        std::fs::create_dir_all(dir.join("src")).expect("mkdir");
+        std::fs::write(dir.join("src/x.rs"), source).expect("write");
+        let diags: Vec<Diagnostic> = diags
+            .iter()
+            .map(|d| Diagnostic {
+                path: "src/x.rs".into(),
+                ..d.clone()
+            })
+            .collect();
+        let plans = plan(&dir, &diags).expect("plan");
+        std::fs::remove_dir_all(&dir).ok();
+        plans
+    }
+
+    #[test]
+    fn fm001_swaps_both_import_and_type() {
+        let src = "use std::collections::HashMap;\nfn f(m: HashMap<u32, u32>) {}\n";
+        let d1 = diag("FM001", "src/x.rs", 1, 23);
+        let d2 = diag("FM001", "src/x.rs", 2, 9);
+        let plans = plan_on_source(src, &[d1, d2]);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].edits[0].new, "use std::collections::BTreeMap;");
+        assert_eq!(plans[0].edits[1].new, "fn f(m: BTreeMap<u32, u32>) {}");
+    }
+
+    #[test]
+    fn fm001_skips_capacity_constructors() {
+        let src = "let m = HashMap::with_capacity(8);\n";
+        let d = diag("FM001", "src/x.rs", 1, 9);
+        assert!(plan_on_source(src, &[d]).is_empty());
+    }
+
+    #[test]
+    fn fm005_rewrites_ident_vs_literal() {
+        let src = "fn f(c: f64) -> bool { c == 0.0 }\n";
+        let d = diag("FM005", "src/x.rs", 1, 26);
+        let plans = plan_on_source(src, &[d]);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(
+            plans[0].edits[0].new,
+            "fn f(c: f64) -> bool { c.total_cmp(&0.0).is_eq() }"
+        );
+    }
+
+    #[test]
+    fn fm005_rewrites_ne_and_reversed_operands() {
+        let src = "fn f(c: f64) -> bool { 1.5 != c }\n";
+        let d = diag("FM005", "src/x.rs", 1, 28);
+        let plans = plan_on_source(src, &[d]);
+        assert_eq!(
+            plans[0].edits[0].new,
+            "fn f(c: f64) -> bool { c.total_cmp(&1.5).is_ne() }"
+        );
+    }
+
+    #[test]
+    fn fm005_leaves_expression_operands_alone() {
+        let src = "fn f(c: f64) -> bool { c.abs() == 0.0 }\n";
+        // The operator sits after `)`, so operands are not ident/float.
+        let d = diag("FM005", "src/x.rs", 1, 32);
+        assert!(plan_on_source(src, &[d]).is_empty());
+    }
+
+    #[test]
+    fn diff_renders_unified_hunks() {
+        let plans = vec![FilePlan {
+            path: "src/x.rs".into(),
+            edits: vec![Edit {
+                line: 3,
+                old: "old".into(),
+                new: "new".into(),
+            }],
+        }];
+        let diff = render_diff(&plans);
+        assert!(diff.contains("--- a/src/x.rs"));
+        assert!(diff.contains("@@ -3,1 +3,1 @@"));
+        assert!(diff.contains("-old\n+new\n"));
+    }
+}

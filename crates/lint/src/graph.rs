@@ -1,0 +1,690 @@
+//! Cross-crate call graph, keyed by `crate::module::fn`.
+//!
+//! Built from the per-file item models produced by [`crate::parser`]:
+//! every workspace `fn` becomes a node with a qualified path
+//! (`fmoe_serving::engine::Engine::serve_batch`, `a::f`, …), and every
+//! call expression that resolves to a workspace function becomes an
+//! edge. Resolution is deliberately heuristic — there is no type
+//! inference — and errs toward *missing* edges rather than inventing
+//! them:
+//!
+//! * path calls resolve through the file's `use` map (including aliases,
+//!   groups, and glob imports), `crate::` / `self::` / `super::`
+//!   prefixes, and workspace crate idents;
+//! * `Type::assoc(…)` resolves by the type's base name against every
+//!   `impl` block in the workspace (type names are effectively unique
+//!   here, and this transparently handles `pub use` re-exports);
+//! * `self.method(…)` resolves against the enclosing `impl` type;
+//!   other `.method(…)` calls resolve only when exactly one workspace
+//!   impl defines that method name and the name is not on the
+//!   common-std-method deny list (`len`, `push`, `get`, …), so a
+//!   `Vec::push` never aliases a workspace method;
+//! * unresolved calls (std, vendored shims, closures) produce no edge.
+//!
+//! The graph also records trait definitions, their implementors, and
+//! `dyn Trait` sites for the FM012 dispatch rule.
+
+use crate::parser::{parse_file, DynSite, ParsedFile, Seed};
+use crate::rules::{FileContext, FileKind};
+use crate::walk::CrateSources;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names never resolved by bare-name uniqueness: they collide
+/// with ubiquitous std methods, so a lone workspace impl must not
+/// capture every call.
+const COMMON_METHODS: &[&str] = &[
+    "new",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "clear",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "extend",
+    "take",
+    "clone",
+    "to_string",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "fmt",
+    "default",
+    "cmp",
+    "partial_cmp",
+    "eq",
+    "hash",
+    "drop",
+    "from",
+    "into",
+    "try_from",
+    "try_into",
+    "index",
+    "sort",
+    "sort_by",
+    "min",
+    "max",
+    "abs",
+    "floor",
+    "ceil",
+    "round",
+    "split",
+    "join",
+    "parse",
+    "write",
+    "read",
+    "flush",
+    "send",
+    "recv",
+    "lock",
+    "borrow",
+    "borrow_mut",
+    "entry",
+    "keys",
+    "values",
+    "drain",
+    "retain",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok",
+    "err",
+    "expect",
+    "first",
+    "last",
+    "count",
+    "sum",
+    "collect",
+    "filter",
+    "find",
+    "position",
+    "any",
+    "all",
+];
+
+/// One function node in the call graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Fully qualified path: `crate_ident::modules::[Type::]name`.
+    pub qpath: String,
+    /// Directory name of the owning crate under `crates/` (empty for
+    /// the root package).
+    pub crate_dir: String,
+    /// Repo-relative source file.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Source text of the definition line (for diagnostics and
+    /// allowlist `contains` matching).
+    pub line_text: String,
+    /// Plain `pub` visibility.
+    pub is_pub: bool,
+    /// How the defining file participates in the build.
+    pub kind: FileKind,
+    /// Whether the owning crate is on the simulation path.
+    pub sim_path: bool,
+    /// Taint seeds inside this function's body.
+    pub seeds: Vec<Seed>,
+}
+
+/// A trait's workspace-wide identity for FM012.
+#[derive(Debug, Clone, Default)]
+pub struct TraitInfo {
+    /// Method names the trait declares.
+    pub methods: BTreeSet<String>,
+    /// Base type names of workspace `impl Trait for Type` blocks.
+    pub implementors: BTreeSet<String>,
+}
+
+/// A `dyn Trait` occurrence with its file context.
+#[derive(Debug, Clone)]
+pub struct DynUse {
+    /// Repo-relative file.
+    pub file: String,
+    /// The site itself.
+    pub site: DynSite,
+    /// Source text of the line.
+    pub line_text: String,
+    /// Whether the file is in a sim-path crate.
+    pub sim_path: bool,
+    /// File kind (dyn sites in tests/benches are ignored by FM012).
+    pub kind: FileKind,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All function nodes, in deterministic (file, line) order.
+    pub nodes: Vec<FnNode>,
+    /// Adjacency: `edges[i]` = sorted, deduplicated callee node ids.
+    pub edges: Vec<Vec<usize>>,
+    /// Trait name → methods + implementors.
+    pub traits: BTreeMap<String, TraitInfo>,
+    /// Every `dyn Trait` site outside test code.
+    pub dyn_uses: Vec<DynUse>,
+    /// qpath → node id.
+    pub by_qpath: BTreeMap<String, usize>,
+    /// (type base name, method name) → node ids.
+    pub methods_by_type: BTreeMap<(String, String), Vec<usize>>,
+}
+
+/// One file prepared for graph construction.
+struct FileEntry {
+    rel: String,
+    ctx: FileContext,
+    crate_ident: String,
+    crate_dir: String,
+    /// Module path derived from the file's location under `src/`.
+    file_modules: Vec<String>,
+    parsed: ParsedFile,
+    lines: Vec<String>,
+}
+
+/// Derives the module path of a file from its path under `src/`
+/// (`src/lib.rs` → `[]`, `src/foo/bar.rs` → `["foo", "bar"]`,
+/// `src/foo/mod.rs` → `["foo"]`, binaries get a `bin`-prefixed
+/// namespace so their items never collide with library paths).
+fn file_module_path(rel: &str) -> Vec<String> {
+    let Some(pos) = rel.find("src/") else {
+        return Vec::new();
+    };
+    let rest = &rel[pos + 4..];
+    let rest = rest.strip_suffix(".rs").unwrap_or(rest);
+    if rest == "lib.rs" || rest == "lib" {
+        return Vec::new();
+    }
+    let mut parts: Vec<String> = rest.split('/').map(str::to_string).collect();
+    if parts.last().is_some_and(|p| p == "mod") {
+        parts.pop();
+    }
+    if parts == ["main"] {
+        return vec!["bin".to_string(), "main".to_string()];
+    }
+    parts
+}
+
+impl CallGraph {
+    /// Builds the graph from every crate's parsed sources. `sources`
+    /// maps each file to its text; `sim_path_crates` mirrors the rule
+    /// gating in [`FileContext`].
+    #[must_use]
+    pub fn build(crates: &[(CrateSources, Vec<(String, String)>)], sim: &[String]) -> Self {
+        let mut files: Vec<FileEntry> = Vec::new();
+        for (krate, texts) in crates {
+            for (rel, text) in texts {
+                let ctx = FileContext::classify_with(rel, sim);
+                files.push(FileEntry {
+                    rel: rel.clone(),
+                    ctx,
+                    crate_ident: krate.ident.clone(),
+                    crate_dir: krate.dir.clone(),
+                    file_modules: file_module_path(rel),
+                    parsed: parse_file(text),
+                    lines: text.lines().map(str::to_string).collect(),
+                });
+            }
+        }
+
+        let mut graph = Self::default();
+        // Pass 1: nodes, trait table, dyn sites, symbol indexes.
+        let mut free_by_mod: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut free_by_crate: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut method_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        // file index → node id of each fn, in parse order.
+        let mut node_ids: Vec<Vec<usize>> = Vec::new();
+
+        for entry in &files {
+            let mut ids = Vec::new();
+            for f in &entry.parsed.fns {
+                let mut segs: Vec<String> = vec![entry.crate_ident.clone()];
+                segs.extend(entry.file_modules.iter().cloned());
+                segs.extend(f.modules.iter().cloned());
+                let mod_qpath = segs.join("::");
+                if let Some(ty) = &f.self_type {
+                    segs.push(ty.clone());
+                }
+                segs.push(f.name.clone());
+                let qpath = segs.join("::");
+                let id = graph.nodes.len();
+                let line_text = entry
+                    .lines
+                    .get(f.line as usize - 1)
+                    .cloned()
+                    .unwrap_or_default();
+                graph.nodes.push(FnNode {
+                    qpath: qpath.clone(),
+                    crate_dir: entry.crate_dir.clone(),
+                    file: entry.rel.clone(),
+                    line: f.line,
+                    col: f.col,
+                    line_text,
+                    is_pub: f.is_pub,
+                    kind: entry.ctx.kind,
+                    sim_path: entry.ctx.sim_path,
+                    seeds: f.seeds.clone(),
+                });
+                graph.by_qpath.entry(qpath).or_insert(id);
+                if let Some(ty) = &f.self_type {
+                    graph
+                        .methods_by_type
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                    method_by_name.entry(f.name.clone()).or_default().push(id);
+                } else {
+                    free_by_mod.entry((mod_qpath, f.name.clone())).or_insert(id);
+                    free_by_crate
+                        .entry((entry.crate_ident.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                }
+                ids.push(id);
+            }
+            node_ids.push(ids);
+
+            for t in &entry.parsed.traits {
+                let info = graph.traits.entry(t.name.clone()).or_default();
+                info.methods.extend(t.methods.iter().cloned());
+            }
+            for im in &entry.parsed.impls {
+                if let Some(tr) = &im.trait_name {
+                    graph
+                        .traits
+                        .entry(tr.clone())
+                        .or_default()
+                        .implementors
+                        .insert(im.type_name.clone());
+                }
+            }
+            for site in &entry.parsed.dyn_sites {
+                let line_text = entry
+                    .lines
+                    .get(site.line as usize - 1)
+                    .cloned()
+                    .unwrap_or_default();
+                graph.dyn_uses.push(DynUse {
+                    file: entry.rel.clone(),
+                    site: site.clone(),
+                    line_text,
+                    sim_path: entry.ctx.sim_path,
+                    kind: entry.ctx.kind,
+                });
+            }
+        }
+
+        let crate_idents: BTreeSet<String> = crates.iter().map(|(k, _)| k.ident.clone()).collect();
+
+        // Pass 2: resolve calls into edges.
+        graph.edges = vec![Vec::new(); graph.nodes.len()];
+        for (entry, ids) in files.iter().zip(&node_ids) {
+            // Resolve this file's imports to absolute paths once.
+            let mut imports: BTreeMap<String, Vec<String>> = BTreeMap::new();
+            for imp in &entry.parsed.imports {
+                if let Some(abs) = absolutize(
+                    &imp.path,
+                    &entry.crate_ident,
+                    &entry.file_modules,
+                    &crate_idents,
+                ) {
+                    imports.insert(imp.name.clone(), abs);
+                }
+            }
+            let globs: Vec<Vec<String>> = entry
+                .parsed
+                .globs
+                .iter()
+                .filter_map(|g| {
+                    absolutize(g, &entry.crate_ident, &entry.file_modules, &crate_idents)
+                })
+                .collect();
+
+            for (f, &caller) in entry.parsed.fns.iter().zip(ids) {
+                let mut mod_segs: Vec<String> = vec![entry.crate_ident.clone()];
+                mod_segs.extend(entry.file_modules.iter().cloned());
+                mod_segs.extend(f.modules.iter().cloned());
+                for call in &f.calls {
+                    let callees = if call.method {
+                        resolve_method(
+                            &call.segments[0],
+                            call.on_self,
+                            f.self_type.as_deref(),
+                            &graph.methods_by_type,
+                            &method_by_name,
+                        )
+                    } else {
+                        resolve_path(
+                            &call.segments,
+                            &mod_segs,
+                            f.self_type.as_deref(),
+                            &imports,
+                            &globs,
+                            &crate_idents,
+                            &graph.by_qpath,
+                            &graph.methods_by_type,
+                            &free_by_mod,
+                            &free_by_crate,
+                        )
+                    };
+                    for callee in callees {
+                        if callee != caller {
+                            graph.edges[caller].push(callee);
+                        }
+                    }
+                }
+            }
+        }
+        for adj in &mut graph.edges {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+        graph
+    }
+}
+
+/// Expands `crate::` / `self::` / `super::` prefixes into an absolute
+/// segment path; returns `None` for external (std / vendored) paths.
+fn absolutize(
+    path: &[String],
+    crate_ident: &str,
+    file_modules: &[String],
+    crate_idents: &BTreeSet<String>,
+) -> Option<Vec<String>> {
+    let first = path.first()?;
+    let mut abs: Vec<String>;
+    let mut rest = &path[1..];
+    match first.as_str() {
+        "crate" => abs = vec![crate_ident.to_string()],
+        "self" => {
+            abs = vec![crate_ident.to_string()];
+            abs.extend(file_modules.iter().cloned());
+        }
+        "super" => {
+            abs = vec![crate_ident.to_string()];
+            abs.extend(file_modules.iter().cloned());
+            abs.pop()?;
+            while rest.first().is_some_and(|s| s == "super") {
+                abs.pop()?;
+                rest = &rest[1..];
+            }
+        }
+        ident if crate_idents.contains(ident) => {
+            abs = vec![ident.to_string()];
+        }
+        "std" | "core" | "alloc" => return None,
+        _ => return None,
+    }
+    abs.extend(rest.iter().cloned());
+    Some(abs)
+}
+
+/// Resolves a `.method(…)` call site.
+fn resolve_method(
+    name: &str,
+    on_self: bool,
+    self_type: Option<&str>,
+    methods_by_type: &BTreeMap<(String, String), Vec<usize>>,
+    method_by_name: &BTreeMap<String, Vec<usize>>,
+) -> Vec<usize> {
+    if on_self {
+        if let Some(ty) = self_type {
+            if let Some(ids) = methods_by_type.get(&(ty.to_string(), name.to_string())) {
+                return ids.clone();
+            }
+        }
+    }
+    if COMMON_METHODS.contains(&name) {
+        return Vec::new();
+    }
+    match method_by_name.get(name) {
+        Some(ids) if ids.len() == 1 => ids.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// Resolves a path call (`helper(…)`, `module::f(…)`, `Type::assoc(…)`,
+/// `crate::x::y(…)`, `fmoe_cache::lru::evict(…)`).
+#[allow(clippy::too_many_arguments)]
+fn resolve_path(
+    segments: &[String],
+    caller_mod: &[String],
+    self_type: Option<&str>,
+    imports: &BTreeMap<String, Vec<String>>,
+    globs: &[Vec<String>],
+    crate_idents: &BTreeSet<String>,
+    by_qpath: &BTreeMap<String, usize>,
+    methods_by_type: &BTreeMap<(String, String), Vec<usize>>,
+    free_by_mod: &BTreeMap<(String, String), usize>,
+    free_by_crate: &BTreeMap<(String, String), Vec<usize>>,
+) -> Vec<usize> {
+    let Some(name) = segments.last() else {
+        return Vec::new();
+    };
+
+    // Substitute `Self::helper(…)` with the enclosing impl type.
+    let segments: Vec<String> = if segments.first().is_some_and(|s| s == "Self") {
+        let Some(ty) = self_type else {
+            return Vec::new();
+        };
+        let mut s = vec![ty.to_string()];
+        s.extend(segments[1..].iter().cloned());
+        s
+    } else {
+        segments.to_vec()
+    };
+
+    if segments.len() == 1 {
+        // Bare call: same module, then single-name imports, then globs.
+        let mod_qpath = caller_mod.join("::");
+        if let Some(&id) = free_by_mod.get(&(mod_qpath, name.clone())) {
+            return vec![id];
+        }
+        if let Some(abs) = imports.get(name) {
+            if let Some(&id) = by_qpath.get(&abs.join("::")) {
+                return vec![id];
+            }
+        }
+        for g in globs {
+            let mut p = g.clone();
+            p.push(name.clone());
+            if let Some(&id) = by_qpath.get(&p.join("::")) {
+                return vec![id];
+            }
+        }
+        return Vec::new();
+    }
+
+    // `Type::assoc(…)` by base type name — resolves re-exports too.
+    let penult = &segments[segments.len() - 2];
+    if penult.chars().next().is_some_and(char::is_uppercase) {
+        if let Some(ids) = methods_by_type.get(&(penult.clone(), name.clone())) {
+            return ids.clone();
+        }
+    }
+
+    // Absolute / prefixed paths.
+    if let Some(abs) = absolutize(&segments, &caller_mod[0], &caller_mod[1..], crate_idents) {
+        if let Some(&id) = by_qpath.get(&abs.join("::")) {
+            return vec![id];
+        }
+        // `fmoe_x::reexported_fn(…)`: unique free fn in that crate.
+        if abs.len() == 2 && crate_idents.contains(&abs[0]) {
+            if let Some(ids) = free_by_crate.get(&(abs[0].clone(), name.clone())) {
+                if ids.len() == 1 {
+                    return ids.clone();
+                }
+            }
+        }
+        return Vec::new();
+    }
+
+    // First segment is an imported module or type alias.
+    if let Some(base) = imports.get(&segments[0]) {
+        let mut p = base.clone();
+        p.extend(segments[1..].iter().cloned());
+        if let Some(&id) = by_qpath.get(&p.join("::")) {
+            return vec![id];
+        }
+        return Vec::new();
+    }
+
+    // Relative path from the caller's module.
+    let mut p = caller_mod.to_vec();
+    p.extend(segments.iter().cloned());
+    if let Some(&id) = by_qpath.get(&p.join("::")) {
+        return vec![id];
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::CrateSources;
+
+    fn mini_workspace() -> Vec<(CrateSources, Vec<(String, String)>)> {
+        let a = CrateSources {
+            dir: "a".into(),
+            package: "a".into(),
+            ident: "a".into(),
+            files: Vec::new(),
+        };
+        let b = CrateSources {
+            dir: "b".into(),
+            package: "b".into(),
+            ident: "b".into(),
+            files: Vec::new(),
+        };
+        vec![
+            (
+                a,
+                vec![(
+                    "crates/a/src/lib.rs".to_string(),
+                    "use b::g;\npub fn f() { g(); local(); }\nfn local() {}\n".to_string(),
+                )],
+            ),
+            (
+                b,
+                vec![(
+                    "crates/b/src/lib.rs".to_string(),
+                    "pub fn g() { h::deep(); }\npub mod h { pub fn deep() { x.unwrap(); } }\n"
+                        .to_string(),
+                )],
+            ),
+        ]
+    }
+
+    #[test]
+    fn cross_crate_edges_resolve() {
+        let ws = mini_workspace();
+        let g = CallGraph::build(&ws, &["a".into(), "b".into()]);
+        let f = g.by_qpath["a::f"];
+        let gg = g.by_qpath["b::g"];
+        let local = g.by_qpath["a::local"];
+        let deep = g.by_qpath["b::h::deep"];
+        assert!(g.edges[f].contains(&gg), "import-resolved cross-crate call");
+        assert!(g.edges[f].contains(&local), "same-module call");
+        assert!(g.edges[gg].contains(&deep), "relative module path call");
+        assert_eq!(g.nodes[deep].seeds.len(), 1);
+    }
+
+    #[test]
+    fn method_calls_resolve_via_impl_type() {
+        let ws = vec![(
+            CrateSources {
+                dir: "a".into(),
+                package: "a".into(),
+                ident: "a".into(),
+                files: Vec::new(),
+            },
+            vec![(
+                "crates/a/src/lib.rs".to_string(),
+                "pub struct S;\nimpl S {\n  pub fn outer(&self) { self.inner(); }\n  fn inner(&self) { panic!(\"x\"); }\n}\npub fn mk() { S::fresh(); }\nimpl S { fn fresh() {} }\n"
+                    .to_string(),
+            )],
+        )];
+        let g = CallGraph::build(&ws, &["a".into()]);
+        let outer = g.by_qpath["a::S::outer"];
+        let inner = g.by_qpath["a::S::inner"];
+        let mk = g.by_qpath["a::mk"];
+        let fresh = g.by_qpath["a::S::fresh"];
+        assert!(g.edges[outer].contains(&inner), "self.method resolution");
+        assert!(g.edges[mk].contains(&fresh), "Type::assoc resolution");
+    }
+
+    #[test]
+    fn common_method_names_do_not_alias() {
+        let ws = vec![(
+            CrateSources {
+                dir: "a".into(),
+                package: "a".into(),
+                ident: "a".into(),
+                files: Vec::new(),
+            },
+            vec![(
+                "crates/a/src/lib.rs".to_string(),
+                "pub struct S;\nimpl S { pub fn push(&self) { panic!(\"x\"); } }\npub fn user(v: &mut Vec<u32>) { v.push(1); }\n"
+                    .to_string(),
+            )],
+        )];
+        let g = CallGraph::build(&ws, &["a".into()]);
+        let user = g.by_qpath["a::user"];
+        assert!(
+            g.edges[user].is_empty(),
+            "`push` is a common std method and must not alias S::push"
+        );
+    }
+
+    #[test]
+    fn module_paths_from_file_layout() {
+        assert_eq!(
+            file_module_path("crates/x/src/lib.rs"),
+            Vec::<String>::new()
+        );
+        assert_eq!(file_module_path("crates/x/src/foo.rs"), vec!["foo"]);
+        assert_eq!(file_module_path("crates/x/src/foo/mod.rs"), vec!["foo"]);
+        assert_eq!(
+            file_module_path("crates/x/src/foo/bar.rs"),
+            vec!["foo", "bar"]
+        );
+        assert_eq!(file_module_path("src/main.rs"), vec!["bin", "main"]);
+        assert_eq!(
+            file_module_path("crates/x/src/bin/tool.rs"),
+            vec!["bin", "tool"]
+        );
+    }
+
+    #[test]
+    fn traits_and_dyn_sites_are_tabulated() {
+        let ws = vec![(
+            CrateSources {
+                dir: "a".into(),
+                package: "a".into(),
+                ident: "a".into(),
+                files: Vec::new(),
+            },
+            vec![(
+                "crates/a/src/lib.rs".to_string(),
+                "pub trait P { fn go(&self); }\npub struct X;\nimpl P for X { fn go(&self) {} }\npub fn drive(p: &mut dyn P) { p.go(); }\n"
+                    .to_string(),
+            )],
+        )];
+        let g = CallGraph::build(&ws, &["a".into()]);
+        let info = &g.traits["P"];
+        assert!(info.methods.contains("go"));
+        assert!(info.implementors.contains("X"));
+        assert_eq!(g.dyn_uses.len(), 1);
+        assert_eq!(g.dyn_uses[0].site.trait_name, "P");
+    }
+}

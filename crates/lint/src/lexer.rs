@@ -276,17 +276,23 @@ pub fn lex(source: &str) -> Vec<Token> {
             let start = i;
             let mut is_float = false;
             advance!(1);
+            // In a radix-prefixed literal (0xFE, 0b10, 0o7) an `e`/`E`
+            // is a digit or suffix, never an exponent.
+            let radix_prefix =
+                c == '0' && matches!(chars.get(i), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
             while i < chars.len() {
                 let d = chars[i];
                 if d.is_ascii_alphanumeric() || d == '_' {
-                    if d == 'e' || d == 'E' {
-                        // Exponent: allow a sign right after.
+                    if (d == 'e' || d == 'E') && !radix_prefix {
+                        // Exponent: `1e5`, `2e-3`, `4E+2` are floats.
                         advance!(1);
                         if matches!(chars.get(i), Some('+' | '-'))
                             && chars.get(i + 1).is_some_and(char::is_ascii_digit)
                         {
                             is_float = true;
                             advance!(1);
+                        } else if chars.get(i).is_some_and(char::is_ascii_digit) {
+                            is_float = true;
                         }
                         continue;
                     }

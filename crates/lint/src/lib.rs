@@ -15,6 +15,18 @@
 //! | FM005 | exact float `==`/`!=` comparisons |
 //! | FM006 | lossy `as` casts on byte-size / virtual-time quantities |
 //! | FM007 | shared-state hazards in thread-spawning modules |
+//! | FM008 | sim-path crate root missing `#![forbid(unsafe_code)]` |
+//! | FM010 | public sim-path API transitively reaches a panic site |
+//! | FM011 | sim-path code transitively reaches a wall clock / unseeded RNG |
+//! | FM012 | `dyn` dispatch where no implementor is contract-clean |
+//!
+//! FM001–FM008 are token-level rules over a single file. FM010–FM012
+//! are *semantic*: a second stage ([`parser`] → [`graph`] → [`taint`])
+//! parses items, builds the cross-crate call graph, and propagates
+//! panic / wall-clock / randomness taint caller-ward, so a public API
+//! that reaches `panic!` three crates away is still caught. Reports can
+//! be rendered as text, flat JSON, or SARIF 2.1.0 ([`sarif`]), and the
+//! unambiguous rewrites have autofixes behind a dry-run diff ([`fix`]).
 //!
 //! Intended violations are suppressed via the checked-in `lint.toml`
 //! allowlist; every entry must carry a non-empty justification (FM000
@@ -36,8 +48,13 @@
 
 pub mod allowlist;
 pub mod diag;
+pub mod fix;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod taint;
 pub mod walk;
 
 pub use allowlist::Allowlist;
@@ -83,23 +100,74 @@ impl LintReport {
     }
 }
 
+/// Knobs for a workspace lint run.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Directory names (under `crates/`) treated as simulation-path.
+    pub sim_path_crates: Vec<String>,
+    /// Widen FM010's panic seeds to slice indexing and non-literal
+    /// division (`--pedantic-panics`).
+    pub pedantic_panics: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        Self {
+            sim_path_crates: rules::SIM_PATH_CRATES
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            pedantic_panics: false,
+        }
+    }
+}
+
 /// Lints every workspace `src/` tree rooted at `root`, applying the
-/// allowlist at `allowlist_path` when present.
+/// allowlist at `allowlist_path` when present. Runs both the
+/// token-level rules (FM001–FM008) and the cross-crate semantic stage
+/// (FM010–FM012) with default options.
 ///
 /// # Errors
 ///
 /// Returns an [`std::io::Error`] when a source file cannot be read.
 pub fn lint_workspace(root: &Path, allowlist_path: &Path) -> std::io::Result<LintReport> {
+    lint_workspace_with(root, allowlist_path, &LintOptions::default())
+}
+
+/// [`lint_workspace`] with explicit [`LintOptions`].
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] when a source file cannot be read.
+pub fn lint_workspace_with(
+    root: &Path,
+    allowlist_path: &Path,
+    opts: &LintOptions,
+) -> std::io::Result<LintReport> {
+    let sim = &opts.sim_path_crates;
+    // Token stage over the flat file walk.
     let files = walk::workspace_sources(root)?;
     let mut raw = Vec::new();
     for file in &files {
         let rel = walk::relative_display(root, file);
         let source = fs::read_to_string(file)?;
-        let ctx = FileContext::classify(&rel);
+        let ctx = FileContext::classify_with(&rel, sim);
         raw.extend(lint_source(&ctx, &source));
     }
-    let report = apply_allowlist(raw, allowlist_path, files.len());
-    Ok(report)
+    // Semantic stage over the per-crate source map.
+    let crates = walk::workspace_crates(root)?;
+    let mut crate_texts = Vec::with_capacity(crates.len());
+    for krate in crates {
+        let mut texts = Vec::with_capacity(krate.files.len());
+        for file in &krate.files {
+            let rel = walk::relative_display(root, file);
+            texts.push((rel, fs::read_to_string(file)?));
+        }
+        crate_texts.push((krate, texts));
+    }
+    let g = graph::CallGraph::build(&crate_texts, sim);
+    raw.extend(taint::semantic_diagnostics(&g, opts.pedantic_panics));
+    Ok(apply_allowlist(raw, allowlist_path, files.len(), true))
 }
 
 /// Lints an explicit set of files (paths are classified by their
@@ -119,13 +187,18 @@ pub fn lint_files(
         let ctx = FileContext::classify(rel);
         raw.extend(lint_source(&ctx, &source));
     }
-    Ok(apply_allowlist(raw, allowlist_path, paths.len()))
+    Ok(apply_allowlist(raw, allowlist_path, paths.len(), false))
 }
 
 /// Filters raw findings through the allowlist and appends allowlist
-/// hygiene diagnostics (parse problems, empty justifications, unused
-/// entries).
-fn apply_allowlist(raw: Vec<Diagnostic>, allowlist_path: &Path, files: usize) -> LintReport {
+/// hygiene diagnostics (parse problems, empty justifications, and —
+/// for workspace runs only — stale entries, as errors).
+fn apply_allowlist(
+    raw: Vec<Diagnostic>,
+    allowlist_path: &Path,
+    files: usize,
+    check_unused: bool,
+) -> LintReport {
     let toml_display = allowlist_path.file_name().map_or_else(
         || "lint.toml".to_string(),
         |n| n.to_string_lossy().to_string(),
@@ -142,7 +215,9 @@ fn apply_allowlist(raw: Vec<Diagnostic>, allowlist_path: &Path, files: usize) ->
             diagnostics.push(d);
         }
     }
-    diagnostics.extend(allow.unused_warnings(&toml_display));
+    if check_unused {
+        diagnostics.extend(allow.unused_warnings(&toml_display));
+    }
     diagnostics.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.code).cmp(&(b.path.as_str(), b.line, b.col, b.code))
     });

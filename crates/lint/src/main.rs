@@ -1,28 +1,43 @@
 //! CLI for `fmoe-lint`. See the library docs for the rule catalog.
 //!
 //! ```text
-//! cargo run -p fmoe-lint -- --workspace [--deny-all]
+//! cargo run -p fmoe-lint -- --workspace [--deny-all] [--format sarif]
+//! cargo run -p fmoe-lint -- --workspace --fix --dry-run
 //! cargo run -p fmoe-lint -- crates/cache/src/cache.rs
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings at failing severity, 2 usage or I/O
-//! error.
+//! Exit codes: 0 clean, 1 findings at failing severity (or a non-empty
+//! `--fix --dry-run` diff), 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
-use fmoe_lint::{lint_files, lint_workspace, walk, LintReport, Severity};
+use fmoe_lint::{
+    fix, lint_files, lint_workspace_with, sarif, walk, LintOptions, LintReport, Severity,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: fmoe-lint (--workspace | FILE...) [--deny-all] [--allowlist PATH]
+const USAGE: &str = "usage: fmoe-lint (--workspace | FILE...) [options]
 
-  --workspace        lint every workspace src/ tree
-  --deny-all         treat warnings as errors
-  --allowlist PATH   lint.toml location (default: <root>/lint.toml)";
+  --workspace           lint every workspace src/ tree (token rules
+                        FM001-FM008 plus the cross-crate taint rules
+                        FM010-FM012)
+  --deny-all            treat warnings as errors
+  --allowlist PATH      lint.toml location (default: <root>/lint.toml)
+  --format FMT          output format: text (default), json, sarif
+  --pedantic-panics     widen FM010 panic seeds to slice indexing and
+                        non-literal division
+  --fix                 apply the unambiguous autofixes (FM001, FM005)
+  --dry-run             with --fix: print the diff, change nothing;
+                        exits 1 when the diff is non-empty";
 
 fn main() -> ExitCode {
     let mut workspace = false;
     let mut deny_all = false;
+    let mut fix_mode = false;
+    let mut dry_run = false;
+    let mut pedantic = false;
+    let mut format = Format::Text;
     let mut allowlist: Option<PathBuf> = None;
     let mut files: Vec<String> = Vec::new();
 
@@ -31,10 +46,25 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--deny-all" => deny_all = true,
+            "--fix" => fix_mode = true,
+            "--dry-run" => dry_run = true,
+            "--pedantic-panics" => pedantic = true,
             "--allowlist" => match args.next() {
                 Some(p) => allowlist = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--allowlist needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!(
+                        "--format needs one of text, json, sarif (got {})\n{USAGE}",
+                        other.unwrap_or("nothing")
+                    );
                     return ExitCode::from(2);
                 }
             },
@@ -51,6 +81,10 @@ fn main() -> ExitCode {
     }
     if !workspace && files.is_empty() {
         eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    if dry_run && !fix_mode {
+        eprintln!("--dry-run only makes sense with --fix\n{USAGE}");
         return ExitCode::from(2);
     }
 
@@ -70,8 +104,12 @@ fn main() -> ExitCode {
     };
     let allowlist_path = allowlist.unwrap_or_else(|| root.join("lint.toml"));
 
+    let opts = LintOptions {
+        pedantic_panics: pedantic,
+        ..LintOptions::default()
+    };
     let report = if workspace {
-        lint_workspace(&root, &allowlist_path)
+        lint_workspace_with(&root, &allowlist_path, &opts)
     } else {
         lint_files(&root, &files, &allowlist_path)
     };
@@ -82,7 +120,84 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    render(&report, deny_all)
+
+    if fix_mode {
+        return run_fix(&root, &report, dry_run);
+    }
+    match format {
+        Format::Text => render(&report, deny_all),
+        Format::Json => {
+            print!("{}", sarif::to_json(&report, deny_all));
+            summary_and_code(&report, deny_all)
+        }
+        Format::Sarif => {
+            print!("{}", sarif::to_sarif(&report, deny_all));
+            summary_and_code(&report, deny_all)
+        }
+    }
+}
+
+/// Output format selector.
+#[derive(Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+/// Plans (and optionally applies) the autofixes for a report.
+fn run_fix(root: &std::path::Path, report: &LintReport, dry_run: bool) -> ExitCode {
+    let plans = match fix::plan(root, &report.diagnostics) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("fmoe-lint: fix planning failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let edits: usize = plans.iter().map(|p| p.edits.len()).sum();
+    if dry_run {
+        print!("{}", fix::render_diff(&plans));
+        eprintln!(
+            "fmoe-lint: --fix --dry-run: {edits} edit(s) in {} file(s) would be applied",
+            plans.len()
+        );
+        return if edits == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    match fix::apply(root, &plans) {
+        Ok(applied) => {
+            eprintln!(
+                "fmoe-lint: --fix: applied {applied} edit(s) in {} file(s)",
+                plans.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fmoe-lint: fix application failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Summary line on stderr plus the exit code, for machine formats whose
+/// stdout must stay a single well-formed document.
+fn summary_and_code(report: &LintReport, deny_all: bool) -> ExitCode {
+    let errors = report.errors(deny_all);
+    eprintln!(
+        "fmoe-lint: {} file(s), {} error(s), {} warning(s), {} suppressed by lint.toml",
+        report.files,
+        errors,
+        report.warnings(deny_all),
+        report.suppressed
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Prints diagnostics and the summary; computes the exit code.
@@ -97,15 +212,5 @@ fn render(report: &LintReport, deny_all: bool) -> ExitCode {
         };
         eprint!("{shown}");
     }
-    let errors = report.errors(deny_all);
-    let warnings = report.warnings(deny_all);
-    eprintln!(
-        "fmoe-lint: {} file(s), {} error(s), {} warning(s), {} suppressed by lint.toml",
-        report.files, errors, warnings, report.suppressed
-    );
-    if errors > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    summary_and_code(report, deny_all)
 }

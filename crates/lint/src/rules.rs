@@ -1,4 +1,4 @@
-//! The FM001–FM007 rule implementations.
+//! The FM001–FM008 rule implementations.
 //!
 //! Every rule is a pure function over the token stream produced by
 //! [`crate::lexer::lex`], the per-token test-region markers from
@@ -39,6 +39,9 @@ pub struct FileContext {
     /// report/plot writers — feeds deterministic artifacts and stays
     /// under the same no-wall-clock contract as the simulation crates.
     pub wall_clock_allowed: bool,
+    /// `true` for the crate root (`src/lib.rs`), where crate-level
+    /// attributes like `#![forbid(unsafe_code)]` must live (FM008).
+    pub is_crate_root: bool,
 }
 
 /// Directory names (under `crates/`) of simulation-path crates.
@@ -57,9 +60,18 @@ pub const SIM_PATH_CRATES: &[&str] = &[
 
 impl FileContext {
     /// Classifies a repo-relative path (`crates/cache/src/cache.rs`,
-    /// `src/lib.rs`, …) into a [`FileContext`].
+    /// `src/lib.rs`, …) into a [`FileContext`] with the default
+    /// [`SIM_PATH_CRATES`] set.
     #[must_use]
     pub fn classify(path: &str) -> Self {
+        Self::classify_with(path, SIM_PATH_CRATES)
+    }
+
+    /// Classifies a repo-relative path against an explicit set of
+    /// simulation-path crate directory names (used by fixture corpora
+    /// and by `LintOptions`-driven runs).
+    #[must_use]
+    pub fn classify_with<S: AsRef<str>>(path: &str, sim_crates: &[S]) -> Self {
         let crate_dir = path
             .strip_prefix("crates/")
             .and_then(|rest| rest.split('/').next())
@@ -74,8 +86,9 @@ impl FileContext {
         Self {
             path: path.to_string(),
             kind,
-            sim_path: SIM_PATH_CRATES.contains(&crate_dir),
+            sim_path: sim_crates.iter().any(|s| s.as_ref() == crate_dir),
             wall_clock_allowed: crate_dir == "bench" && kind != FileKind::Library,
+            is_crate_root: path.ends_with("src/lib.rs"),
         }
     }
 }
@@ -120,6 +133,37 @@ pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Diagnostic> {
     let file_spawns_threads = tokens
         .windows(3)
         .any(|w| w[0].is_ident("thread") && w[1].is_punct("::") && w[2].is_ident("spawn"));
+
+    // FM008: simulation-path crate roots must forbid unsafe code. The
+    // check is token-level (`#` `!` `[` `forbid` `(` `unsafe_code` `)`
+    // `]`), so comments and formatting don't matter.
+    if ctx.sim_path && ctx.is_crate_root {
+        let has_forbid = tokens.windows(8).any(|w| {
+            w[0].is_punct("#")
+                && w[1].is_punct("!")
+                && w[2].is_punct("[")
+                && w[3].is_ident("forbid")
+                && w[4].is_punct("(")
+                && w[5].is_ident("unsafe_code")
+                && w[6].is_punct(")")
+                && w[7].is_punct("]")
+        });
+        if !has_forbid {
+            out.push(Diagnostic {
+                code: "FM008",
+                severity: Severity::Error,
+                path: ctx.path.clone(),
+                line: 1,
+                col: 1,
+                message: "simulation-path crate root is missing \
+                          `#![forbid(unsafe_code)]`: the determinism contract \
+                          (DESIGN.md §10) requires it so no unsafe block can \
+                          introduce UB-dependent behavior"
+                    .to_string(),
+                line_text: lines.first().map_or_else(String::new, |l| (*l).to_string()),
+            });
+        }
+    }
 
     for (i, tok) in tokens.iter().enumerate() {
         if in_test[i] || ctx.kind == FileKind::TestOrBench {
@@ -379,6 +423,17 @@ mod tests {
         assert!(codes(&lib_ctx("crates/bench/src/bin/b.rs"), src).is_empty());
         let in_test = "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }";
         assert!(codes(&lib_ctx("crates/stats/src/x.rs"), in_test).is_empty());
+    }
+
+    #[test]
+    fn fm008_requires_forbid_unsafe_in_sim_crate_roots() {
+        let bare = "pub mod x;\n";
+        let with_attr = "#![forbid(unsafe_code)]\npub mod x;\n";
+        assert_eq!(codes(&lib_ctx("crates/cache/src/lib.rs"), bare), ["FM008"]);
+        assert!(codes(&lib_ctx("crates/cache/src/lib.rs"), with_attr).is_empty());
+        // Non-root files and non-sim crates are exempt.
+        assert!(codes(&lib_ctx("crates/cache/src/cache.rs"), bare).is_empty());
+        assert!(codes(&lib_ctx("crates/bench/src/lib.rs"), bare).is_empty());
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Machine-readable report formats: SARIF 2.1.0 and a flat JSON shape.
+//!
+//! Both emitters are hand-written (the vendored serde is a no-op shim)
+//! and fully deterministic: diagnostics arrive pre-sorted from
+//! [`crate::LintReport`], the rule catalog is emitted in code order,
+//! and no timestamps or absolute paths appear anywhere — two runs over
+//! the same tree are byte-identical, which CI asserts cross-process.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::LintReport;
+
+/// The static rule catalog embedded in SARIF output.
+const RULE_CATALOG: &[(&str, &str)] = &[
+    (
+        "FM000",
+        "lint.toml allowlist hygiene (malformed entries, empty justifications, stale suppressions)",
+    ),
+    (
+        "FM001",
+        "unordered HashMap/HashSet in simulation-path crates",
+    ),
+    (
+        "FM002",
+        "wall-clock time sources outside fmoe-bench binaries",
+    ),
+    (
+        "FM003",
+        "unseeded randomness (thread_rng, rand::random, from_entropy)",
+    ),
+    ("FM004", "unwrap/expect/panic!-family calls in library code"),
+    ("FM005", "exact float ==/!= comparisons"),
+    (
+        "FM006",
+        "lossy `as` casts on byte-size / virtual-time quantities",
+    ),
+    ("FM007", "shared-state hazards in thread-spawning modules"),
+    (
+        "FM008",
+        "simulation-path crate root missing #![forbid(unsafe_code)]",
+    ),
+    (
+        "FM010",
+        "public sim-path API transitively reaches a panic site",
+    ),
+    (
+        "FM011",
+        "sim-path code transitively reaches a wall clock or unseeded RNG",
+    ),
+    (
+        "FM012",
+        "dyn dispatch where no implementor is contract-clean",
+    ),
+];
+
+/// Escapes a string for inclusion in a JSON document.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The SARIF `level` for a diagnostic, after `--deny-all` promotion.
+fn level(d: &Diagnostic, deny_all: bool) -> &'static str {
+    if deny_all || d.severity == Severity::Error {
+        "error"
+    } else {
+        "warning"
+    }
+}
+
+/// Renders the report as a SARIF 2.1.0 document.
+#[must_use]
+pub fn to_sarif(report: &LintReport, deny_all: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",");
+    out.push_str("\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    out.push_str("\"name\":\"fmoe-lint\",");
+    out.push_str("\"informationUri\":\"https://github.com/fmoe-sim/fmoe\",\"rules\":[");
+    for (i, (id, desc)) in RULE_CATALOG.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            esc(id),
+            esc(desc)
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            esc(d.code),
+            level(d, deny_all),
+            esc(&d.message),
+            esc(&d.path),
+            d.line,
+            d.col
+        ));
+    }
+    out.push_str("]}]}");
+    out.push('\n');
+    out
+}
+
+/// Renders the report as flat JSON (one object per diagnostic).
+#[must_use]
+pub fn to_json(report: &LintReport, deny_all: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"files\":{},\"suppressed\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+        report.files,
+        report.suppressed,
+        report.errors(deny_all),
+        report.warnings(deny_all)
+    ));
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"code\":\"{}\",\"level\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\
+             \"message\":\"{}\",\"line_text\":\"{}\"}}",
+            esc(d.code),
+            level(d, deny_all),
+            esc(&d.path),
+            d.line,
+            d.col,
+            esc(&d.message),
+            esc(&d.line_text)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> LintReport {
+        LintReport {
+            diagnostics: vec![Diagnostic {
+                code: "FM001",
+                severity: Severity::Error,
+                path: "crates/x/src/lib.rs".into(),
+                line: 3,
+                col: 24,
+                message: "`HashMap` in a \"sim\" crate".into(),
+                line_text: "use std::collections::HashMap;".into(),
+            }],
+            suppressed: 2,
+            files: 5,
+        }
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_result() {
+        let s = to_sarif(&sample_report(), true);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"ruleId\":\"FM001\""));
+        assert!(s.contains("\"startLine\":3"));
+        assert!(s.contains("\\\"sim\\\""), "quotes must be escaped");
+        assert!(s.contains("\"id\":\"FM010\""), "rule catalog is embedded");
+    }
+
+    #[test]
+    fn emitters_are_deterministic() {
+        let r = sample_report();
+        assert_eq!(to_sarif(&r, false), to_sarif(&r, false));
+        assert_eq!(to_json(&r, false), to_json(&r, false));
+    }
+
+    #[test]
+    fn json_counts_match_report() {
+        let s = to_json(&sample_report(), false);
+        assert!(s.contains("\"files\":5"));
+        assert!(s.contains("\"suppressed\":2"));
+        assert!(s.contains("\"errors\":1"));
+    }
+}

@@ -1,0 +1,390 @@
+//! Taint propagation over the call graph, and the transitive rules
+//! FM010–FM012.
+//!
+//! Three facts propagate caller-ward along call edges:
+//!
+//! * **may-panic** — seeded by the FM004 family (`unwrap`, `expect`,
+//!   `panic!`, `unreachable!`, `todo!`, `unimplemented!`) and, under the
+//!   pedantic knob, slice indexing and non-literal division;
+//! * **touches-wall-clock** — seeded by `Instant::now` / `SystemTime`;
+//! * **uses-unseeded-randomness** — seeded by `thread_rng`,
+//!   `from_entropy`, `rand::random`.
+//!
+//! Propagation is a multi-source BFS on the *reversed* graph: a node is
+//! tainted when it (a) contains a seed or (b) calls a tainted node. The
+//! BFS records, per tainted node, the next hop toward the seed, so a
+//! diagnostic can print the full call chain
+//! (`a::f → b::g → c::h`). Propagation is monotone by construction —
+//! adding an edge can only grow the tainted set — and a property test
+//! (`tests/taint_props.rs`) locks that invariant.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::graph::CallGraph;
+use crate::parser::{Seed, SeedKind};
+use crate::rules::FileKind;
+use std::collections::VecDeque;
+
+/// Which fact a propagation pass tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fact {
+    /// May transitively panic.
+    Panic,
+    /// May transitively read a wall clock.
+    WallClock,
+    /// May transitively draw unseeded randomness.
+    UnseededRng,
+}
+
+impl Fact {
+    /// Whether `seed` introduces this fact (`pedantic` enables the
+    /// indexing / division panic seeds).
+    #[must_use]
+    pub fn seeded_by(self, seed: &Seed, pedantic: bool) -> bool {
+        match self {
+            Self::Panic => {
+                seed.kind == SeedKind::PanicExplicit || (pedantic && seed.kind.is_panic())
+            }
+            Self::WallClock => seed.kind == SeedKind::WallClock,
+            Self::UnseededRng => seed.kind == SeedKind::UnseededRng,
+        }
+    }
+}
+
+/// The result of one propagation pass.
+#[derive(Debug)]
+pub struct TaintMap {
+    /// For each tainted node: the callee one step closer to the seed
+    /// (`None` for nodes that carry the seed themselves).
+    pub next: Vec<Option<usize>>,
+    /// For each tainted node: (seed-carrying node, the seed).
+    pub origin: Vec<Option<(usize, Seed)>>,
+    /// Tainted flags (`origin[i].is_some()` unrolled for cheap tests).
+    pub tainted: Vec<bool>,
+}
+
+impl TaintMap {
+    /// The full call chain from `node` to the seed, as qualified paths.
+    #[must_use]
+    pub fn chain(&self, graph: &CallGraph, node: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = Some(node);
+        while let Some(i) = cur {
+            out.push(graph.nodes[i].qpath.clone());
+            cur = self.next[i];
+        }
+        out
+    }
+}
+
+/// Minimal monotone reachability used by the property tests: which of
+/// `n` nodes reach a seed along `edges` (caller → callee)?
+#[must_use]
+pub fn reaches_seed(n: usize, edges: &[(usize, usize)], seeds: &[usize]) -> Vec<bool> {
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(from, to) in edges {
+        if from < n && to < n {
+            rev[to].push(from);
+        }
+    }
+    let mut tainted = vec![false; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &s in seeds {
+        if s < n && !tainted[s] {
+            tainted[s] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for &caller in &rev[v] {
+            if !tainted[caller] {
+                tainted[caller] = true;
+                queue.push_back(caller);
+            }
+        }
+    }
+    tainted
+}
+
+/// Propagates one fact over the graph, recording chains.
+#[must_use]
+pub fn propagate(graph: &CallGraph, fact: Fact, pedantic: bool) -> TaintMap {
+    let n = graph.nodes.len();
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (caller, callees) in graph.edges.iter().enumerate() {
+        for &callee in callees {
+            rev[callee].push(caller);
+        }
+    }
+    let mut map = TaintMap {
+        next: vec![None; n],
+        origin: vec![None; n],
+        tainted: vec![false; n],
+    };
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    // Seeds in node order; the first matching seed in source order wins,
+    // so chains and diagnostics are deterministic.
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if let Some(seed) = node.seeds.iter().find(|s| fact.seeded_by(s, pedantic)) {
+            map.tainted[i] = true;
+            map.origin[i] = Some((i, seed.clone()));
+            queue.push_back(i);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for &caller in &rev[v] {
+            if !map.tainted[caller] {
+                map.tainted[caller] = true;
+                map.next[caller] = Some(v);
+                map.origin[caller] = map.origin[v].clone();
+                queue.push_back(caller);
+            }
+        }
+    }
+    map
+}
+
+/// Runs the transitive rules over a built graph. `pedantic` widens the
+/// panic seeds to indexing and non-literal division.
+#[must_use]
+pub fn semantic_diagnostics(graph: &CallGraph, pedantic: bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let panic = propagate(graph, Fact::Panic, pedantic);
+    let clock = propagate(graph, Fact::WallClock, pedantic);
+    let rng = propagate(graph, Fact::UnseededRng, pedantic);
+
+    // FM010: public API of a sim-path crate transitively reaches a
+    // panic site. Local seeds are FM004's territory; this rule fires
+    // only when the panic is at least one call away.
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if !(node.sim_path && node.kind == FileKind::Library && node.is_pub) {
+            continue;
+        }
+        if !panic.tainted[i] || panic.next[i].is_none() {
+            continue;
+        }
+        let Some((seed_node, seed)) = &panic.origin[i] else {
+            continue;
+        };
+        let chain = panic.chain(graph, i).join(" → ");
+        let sn = &graph.nodes[*seed_node];
+        out.push(Diagnostic {
+            code: "FM010",
+            severity: Severity::Error,
+            path: node.file.clone(),
+            line: node.line,
+            col: node.col,
+            message: format!(
+                "public `{}` transitively reaches a panic site ({} in `{}` at {}:{}); \
+                 call chain: {}",
+                node.qpath, seed.what, sn.qpath, sn.file, seed.line, chain
+            ),
+            line_text: node.line_text.clone(),
+        });
+    }
+
+    // FM011: sim-path library code transitively reaches a wall clock or
+    // unseeded RNG. Local seeds are FM002/FM003's territory.
+    for (map, what) in [(&clock, "a wall-clock read"), (&rng, "unseeded randomness")] {
+        for (i, node) in graph.nodes.iter().enumerate() {
+            if !(node.sim_path && node.kind == FileKind::Library) {
+                continue;
+            }
+            if !map.tainted[i] || map.next[i].is_none() {
+                continue;
+            }
+            let Some((seed_node, seed)) = &map.origin[i] else {
+                continue;
+            };
+            let chain = map.chain(graph, i).join(" → ");
+            let sn = &graph.nodes[*seed_node];
+            out.push(Diagnostic {
+                code: "FM011",
+                severity: Severity::Error,
+                path: node.file.clone(),
+                line: node.line,
+                col: node.col,
+                message: format!(
+                    "sim-path `{}` transitively reaches {} ({} in `{}` at {}:{}); \
+                     determinism requires the virtual clock and seeded RNGs; call chain: {}",
+                    node.qpath, what, seed.what, sn.qpath, sn.file, seed.line, chain
+                ),
+                line_text: node.line_text.clone(),
+            });
+        }
+    }
+
+    // FM012: `dyn Trait` dispatch where NO workspace implementor is
+    // contract-clean. Conservative: silent when the trait or its
+    // implementors are unknown (std traits, closures, vendored shims).
+    for du in &graph.dyn_uses {
+        if !(du.sim_path && du.kind == FileKind::Library) {
+            continue;
+        }
+        let Some(info) = graph.traits.get(&du.site.trait_name) else {
+            continue;
+        };
+        if info.implementors.is_empty() {
+            continue;
+        }
+        let mut dirty: Vec<String> = Vec::new();
+        let mut all_dirty = true;
+        for ty in &info.implementors {
+            let mut tainted_method: Option<String> = None;
+            for m in &info.methods {
+                if let Some(ids) = graph.methods_by_type.get(&(ty.clone(), m.clone())) {
+                    if ids.iter().any(|&id| panic.tainted[id]) {
+                        tainted_method = Some(m.clone());
+                        break;
+                    }
+                }
+            }
+            match tainted_method {
+                Some(m) => dirty.push(format!("{ty}::{m}")),
+                None => {
+                    all_dirty = false;
+                    break;
+                }
+            }
+        }
+        if all_dirty {
+            out.push(Diagnostic {
+                code: "FM012",
+                severity: Severity::Error,
+                path: du.file.clone(),
+                line: du.site.line,
+                col: du.site.col,
+                message: format!(
+                    "`dyn {}` dispatch: every workspace implementor may panic ({}) — \
+                     no contract-clean implementation exists for this trait object",
+                    du.site.trait_name,
+                    dirty.join(", ")
+                ),
+                line_text: du.line_text.clone(),
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CallGraph;
+    use crate::walk::CrateSources;
+
+    fn krate(name: &str, src: &str) -> (CrateSources, Vec<(String, String)>) {
+        (
+            CrateSources {
+                dir: name.to_string(),
+                package: name.to_string(),
+                ident: name.to_string(),
+                files: Vec::new(),
+            },
+            vec![(format!("crates/{name}/src/lib.rs"), src.to_string())],
+        )
+    }
+
+    fn chain_graph() -> CallGraph {
+        let ws = vec![
+            krate("a", "use b::g;\npub fn f() { g(); }\n"),
+            krate("b", "use c::h;\npub fn g() { h(); }\n"),
+            krate("c", "pub fn h() { x.unwrap(); }\n"),
+        ];
+        CallGraph::build(&ws, &["a".into(), "b".into(), "c".into()])
+    }
+
+    #[test]
+    fn panic_taint_propagates_across_crates() {
+        let g = chain_graph();
+        let t = propagate(&g, Fact::Panic, false);
+        for q in ["a::f", "b::g", "c::h"] {
+            assert!(t.tainted[g.by_qpath[q]], "{q} must be tainted");
+        }
+        let f = g.by_qpath["a::f"];
+        assert_eq!(t.chain(&g, f), vec!["a::f", "b::g", "c::h"]);
+    }
+
+    #[test]
+    fn fm010_reports_the_full_chain() {
+        let g = chain_graph();
+        let diags = semantic_diagnostics(&g, false);
+        let fm010: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == "FM010").collect();
+        // `a::f` and `b::g` reach the panic transitively; `c::h` carries
+        // it locally (FM004's territory) and is not reported.
+        assert_eq!(fm010.len(), 2);
+        assert!(fm010[0].message.contains("call chain: a::f → b::g → c::h"));
+    }
+
+    #[test]
+    fn fm011_fires_on_clock_and_rng_chains() {
+        let ws = vec![
+            krate("a", "use b::ticker;\npub fn f() { ticker(); }\n"),
+            krate("b", "pub fn ticker() { let t = Instant::now(); }\n"),
+        ];
+        let g = CallGraph::build(&ws, &["a".into()]);
+        let diags = semantic_diagnostics(&g, false);
+        let fm011: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == "FM011").collect();
+        assert_eq!(fm011.len(), 1, "only the sim-path caller is reported");
+        assert!(fm011[0].message.contains("a::f → b::ticker"));
+    }
+
+    #[test]
+    fn fm012_fires_only_when_every_implementor_is_dirty() {
+        let dirty = "pub trait P { fn go(&self); }\n\
+             pub struct X;\nimpl P for X { fn go(&self) { panic!(\"x\"); } }\n\
+             pub struct Y;\nimpl P for Y { fn go(&self) { helper(); } }\n\
+             fn helper() { q.unwrap(); }\n\
+             pub fn drive(p: &mut dyn P) { p.go(); }\n";
+        let g = CallGraph::build(&[krate("a", dirty)], &["a".into()]);
+        let diags = semantic_diagnostics(&g, false);
+        assert!(diags.iter().any(|d| d.code == "FM012"));
+
+        let mixed = "pub trait P { fn go(&self); }\n\
+             pub struct X;\nimpl P for X { fn go(&self) { panic!(\"x\"); } }\n\
+             pub struct Y;\nimpl P for Y { fn go(&self) {} }\n\
+             pub fn drive(p: &mut dyn P) { p.go(); }\n";
+        let g = CallGraph::build(&[krate("a", mixed)], &["a".into()]);
+        let diags = semantic_diagnostics(&g, false);
+        assert!(
+            !diags.iter().any(|d| d.code == "FM012"),
+            "one clean implementor keeps the trait object usable"
+        );
+    }
+
+    #[test]
+    fn pedantic_widens_panic_seeds() {
+        let ws = vec![
+            krate("a", "use b::pick;\npub fn f() { pick(); }\n"),
+            krate("b", "pub fn pick(xs: &[u64], i: usize) -> u64 { xs[i] }\n"),
+        ];
+        let g = CallGraph::build(&ws, &["a".into(), "b".into()]);
+        assert!(semantic_diagnostics(&g, false)
+            .iter()
+            .all(|d| d.code != "FM010"));
+        assert!(semantic_diagnostics(&g, true)
+            .iter()
+            .any(|d| d.code == "FM010"));
+    }
+
+    #[test]
+    fn reaches_seed_matches_propagate() {
+        let g = chain_graph();
+        let edges: Vec<(usize, usize)> = g
+            .edges
+            .iter()
+            .enumerate()
+            .flat_map(|(i, adj)| adj.iter().map(move |&j| (i, j)))
+            .collect();
+        let seeds: Vec<usize> = g
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.seeds.iter().any(|s| Fact::Panic.seeded_by(s, false)))
+            .map(|(i, _)| i)
+            .collect();
+        let simple = reaches_seed(g.nodes.len(), &edges, &seeds);
+        let full = propagate(&g, Fact::Panic, false);
+        assert_eq!(simple, full.tainted);
+    }
+}

@@ -76,6 +76,96 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
+/// One workspace crate's sources, for the cross-crate analysis stage.
+#[derive(Debug, Clone)]
+pub struct CrateSources {
+    /// Directory name under `crates/` (empty string for the root
+    /// package).
+    pub dir: String,
+    /// Package name from `Cargo.toml` (`fmoe-cache`, …).
+    pub package: String,
+    /// The crate's extern ident (`fmoe_cache`): package name with `-`
+    /// mapped to `_`.
+    pub ident: String,
+    /// Every `.rs` file under the crate's `src/`, sorted.
+    pub files: Vec<PathBuf>,
+}
+
+/// Enumerates every workspace crate (members under `crates/` plus the
+/// root package) with its package name and source files.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] when a directory or manifest cannot be read.
+pub fn workspace_crates(root: &Path) -> io::Result<Vec<CrateSources>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect();
+        members.sort();
+        for member in members {
+            let dir = member
+                .file_name()
+                .map(|n| n.to_string_lossy().to_string())
+                .unwrap_or_default();
+            if let Some(c) = crate_sources(&member, &dir)? {
+                out.push(c);
+            }
+        }
+    }
+    if root.join("Cargo.toml").is_file() {
+        if let Some(c) = crate_sources(root, "")? {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Reads one crate directory into a [`CrateSources`] (None when the
+/// manifest has no package name or there is no `src/`).
+fn crate_sources(dir: &Path, dir_name: &str) -> io::Result<Option<CrateSources>> {
+    let manifest = fs::read_to_string(dir.join("Cargo.toml"))?;
+    let Some(package) = package_name(&manifest) else {
+        return Ok(None);
+    };
+    let mut files = Vec::new();
+    collect_rs(&dir.join("src"), &mut files)?;
+    if files.is_empty() {
+        return Ok(None);
+    }
+    files.sort();
+    let ident = package.replace('-', "_");
+    Ok(Some(CrateSources {
+        dir: dir_name.to_string(),
+        package,
+        ident,
+        files,
+    }))
+}
+
+/// Extracts the `[package]` name: the first `name = "…"` line (target
+/// tables like `[[bin]]` always come later in this workspace's
+/// manifests).
+fn package_name(manifest: &str) -> Option<String> {
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let v = rest.trim().trim_matches('"');
+                if !v.is_empty() {
+                    return Some(v.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Renders a path repo-relative with `/` separators for diagnostics.
 #[must_use]
 pub fn relative_display(root: &Path, path: &Path) -> String {
@@ -110,6 +200,27 @@ mod tests {
         assert!(files
             .iter()
             .all(|f| !relative_display(&root, f).contains("/tests/")));
+    }
+
+    #[test]
+    fn workspace_crates_finds_members_and_root() {
+        let cwd = std::env::current_dir().expect("cwd");
+        let root = find_workspace_root(&cwd).expect("workspace root");
+        let crates = workspace_crates(&root).expect("crates");
+        let lint = crates
+            .iter()
+            .find(|c| c.dir == "lint")
+            .expect("lint crate present");
+        assert_eq!(lint.package, "fmoe-lint");
+        assert_eq!(lint.ident, "fmoe_lint");
+        assert!(lint.files.iter().any(|f| f.ends_with("src/walk.rs")));
+        assert!(crates.iter().any(|c| c.dir.is_empty()), "root package");
+    }
+
+    #[test]
+    fn package_name_takes_the_package_table_entry() {
+        let manifest = "[package]\nname = \"fmoe-x\"\n[[bin]]\nname = \"other\"\n";
+        assert_eq!(package_name(manifest).as_deref(), Some("fmoe-x"));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Fixture self-tests: every rule FM001–FM007 must fire on its `bad/`
+//! Fixture self-tests: every rule FM001–FM008 must fire on its `bad/`
 //! fixture and stay silent on its `good/` counterpart.
 //!
 //! The fixtures live under `tests/fixtures/` and are linted as if they
@@ -63,6 +63,34 @@ fn every_rule_is_silent_on_its_good_fixture() {
             "good fixture for {rule} must lint clean, got:\n{rendered}"
         );
     }
+}
+
+#[test]
+fn fm008_fires_on_bad_and_stays_silent_on_good() {
+    // FM008 only applies to crate roots, so it gets its own context
+    // (`src/lib.rs`) instead of the shared `fixture.rs` one.
+    let ctx = FileContext::classify("crates/cache/src/lib.rs");
+    assert!(ctx.is_crate_root, "FM008 context must be a crate root");
+
+    let bad = fixture("bad", "FM008");
+    let diags = lint_source(&ctx, &bad);
+    assert!(
+        diags.iter().any(|d| d.code == "FM008"),
+        "FM008 did not fire on bad fixture; got: {:?}",
+        diags.iter().map(|d| d.code).collect::<Vec<_>>()
+    );
+
+    let good = fixture("good", "FM008");
+    let diags = lint_source(&ctx, &good);
+    let rendered: String = diags.iter().map(ToString::to_string).collect();
+    assert!(
+        diags.is_empty(),
+        "good FM008 fixture must lint clean, got:\n{rendered}"
+    );
+
+    // A non-root file never triggers FM008, even without the attribute.
+    let non_root = FileContext::classify("crates/cache/src/fixture.rs");
+    assert!(lint_source(&non_root, &bad).is_empty());
 }
 
 #[test]

@@ -1,0 +1,10 @@
+//! FM008 bad fixture: a simulation-path crate root with no
+//! `#![forbid(unsafe_code)]` attribute.
+
+pub mod submodule;
+
+/// A perfectly ordinary function; the violation is the missing
+/// crate-level attribute, not anything in the body.
+pub fn entry() -> u64 {
+    42
+}

@@ -1,0 +1,53 @@
+//! Chain-fixture head crate: public APIs that transitively reach a
+//! panic (FM010), a wall clock (FM011), and a `dyn` trait with no
+//! contract-clean implementor (FM012).
+
+#![forbid(unsafe_code)]
+
+use b::g;
+use b::now_ms;
+
+/// Head of the three-crate panic chain `a::f → b::g → c::h`.
+pub fn f() {
+    g();
+}
+
+/// Head of the wall-clock chain `a::tick → b::now_ms`.
+pub fn tick() -> u64 {
+    now_ms()
+}
+
+/// A dispatch trait whose every workspace implementor may panic.
+pub trait Policy {
+    /// Decides something.
+    fn decide(&self) -> u32;
+}
+
+/// First implementor: panics through `f`.
+pub struct Alpha;
+
+impl Policy for Alpha {
+    fn decide(&self) -> u32 {
+        f();
+        0
+    }
+}
+
+/// Second implementor: panics through a private helper.
+pub struct Beta;
+
+impl Policy for Beta {
+    fn decide(&self) -> u32 {
+        helper()
+    }
+}
+
+fn helper() -> u32 {
+    g();
+    1
+}
+
+/// The `dyn` site FM012 flags: no implementor is contract-clean.
+pub fn drive(p: &dyn Policy) -> u32 {
+    p.decide()
+}

@@ -1,0 +1,16 @@
+//! Chain-fixture middle crate.
+
+#![forbid(unsafe_code)]
+
+use c::h;
+
+/// Middle of the panic chain: forwards to `c::h`.
+pub fn g() {
+    h();
+}
+
+/// Reads the wall clock (the FM011 seed).
+pub fn now_ms() -> u64 {
+    let _t = Instant::now();
+    0
+}

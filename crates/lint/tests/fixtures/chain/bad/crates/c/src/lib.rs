@@ -1,0 +1,10 @@
+//! Chain-fixture tail crate: carries the panic seed.
+
+#![forbid(unsafe_code)]
+
+/// Tail of the panic chain. The `panic!` below must stay on line 9:
+/// the semantic tests lock the full FM010 diagnostic text, including
+/// this seed location.
+pub fn h() {
+    panic!("fixture panic");
+}

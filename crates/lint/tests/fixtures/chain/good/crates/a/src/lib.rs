@@ -1,0 +1,41 @@
+//! Clean chain-fixture head: typed errors, an injected clock, and one
+//! contract-clean trait implementor.
+
+#![forbid(unsafe_code)]
+
+use b::g;
+use b::now_ms;
+
+/// Same shape as the bad fixture's `f`, but the chain is fallible.
+///
+/// # Errors
+///
+/// Forwards `b::g`'s error.
+pub fn f() -> Result<u32, String> {
+    g()
+}
+
+/// Reads an injected virtual clock instead of the wall clock.
+pub fn tick(clock_ns: u64) -> u64 {
+    now_ms(clock_ns)
+}
+
+/// A dispatch trait with a contract-clean implementor.
+pub trait Policy {
+    /// Decides something.
+    fn decide(&self) -> u32;
+}
+
+/// A clean implementor: FM012 stays silent.
+pub struct Alpha;
+
+impl Policy for Alpha {
+    fn decide(&self) -> u32 {
+        0
+    }
+}
+
+/// Dispatches through the clean trait object.
+pub fn drive(p: &dyn Policy) -> u32 {
+    p.decide()
+}

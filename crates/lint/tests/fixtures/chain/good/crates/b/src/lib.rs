@@ -1,0 +1,17 @@
+//! Clean chain-fixture middle crate.
+
+#![forbid(unsafe_code)]
+
+/// Forwards to `c::h`, staying fallible.
+///
+/// # Errors
+///
+/// Forwards `c::h`'s error.
+pub fn g() -> Result<u32, String> {
+    c::h()
+}
+
+/// Converts an injected virtual-clock reading; no wall clock.
+pub fn now_ms(clock_ns: u64) -> u64 {
+    clock_ns / 1_000_000
+}

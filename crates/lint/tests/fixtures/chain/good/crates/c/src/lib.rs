@@ -1,0 +1,13 @@
+//! Clean chain-fixture tail crate: no panic seed.
+
+#![forbid(unsafe_code)]
+
+/// Tail of the clean chain.
+///
+/// # Errors
+///
+/// Never fails in the fixture; the type exists so callers stay
+/// fallible.
+pub fn h() -> Result<u32, String> {
+    Ok(7)
+}

@@ -1,0 +1,10 @@
+//! FM008 good fixture: the crate root forbids unsafe code.
+
+#![forbid(unsafe_code)]
+
+pub mod submodule;
+
+/// A perfectly ordinary function.
+pub fn entry() -> u64 {
+    42
+}

@@ -1,0 +1,118 @@
+//! Lexer edge-case regression tests: raw strings, byte strings,
+//! raw-byte strings, nested block comments, and numeric-literal
+//! classification. These lock behaviors the rules depend on — a
+//! `HashMap` inside any string or comment form must never fire.
+
+use fmoe_lint::lexer::{lex, TokenKind};
+use fmoe_lint::{lint_source, FileContext};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+#[test]
+fn raw_strings_with_hashes_are_opaque() {
+    let src = r####"let s = r#"HashMap "quoted" Instant::now"#; tail"####;
+    let ids = idents(src);
+    assert!(ids.contains(&"tail".to_string()));
+    assert!(!ids.contains(&"HashMap".to_string()));
+    assert!(!ids.contains(&"Instant".to_string()));
+}
+
+#[test]
+fn raw_strings_with_two_hashes_stop_at_matching_delimiter() {
+    // The inner `"#` must not terminate an `r##"…"##` string.
+    let src = r#####"let s = r##"contains "# inside HashMap"##; tail"#####;
+    let ids = idents(src);
+    assert!(ids.contains(&"tail".to_string()));
+    assert!(!ids.contains(&"HashMap".to_string()));
+}
+
+#[test]
+fn byte_strings_are_opaque() {
+    let src = "let s = b\"HashMap thread_rng\"; tail";
+    let ids = idents(src);
+    assert!(ids.contains(&"tail".to_string()));
+    assert!(!ids.contains(&"HashMap".to_string()));
+    assert!(!ids.contains(&"thread_rng".to_string()));
+}
+
+#[test]
+fn raw_byte_strings_are_opaque() {
+    let src = r####"let s = br#"SystemTime "x" HashSet"#; tail"####;
+    let ids = idents(src);
+    assert!(ids.contains(&"tail".to_string()));
+    assert!(!ids.contains(&"SystemTime".to_string()));
+    assert!(!ids.contains(&"HashSet".to_string()));
+}
+
+#[test]
+fn idents_starting_with_r_or_b_are_not_strings() {
+    let ids = idents("let radius = base + b; r");
+    assert_eq!(ids, vec!["let", "radius", "base", "b", "r"]);
+}
+
+#[test]
+fn nested_block_comments_are_dropped() {
+    let src = "before /* outer /* inner HashMap */ still comment */ after";
+    let ids = idents(src);
+    assert_eq!(ids, vec!["before", "after"]);
+}
+
+#[test]
+fn block_comment_with_code_after_on_same_line() {
+    let src = "/* x */ let v = 1; /* y /* z */ */ tail";
+    let ids = idents(src);
+    assert_eq!(ids, vec!["let", "v", "tail"]);
+}
+
+#[test]
+fn exponent_without_sign_is_a_float() {
+    let toks = lex("a == 1e5; b == 2E3; c == 2e-3");
+    let floats: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Float)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(floats, vec!["1e5", "2E3", "2e-3"]);
+}
+
+#[test]
+fn hex_digits_e_are_not_exponents() {
+    let toks = lex("m == 0xE5; n == 0xfe; o == 0b10; p == 0o17");
+    assert!(
+        toks.iter().all(|t| t.kind != TokenKind::Float),
+        "radix literals must stay Int: {toks:?}"
+    );
+}
+
+#[test]
+fn rules_stay_silent_on_string_and_comment_contents() {
+    // End-to-end: the strictest context plus every opaque form at once.
+    let src = r####"
+//! Docs mention HashMap and Instant::now freely.
+/* block with thread_rng and /* nested SystemTime */ tail */
+pub fn ok() -> &'static str {
+    r#"HashMap::new() thread_rng() Instant::now()"#
+}
+"####;
+    let ctx = FileContext::classify("crates/cache/src/fixture.rs");
+    let diags = lint_source(&ctx, src);
+    let rendered: String = diags.iter().map(ToString::to_string).collect();
+    assert!(diags.is_empty(), "expected clean, got:\n{rendered}");
+}
+
+#[test]
+fn float_comparison_with_exponent_literal_fires_fm005() {
+    // The FM005 rule depends on exponent literals classifying as Float.
+    let ctx = FileContext::classify("crates/cache/src/fixture.rs");
+    let diags = lint_source(&ctx, "fn f(x: f64) -> bool { x == 1e9 }");
+    assert!(
+        diags.iter().any(|d| d.code == "FM005"),
+        "1e9 must classify as a float so FM005 fires"
+    );
+}

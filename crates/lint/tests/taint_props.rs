@@ -1,0 +1,115 @@
+//! Property tests for taint propagation: the analysis is *monotone* —
+//! adding call edges or seeds can only grow the tainted set, never
+//! shrink it. Monotonicity is what makes the conservative resolution
+//! strategy sound: a missed edge can hide a violation, but a resolved
+//! edge can never un-taint a function.
+
+use fmoe_lint::taint::reaches_seed;
+use proptest::prelude::*;
+
+/// Builds a deterministic pseudo-random edge list over `n` nodes from a
+/// seed, so each case is replayable.
+fn edges_from(seed: u64, n: usize, m: usize) -> Vec<(usize, usize)> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..m)
+        .map(|_| (next() as usize % n, next() as usize % n))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adding one edge never removes taint from any node.
+    #[test]
+    fn adding_an_edge_is_monotone(
+        seed in 0u64..10_000,
+        n in 2usize..24,
+        m in 0usize..40,
+        from in 0usize..24,
+        to in 0usize..24,
+        seed_node in 0usize..24,
+    ) {
+        let edges = edges_from(seed, n, m);
+        let seeds = [seed_node % n];
+        let before = reaches_seed(n, &edges, &seeds);
+
+        let mut extended = edges.clone();
+        extended.push((from % n, to % n));
+        let after = reaches_seed(n, &extended, &seeds);
+
+        for i in 0..n {
+            prop_assert!(
+                !before[i] || after[i],
+                "node {i} lost taint after adding edge {:?}",
+                (from % n, to % n)
+            );
+        }
+    }
+
+    /// Adding a seed never removes taint either.
+    #[test]
+    fn adding_a_seed_is_monotone(
+        seed in 0u64..10_000,
+        n in 2usize..24,
+        m in 0usize..40,
+        s1 in 0usize..24,
+        s2 in 0usize..24,
+    ) {
+        let edges = edges_from(seed, n, m);
+        let before = reaches_seed(n, &edges, &[s1 % n]);
+        let after = reaches_seed(n, &edges, &[s1 % n, s2 % n]);
+        for i in 0..n {
+            prop_assert!(!before[i] || after[i], "node {i} lost taint after adding a seed");
+        }
+    }
+
+    /// Every tainted node really has a path to a seed: taint is exactly
+    /// reverse-reachability, so a transitive closure over the edge list
+    /// must agree with the BFS.
+    #[test]
+    fn taint_equals_reachability_closure(
+        seed in 0u64..10_000,
+        n in 2usize..16,
+        m in 0usize..32,
+        seed_node in 0usize..16,
+    ) {
+        let edges = edges_from(seed, n, m);
+        let s = seed_node % n;
+        let tainted = reaches_seed(n, &edges, &[s]);
+
+        // Floyd-Warshall-style closure as an independent oracle.
+        let mut reach = vec![vec![false; n]; n];
+        for (i, row) in reach.iter_mut().enumerate() {
+            row[i] = true;
+        }
+        for &(a, b) in &edges {
+            reach[a][b] = true;
+        }
+        for k in 0..n {
+            let via = reach[k].clone();
+            for row in &mut reach {
+                if row[k] {
+                    for (j, &v) in via.iter().enumerate() {
+                        if v {
+                            row[j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            prop_assert_eq!(
+                tainted[i],
+                reach[i][s],
+                "node {} disagrees with the closure oracle",
+                i
+            );
+        }
+    }
+}

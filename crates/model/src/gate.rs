@@ -220,6 +220,10 @@ impl GateSimulator {
     }
 
     /// Convenience constructor with [`GateParams::for_model`] defaults.
+    ///
+    /// # Panics
+    ///
+    /// Inherits [`Self::new`]'s panic on an invalid `config`.
     #[must_use]
     pub fn with_defaults(config: ModelConfig) -> Self {
         let params = GateParams::for_model(&config);

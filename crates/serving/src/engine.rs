@@ -756,6 +756,12 @@ impl ServingEngine {
     }
 
     /// Serves one request (batch size 1).
+    ///
+    /// # Panics
+    ///
+    /// Inherits [`Self::serve_batch`]'s panic on engine errors (e.g. a
+    /// continuous batch still active); use [`Self::try_serve_batch`]
+    /// where panicking is unacceptable.
     pub fn serve_request(
         &mut self,
         prompt: Prompt,
@@ -768,6 +774,11 @@ impl ServingEngine {
     /// half-precision payloads, trading output quality for latency. The
     /// SLO-aware online scheduler uses this for requests whose queueing
     /// delay already blew their budget (see `online::SloPolicy`).
+    ///
+    /// # Panics
+    ///
+    /// Inherits [`Self::serve_batch`]'s panic on engine errors; use
+    /// [`Self::try_serve_batch`] where panicking is unacceptable.
     pub fn serve_request_degraded(
         &mut self,
         prompt: Prompt,
