@@ -14,6 +14,11 @@
 //!   a 1000-entry Expert Map Store.
 //! * `matcher_trajectory_incremental` — the streaming trajectory tracker
 //!   over the same store.
+//! * `sharded_cache_1shard` / `sharded_cache_16shards` — the
+//!   lock-contention micro: N threads hammer a `ShardedExpertCache`
+//!   with a fixed seeded access mix, against one global lock vs 16
+//!   shard locks. The per-op throughput ratio is reported as
+//!   `shard_speedup`.
 //!
 //! Wall-clock use is deliberate and confined to this binary: fmoe-lint's
 //! FM002 allows `Instant` only in bench *binaries*, never in harness or
@@ -27,6 +32,7 @@ use fmoe::map::ExpertMap;
 use fmoe::matcher::{Matcher, TrajectoryTracker};
 use fmoe::store::ExpertMapStore;
 use fmoe_bench::harness::{CellConfig, ParallelRunner, System};
+use fmoe_cache::{PolicyKind, ShardedExpertCache};
 use fmoe_model::gate::TokenSpan;
 use fmoe_model::{presets, GateParams, GateSimulator, RequestRouting};
 use fmoe_workload::DatasetSpec;
@@ -177,13 +183,62 @@ fn matcher_records() -> Vec<PerfRecord> {
     ]
 }
 
+/// The lock-contention micro: `threads` workers each replay a seeded
+/// access mix (record_access + insert-on-miss) against one shared
+/// cache. Contention — and nothing else — separates the 1-shard and
+/// 16-shard configurations: total ops, expert set, and per-thread
+/// schedules are identical.
+fn contention_record(shards: usize, threads: usize) -> PerfRecord {
+    const OPS_PER_THREAD: usize = 50_000;
+    let model = presets::small_test_model();
+    let cache =
+        ShardedExpertCache::new(&model, model.expert_bytes() * 32, shards, PolicyKind::Sieve);
+    let total_ops = (threads * OPS_PER_THREAD) as u64;
+    let (wall_ms, _) = time_iters(1, || {
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = &cache;
+                scope.spawn(move || {
+                    // Splitmix64, seeded per thread: same schedule every run.
+                    let mut state = 0x9e37 + t as u64;
+                    for i in 0..OPS_PER_THREAD {
+                        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                        let mut z = state;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                        let e = fmoe_model::ExpertId::from_dense_index(
+                            ((z ^ (z >> 31)) % 64) as usize,
+                            model.experts_per_layer,
+                        );
+                        if !cache.record_access(e, i as u64) {
+                            let _ = cache.insert(e, i as u64);
+                        }
+                    }
+                });
+            }
+        });
+        black_box(cache.stats());
+    });
+    PerfRecord {
+        scenario: if shards == 1 {
+            "sharded_cache_1shard"
+        } else {
+            "sharded_cache_16shards"
+        },
+        wall_ms,
+        iters_per_s: total_ops as f64 / (wall_ms / 1e3),
+        jobs: threads,
+    }
+}
+
 /// Hand-rolled JSON: the workspace deliberately has no JSON dependency,
 /// and the schema is flat enough that formatting is trivial.
-fn to_json(records: &[PerfRecord], jobs: usize, sweep_speedup: f64) -> String {
+fn to_json(records: &[PerfRecord], jobs: usize, sweep_speedup: f64, shard_speedup: f64) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"perf_smoke\",\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"sweep_speedup\": {sweep_speedup:.3},\n"));
+    out.push_str(&format!("  \"shard_speedup\": {shard_speedup:.3},\n"));
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
@@ -213,6 +268,17 @@ fn main() {
     let mut records = vec![seq, par];
     records.extend(matcher_records());
 
+    let threads = jobs.clamp(4, 16);
+    let one_shard = contention_record(1, threads);
+    let many_shards = contention_record(16, threads);
+    let shard_speedup = if one_shard.wall_ms > 0.0 {
+        one_shard.wall_ms / many_shards.wall_ms
+    } else {
+        f64::INFINITY
+    };
+    records.push(one_shard);
+    records.push(many_shards);
+
     println!("perf_smoke (jobs = {jobs})");
     println!(
         "{:<32} {:>12} {:>14} {:>6}",
@@ -225,8 +291,9 @@ fn main() {
         );
     }
     println!("sweep speedup (jobs1 / jobsN): {sweep_speedup:.2}x");
+    println!("shard speedup (1 shard / 16 shards): {shard_speedup:.2}x");
 
-    let json = to_json(&records, jobs, sweep_speedup);
+    let json = to_json(&records, jobs, sweep_speedup, shard_speedup);
     match std::fs::write("BENCH_perf.json", &json) {
         Ok(()) => println!("wrote BENCH_perf.json"),
         Err(e) => eprintln!("cannot write BENCH_perf.json: {e}"),

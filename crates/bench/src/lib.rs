@@ -9,14 +9,18 @@
 //!   (the 70/30 split), and the standard offline run.
 //! * [`report`] — aligned text tables and CSV emission under
 //!   `results/`.
+//! * [`policy_sweep`] — seeded Zipf expert traces and eviction-policy
+//!   miss-ratio replays (the fig11 policy comparison).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
 pub mod plot;
+pub mod policy_sweep;
 pub mod report;
 
 pub use harness::{CellConfig, System, SystemOutcome, TracedOutcome};
 pub use plot::{LinePlot, Series};
+pub use policy_sweep::{replay_miss_ratio, zipf_expert_trace};
 pub use report::{write_csv, Table};

@@ -1,0 +1,107 @@
+//! The fig11 eviction-policy companion table: SIEVE must beat (or tie)
+//! FIFO on the Zipf-skewed trace at every cache size, and the whole
+//! binary must emit byte-identical CSVs whether the sweep runs on one
+//! worker or four, in separate OS processes.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+fn run_fig11(workdir: &Path, jobs: &str) -> Vec<(String, Vec<u8>)> {
+    fs::create_dir_all(workdir).expect("scratch dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig11_cache_limits"))
+        .args(["--quick", "--jobs", jobs])
+        .current_dir(workdir)
+        .output()
+        .expect("fig11_cache_limits runs");
+    assert!(
+        out.status.success(),
+        "fig11_cache_limits --quick failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let results = workdir.join("results");
+    let mut csvs: Vec<(String, Vec<u8>)> = fs::read_dir(&results)
+        .expect("results dir written")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            (name, fs::read(&p).expect("csv readable"))
+        })
+        .collect();
+    csvs.sort_by(|a, b| a.0.cmp(&b.0));
+    csvs
+}
+
+/// Parses `fig11_policy_miss.csv` into (slots → policy → miss ratio).
+fn parse_policy_miss(bytes: &[u8]) -> Vec<(u64, HashMap<String, f64>)> {
+    let text = String::from_utf8_lossy(bytes);
+    let mut lines = text.lines();
+    let header: Vec<&str> = lines.next().expect("header row").split(',').collect();
+    assert_eq!(header[0], "slots");
+    lines
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| {
+            let cells: Vec<&str> = line.split(',').collect();
+            assert_eq!(cells.len(), header.len(), "ragged row: {line}");
+            let slots: u64 = cells[0].parse().expect("slots cell");
+            let ratios = header[1..]
+                .iter()
+                .zip(&cells[1..])
+                .map(|(name, cell)| {
+                    let ratio: f64 = cell.parse().expect("ratio cell");
+                    assert!((0.0..=1.0).contains(&ratio), "{name}: {ratio}");
+                    ((*name).to_string(), ratio)
+                })
+                .collect();
+            (slots, ratios)
+        })
+        .collect()
+}
+
+#[test]
+fn sieve_never_misses_more_than_fifo_on_the_zipf_trace() {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fig11_policies");
+    let csvs = run_fig11(&base.join("assert"), "2");
+    let (_, bytes) = csvs
+        .iter()
+        .find(|(name, _)| name == "fig11_policy_miss.csv")
+        .expect("policy miss table emitted");
+    let rows = parse_policy_miss(bytes);
+    assert!(rows.len() >= 3, "at least three cache sizes swept");
+    for (slots, ratios) in &rows {
+        let sieve = ratios["SIEVE"];
+        let fifo = ratios["FIFO"];
+        assert!(
+            sieve <= fifo,
+            "{slots} slots: SIEVE ({sieve}) must not miss more than FIFO ({fifo}) \
+             on a Zipf-skewed trace — the visited bit exists to spare hot experts"
+        );
+    }
+    // The sweep must show real skew sensitivity somewhere, not a
+    // degenerate all-equal table.
+    assert!(
+        rows.iter().any(|(_, r)| r["SIEVE"] < r["FIFO"]),
+        "SIEVE should strictly beat FIFO at some size on a skewed trace"
+    );
+}
+
+#[test]
+fn fig11_jobs1_and_jobs4_runs_are_byte_identical_across_processes() {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fig11_policies_jobs");
+    let sequential = run_fig11(&base.join("jobs1"), "1");
+    let parallel = run_fig11(&base.join("jobs4"), "4");
+    assert_eq!(
+        sequential.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        parallel.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "--jobs 1 and --jobs 4 wrote different CSV file sets"
+    );
+    for ((name, a), (_, b)) in sequential.iter().zip(&parallel) {
+        assert_eq!(a, b, "{name} differs between --jobs 1 and --jobs 4");
+    }
+}

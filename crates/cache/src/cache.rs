@@ -1,10 +1,21 @@
 //! The expert cache proper.
 
+use crate::arena::LinkArena;
 use crate::policy::EvictionPolicy;
 use crate::stats::CacheStats;
 use fmoe_model::{ExpertId, ModelConfig};
 use fmoe_trace::{Marker, TraceSink, NO_REQUEST, NO_VALUE};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
+
+/// One resident expert's arena node: its identity, footprint, and pin
+/// state live together in the intrusive list (newest → oldest insertion
+/// order), so byte/pin lookups are one index hop after the id lookup.
+#[derive(Debug, Clone, Copy)]
+struct Resident {
+    expert: ExpertId,
+    bytes: u64,
+    pinned: bool,
+}
 
 /// How experts map to home GPUs under expert parallelism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
@@ -70,10 +81,15 @@ pub struct ExpertCache {
     placement: Placement,
     per_gpu_budget: u64,
     per_gpu_used: Vec<u64>,
-    /// Resident experts and the bytes each occupies (full-precision
-    /// experts occupy `expert_bytes`; quantized ones less).
-    resident: BTreeMap<ExpertId, u64>,
-    pinned: BTreeSet<ExpertId>,
+    /// Arena-allocated residency nodes (`Vec<Option<Node>>` + `u32`
+    /// indices, no unsafe), intrusively linked newest → oldest in
+    /// insertion order. Full-precision experts occupy `expert_bytes`;
+    /// quantized ones less.
+    arena: LinkArena<Resident>,
+    /// Expert id → arena node. Iterating this map yields residents in
+    /// id order, which is what keeps victim-candidate lists (and thus
+    /// the whole sim path) byte-identical to the pre-arena core.
+    index: BTreeMap<ExpertId, u32>,
     policy: Box<dyn EvictionPolicy>,
     stats: CacheStats,
     /// Observability sink; disabled by default (zero-cost no-op).
@@ -106,8 +122,8 @@ impl ExpertCache {
             placement: Placement::RoundRobin,
             per_gpu_budget: total_budget_bytes / u64::from(num_gpus),
             per_gpu_used: vec![0; num_gpus as usize],
-            resident: BTreeMap::new(),
-            pinned: BTreeSet::new(),
+            arena: LinkArena::new(),
+            index: BTreeMap::new(),
             policy,
             stats: CacheStats::default(),
             trace: TraceSink::disabled(),
@@ -182,13 +198,13 @@ impl ExpertCache {
     /// `true` when `expert` is resident.
     #[must_use]
     pub fn contains(&self, expert: ExpertId) -> bool {
-        self.resident.contains_key(&expert)
+        self.index.contains_key(&expert)
     }
 
     /// Number of resident experts.
     #[must_use]
     pub fn resident_count(&self) -> usize {
-        self.resident.len()
+        self.index.len()
     }
 
     /// Bytes used on one GPU.
@@ -207,6 +223,7 @@ impl ExpertCache {
     /// only counts. Returns whether it was a hit.
     pub fn record_access(&mut self, expert: ExpertId, now: u64) -> bool {
         self.last_now = self.last_now.max(now);
+        self.stats.lookups += 1;
         if self.contains(expert) {
             self.stats.hits += 1;
             self.policy.on_hit(expert, now);
@@ -230,13 +247,30 @@ impl ExpertCache {
     /// Re-inserting a resident expert with a different size re-accounts
     /// its footprint (e.g. a precision upgrade).
     pub fn insert_sized(&mut self, expert: ExpertId, bytes: u64, now: u64) -> InsertOutcome {
+        self.insert_impl(expert, bytes, now, false)
+    }
+
+    /// [`Self::insert`] for warm-restart replay: identical residency and
+    /// eviction behaviour, but the insert is booked under
+    /// [`CacheStats::warmup_inserts`] instead of `insertions`, so
+    /// lifetime accounting that merges a pre-crash snapshot back in
+    /// (see [`CacheStats::merged`]) never double-counts replayed experts
+    /// as fresh demand insertions.
+    pub fn insert_warm(&mut self, expert: ExpertId, now: u64) -> InsertOutcome {
+        self.insert_impl(expert, self.expert_bytes, now, true)
+    }
+
+    fn insert_impl(&mut self, expert: ExpertId, bytes: u64, now: u64, warm: bool) -> InsertOutcome {
         self.last_now = self.last_now.max(now);
-        if let Some(&existing) = self.resident.get(&expert) {
+        if let Some(&idx) = self.index.get(&expert) {
             self.policy.on_hit(expert, now);
+            let existing = self.arena.get(idx).map_or(self.expert_bytes, |r| r.bytes);
             if existing != bytes {
                 let gpu = self.home_gpu(expert) as usize;
                 self.per_gpu_used[gpu] = self.per_gpu_used[gpu] - existing + bytes;
-                self.resident.insert(expert, bytes);
+                if let Some(r) = self.arena.get_mut(idx) {
+                    r.bytes = bytes;
+                }
             }
             return InsertOutcome::AlreadyResident;
         }
@@ -249,13 +283,8 @@ impl ExpertCache {
         let gpu = self.home_gpu(expert);
         let mut evicted = Vec::new();
         while self.per_gpu_used[gpu as usize] + bytes > self.per_gpu_budget {
-            let candidates: Vec<ExpertId> = self
-                .resident
-                .keys()
-                .copied()
-                .filter(|e| self.home_gpu(*e) == gpu && !self.pinned.contains(e))
-                .collect();
-            let Some(victim) = self.policy.choose_victim(&candidates) else {
+            let candidates = self.victim_candidates(gpu);
+            let Some(victim) = self.policy.choose_victim_mut(&candidates) else {
                 // Everything resident on this GPU is pinned: cannot evict.
                 self.stats.rejected_inserts += 1;
                 for v in &evicted {
@@ -274,26 +303,48 @@ impl ExpertCache {
             evicted.push(victim);
         }
         self.per_gpu_used[gpu as usize] += bytes;
-        self.resident.insert(expert, bytes);
+        let idx = self.arena.push_head(Resident {
+            expert,
+            bytes,
+            pinned: false,
+        });
+        self.index.insert(expert, idx);
         self.policy.on_insert(expert, now);
-        self.stats.insertions += 1;
+        if warm {
+            self.stats.warmup_inserts += 1;
+        } else {
+            self.stats.insertions += 1;
+        }
         self.mark(Marker::CacheInsert, expert, now, bytes);
         self.trace.count("cache.insertions", 1);
         InsertOutcome::Inserted { evicted }
     }
 
+    /// Unpinned residents homed on `gpu`, in expert-id order (the order
+    /// the pre-arena `BTreeMap` core produced — load-bearing for
+    /// byte-identical victim selection).
+    fn victim_candidates(&self, gpu: u32) -> Vec<ExpertId> {
+        self.index
+            .iter()
+            .filter(|(e, &idx)| {
+                self.home_gpu(**e) == gpu && self.arena.get(idx).is_some_and(|r| !r.pinned)
+            })
+            .map(|(e, _)| *e)
+            .collect()
+    }
+
     /// Bytes a resident expert occupies, or `None` if not resident.
     #[must_use]
     pub fn resident_bytes(&self, expert: ExpertId) -> Option<u64> {
-        self.resident.get(&expert).copied()
+        let idx = self.index.get(&expert)?;
+        self.arena.get(*idx).map(|r| r.bytes)
     }
 
     /// `true` when `expert` is resident below full precision.
     #[must_use]
     pub fn is_degraded(&self, expert: ExpertId) -> bool {
-        self.resident
-            .get(&expert)
-            .is_some_and(|&b| b < self.expert_bytes)
+        self.resident_bytes(expert)
+            .is_some_and(|b| b < self.expert_bytes)
     }
 
     /// Explicitly removes an expert (e.g. model unload). No-op when not
@@ -309,9 +360,12 @@ impl ExpertCache {
 
     fn remove_internal(&mut self, expert: ExpertId) {
         let gpu = self.home_gpu(expert);
-        let bytes = self.resident.remove(&expert).unwrap_or(self.expert_bytes);
+        let bytes = self
+            .index
+            .remove(&expert)
+            .and_then(|idx| self.arena.remove(idx))
+            .map_or(self.expert_bytes, |r| r.bytes);
         self.per_gpu_used[gpu as usize] -= bytes;
-        self.pinned.remove(&expert);
         self.policy.on_remove(expert);
     }
 
@@ -319,22 +373,32 @@ impl ExpertCache {
     /// during execution). Pinning a non-resident expert is a no-op and
     /// returns `false`.
     pub fn pin(&mut self, expert: ExpertId) -> bool {
-        if self.contains(expert) {
-            self.pinned.insert(expert);
-            true
-        } else {
-            false
+        let Some(&idx) = self.index.get(&expert) else {
+            return false;
+        };
+        if let Some(r) = self.arena.get_mut(idx) {
+            r.pinned = true;
         }
+        true
     }
 
     /// Removes one expert's pin. No-op when not pinned.
     pub fn unpin(&mut self, expert: ExpertId) {
-        self.pinned.remove(&expert);
+        if let Some(&idx) = self.index.get(&expert) {
+            if let Some(r) = self.arena.get_mut(idx) {
+                r.pinned = false;
+            }
+        }
     }
 
     /// Clears all pins.
     pub fn unpin_all(&mut self) {
-        self.pinned.clear();
+        let indices: Vec<u32> = self.index.values().copied().collect();
+        for idx in indices {
+            if let Some(r) = self.arena.get_mut(idx) {
+                r.pinned = false;
+            }
+        }
     }
 
     /// Pushes a probability belief to the policy (fMoE's searched-map
@@ -360,13 +424,8 @@ impl ExpertCache {
         let mut evicted = Vec::new();
         for gpu in 0..self.num_gpus {
             while self.per_gpu_used[gpu as usize] > self.per_gpu_budget {
-                let candidates: Vec<ExpertId> = self
-                    .resident
-                    .keys()
-                    .copied()
-                    .filter(|e| self.home_gpu(*e) == gpu && !self.pinned.contains(e))
-                    .collect();
-                let Some(victim) = self.policy.choose_victim(&candidates) else {
+                let candidates = self.victim_candidates(gpu);
+                let Some(victim) = self.policy.choose_victim_mut(&candidates) else {
                     break; // everything left is pinned
                 };
                 self.remove_internal(victim);
@@ -405,8 +464,8 @@ impl ExpertCache {
     /// Drops all residency, pins and statistics, keeping the policy's
     /// long-term bookkeeping intact only if `reset_policy` is `false`.
     pub fn clear(&mut self, reset_policy: bool) {
-        self.resident.clear();
-        self.pinned.clear();
+        self.arena.clear();
+        self.index.clear();
         for used in &mut self.per_gpu_used {
             *used = 0;
         }
@@ -416,9 +475,16 @@ impl ExpertCache {
         }
     }
 
-    /// Iterator over resident experts (arbitrary order).
+    /// Iterator over resident experts (expert-id order).
     pub fn resident_experts(&self) -> impl Iterator<Item = ExpertId> + '_ {
-        self.resident.keys().copied()
+        self.index.keys().copied()
+    }
+
+    /// Iterator over resident experts oldest-insertion-first — the
+    /// arena's intrusive-list order, which FIFO evicts in and SIEVE's
+    /// hand sweeps through.
+    pub fn resident_oldest_first(&self) -> impl Iterator<Item = ExpertId> + '_ {
+        self.arena.iter_oldest_first().map(|(_, r)| r.expert)
     }
 }
 

@@ -11,6 +11,15 @@
 //!   `PRI^evict = 1 / (p · freq)` (paper §4.5): evict the expert with the
 //!   smallest product of searched-map probability and cache visit
 //!   frequency.
+//! * [`policy::SievePolicy`] — SIEVE (NSDI '24): a lazy-promotion hand
+//!   sweep where a hit is a single visited-bit flip, no list surgery.
+//! * [`policy::FifoPolicy`] — strict insertion-order eviction, the
+//!   scan-resistance baseline SIEVE is measured against.
+//!
+//! The residency core is an arena-allocated intrusive list
+//! ([`arena::LinkArena`]: `Vec<Option<Node>>` + `u32` indices, no
+//! unsafe), and [`sharded::ShardedExpertCache`] layers an N-way
+//! shard-by-expert concurrent cache on top for multi-replica hosts.
 //!
 //! The cache is a pure bookkeeping structure: it knows nothing about
 //! virtual time beyond the monotone counter callers pass for recency, and
@@ -19,12 +28,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cache;
 pub mod policy;
+pub mod sharded;
 pub mod stats;
 
 pub use cache::{ExpertCache, InsertOutcome, Placement};
-pub use policy::{EvictionPolicy, FmoePriorityPolicy, LfuPolicy, LruPolicy};
+pub use policy::{
+    EvictionPolicy, FifoPolicy, FmoePriorityPolicy, LfuPolicy, LruPolicy, PolicyKind, SievePolicy,
+};
+pub use sharded::{ShardOccupancy, ShardedExpertCache};
 pub use stats::CacheStats;
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 //! LRU < LFU < fMoE's joint priority; the unit tests here encode the
 //! mechanics that produce that ordering.
 
+use crate::arena::{LinkArena, NIL};
 use fmoe_model::ExpertId;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -32,6 +33,15 @@ pub trait EvictionPolicy: std::fmt::Debug + Send {
     /// Picks the next victim among `candidates` (all currently resident,
     /// none pinned). Returns `None` only when `candidates` is empty.
     fn choose_victim(&self, candidates: &[ExpertId]) -> Option<ExpertId>;
+
+    /// [`Self::choose_victim`] with mutable access, for policies whose
+    /// victim scan *itself* updates bookkeeping — SIEVE clears visited
+    /// bits and advances its hand while scanning. The cache always calls
+    /// this variant; the default delegates to the immutable scan, so
+    /// stateless-scan policies (LRU/LFU/fMoE-priority) are untouched.
+    fn choose_victim_mut(&mut self, candidates: &[ExpertId]) -> Option<ExpertId> {
+        self.choose_victim(candidates)
+    }
 
     /// Updates the policy's belief about the activation probability of an
     /// expert (from a searched expert map). Default: ignored — only
@@ -275,6 +285,285 @@ impl EvictionPolicy for FmoePriorityPolicy {
     }
 }
 
+/// First-in-first-out eviction on the arena-allocated intrusive list:
+/// hits do nothing, so the eviction order is pure insertion order. The
+/// classic lower baseline for SIEVE (both keep a write-free hit path;
+/// FIFO just never spares anything).
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    queue: LinkArena<ExpertId>,
+    index: BTreeMap<ExpertId, u32>,
+}
+
+impl FifoPolicy {
+    /// Creates an empty FIFO policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EvictionPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn on_insert(&mut self, expert: ExpertId, _now: u64) {
+        if !self.index.contains_key(&expert) {
+            let idx = self.queue.push_head(expert);
+            self.index.insert(expert, idx);
+        }
+    }
+
+    fn on_hit(&mut self, _expert: ExpertId, _now: u64) {
+        // FIFO's whole point: a hit is free and changes nothing.
+    }
+
+    fn on_remove(&mut self, expert: ExpertId) {
+        if let Some(idx) = self.index.remove(&expert) {
+            let _ = self.queue.remove(idx);
+        }
+    }
+
+    fn choose_victim(&self, candidates: &[ExpertId]) -> Option<ExpertId> {
+        for (_, expert) in self.queue.iter_oldest_first() {
+            if candidates.contains(expert) {
+                return Some(*expert);
+            }
+        }
+        // Candidates the policy never saw an insert for (defensive):
+        // deterministic fallback to the smallest id.
+        candidates.iter().min().copied()
+    }
+
+    fn reset(&mut self) {
+        self.queue.clear();
+        self.index.clear();
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SieveEntry {
+    expert: ExpertId,
+    visited: bool,
+}
+
+/// SIEVE eviction (NSDI '24) on the arena-allocated intrusive list.
+///
+/// New experts join at the head unvisited; a **hit is a single visited-
+/// bit flip** — no move-to-front, no list mutation, which is what makes
+/// SIEVE's hit path lock-friendly in the sharded concurrent cache. The
+/// eviction *hand* sweeps from the tail (oldest) toward the head,
+/// wrapping around: a visited entry survives (its bit is cleared and the
+/// hand moves on), the first unvisited entry is the victim, and the hand
+/// parks just past it for the next eviction.
+///
+/// Entries outside the candidate set (pinned, or resident on another
+/// GPU) are skipped without touching their bits: they are not
+/// examinable, so they keep whatever second chance they have.
+#[derive(Debug, Default)]
+pub struct SievePolicy {
+    queue: LinkArena<SieveEntry>,
+    index: BTreeMap<ExpertId, u32>,
+    /// Arena index the next eviction scan starts from; [`NIL`] wraps to
+    /// the tail.
+    hand: u32,
+}
+
+impl SievePolicy {
+    /// Creates an empty SIEVE policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            queue: LinkArena::new(),
+            index: BTreeMap::new(),
+            hand: NIL,
+        }
+    }
+
+    /// Whether `expert`'s visited bit is currently set (test hook).
+    #[must_use]
+    pub fn is_visited(&self, expert: ExpertId) -> bool {
+        self.index
+            .get(&expert)
+            .and_then(|&idx| self.queue.get(idx))
+            .is_some_and(|e| e.visited)
+    }
+
+    /// One step of the hand walk: toward the head, wrapping to the tail.
+    fn advance(&self, cur: u32) -> u32 {
+        let next = self.queue.newer(cur);
+        if next == NIL {
+            self.queue.tail()
+        } else {
+            next
+        }
+    }
+}
+
+impl EvictionPolicy for SievePolicy {
+    fn name(&self) -> &'static str {
+        "SIEVE"
+    }
+
+    fn on_insert(&mut self, expert: ExpertId, _now: u64) {
+        if !self.index.contains_key(&expert) {
+            let idx = self.queue.push_head(SieveEntry {
+                expert,
+                visited: false,
+            });
+            self.index.insert(expert, idx);
+        }
+    }
+
+    fn on_hit(&mut self, expert: ExpertId, _now: u64) {
+        // The single-bit-flip hit path.
+        if let Some(&idx) = self.index.get(&expert) {
+            if let Some(entry) = self.queue.get_mut(idx) {
+                entry.visited = true;
+            }
+        }
+    }
+
+    fn on_remove(&mut self, expert: ExpertId) {
+        if let Some(idx) = self.index.remove(&expert) {
+            if self.hand == idx {
+                // Park the hand just past the removed node (toward the
+                // head); NIL wraps to the tail on the next scan.
+                self.hand = self.queue.newer(idx);
+            }
+            let _ = self.queue.remove(idx);
+        }
+    }
+
+    fn choose_victim(&self, candidates: &[ExpertId]) -> Option<ExpertId> {
+        // Pure preview of the mutable scan: simulate bit clears locally
+        // so repeated calls (and the oracle-diff suite) see exactly the
+        // victim `choose_victim_mut` would take, without advancing state.
+        if candidates.is_empty() || self.queue.is_empty() {
+            return candidates.iter().min().copied();
+        }
+        let mut cleared: BTreeSet<u32> = BTreeSet::new();
+        let mut cur = if self.hand != NIL {
+            self.hand
+        } else {
+            self.queue.tail()
+        };
+        let max_steps = 2 * self.queue.len() + 1;
+        for _ in 0..max_steps {
+            if cur == NIL {
+                break;
+            }
+            if let Some(entry) = self.queue.get(cur) {
+                if candidates.contains(&entry.expert) {
+                    if entry.visited && !cleared.contains(&cur) {
+                        cleared.insert(cur);
+                    } else {
+                        return Some(entry.expert);
+                    }
+                }
+            }
+            cur = self.advance(cur);
+        }
+        candidates.iter().min().copied()
+    }
+
+    fn choose_victim_mut(&mut self, candidates: &[ExpertId]) -> Option<ExpertId> {
+        if candidates.is_empty() || self.queue.is_empty() {
+            return candidates.iter().min().copied();
+        }
+        let mut cur = if self.hand != NIL {
+            self.hand
+        } else {
+            self.queue.tail()
+        };
+        // One lap clears every visited candidate bit; the second lap must
+        // then find an unvisited candidate, so 2·len+1 steps bound the
+        // walk even under heavy pinning.
+        let max_steps = 2 * self.queue.len() + 1;
+        for _ in 0..max_steps {
+            if cur == NIL {
+                break;
+            }
+            let examined = self
+                .queue
+                .get(cur)
+                .filter(|e| candidates.contains(&e.expert))
+                .map(|e| (e.expert, e.visited));
+            if let Some((expert, visited)) = examined {
+                if visited {
+                    if let Some(entry) = self.queue.get_mut(cur) {
+                        entry.visited = false;
+                    }
+                } else {
+                    self.hand = self.queue.newer(cur);
+                    return Some(expert);
+                }
+            }
+            cur = self.advance(cur);
+        }
+        candidates.iter().min().copied()
+    }
+
+    fn reset(&mut self) {
+        self.queue.clear();
+        self.index.clear();
+        self.hand = NIL;
+    }
+}
+
+/// A nameable eviction-policy choice: the closed catalog of shipped
+/// policies, so builders, benches, and the sharded cache's per-shard
+/// factories can carry a `Copy` value instead of a `Box<dyn ..>`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// [`LruPolicy`].
+    Lru,
+    /// [`LfuPolicy::new`] (idealized per-access counting).
+    Lfu,
+    /// [`LfuPolicy::coarse`] (MoE-Infinity-faithful counting).
+    LfuCoarse,
+    /// [`FmoePriorityPolicy`] with the given neutral prior (use `1/J`).
+    FmoePriority {
+        /// Prior for experts no searched map has spoken about.
+        neutral_probability: f64,
+    },
+    /// [`SievePolicy`].
+    Sieve,
+    /// [`FifoPolicy`].
+    Fifo,
+}
+
+impl PolicyKind {
+    /// Builds a fresh policy instance of this kind.
+    #[must_use]
+    pub fn build(self) -> Box<dyn EvictionPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(LruPolicy::new()),
+            PolicyKind::Lfu => Box::new(LfuPolicy::new()),
+            PolicyKind::LfuCoarse => Box::new(LfuPolicy::coarse()),
+            PolicyKind::FmoePriority {
+                neutral_probability,
+            } => Box::new(FmoePriorityPolicy::new().with_neutral_probability(neutral_probability)),
+            PolicyKind::Sieve => Box::new(SievePolicy::new()),
+            PolicyKind::Fifo => Box::new(FifoPolicy::new()),
+        }
+    }
+
+    /// The display name the built policy reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Lfu => "LFU",
+            PolicyKind::LfuCoarse => "LFU (coarse)",
+            PolicyKind::FmoePriority { .. } => "fMoE",
+            PolicyKind::Sieve => "SIEVE",
+            PolicyKind::Fifo => "FIFO",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +655,106 @@ mod tests {
         assert_eq!(p.choose_victim(&[]), None);
         let p = FmoePriorityPolicy::new();
         assert_eq!(p.choose_victim(&[]), None);
+        let mut p = SievePolicy::new();
+        assert_eq!(p.choose_victim(&[]), None);
+        assert_eq!(p.choose_victim_mut(&[]), None);
+        let p = FifoPolicy::new();
+        assert_eq!(p.choose_victim(&[]), None);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut p = FifoPolicy::new();
+        p.on_insert(e(0, 0), 0);
+        p.on_insert(e(0, 1), 1);
+        p.on_hit(e(0, 0), 2);
+        p.on_hit(e(0, 0), 3);
+        // Insertion order decides regardless of the hits.
+        assert_eq!(p.choose_victim(&[e(0, 0), e(0, 1)]), Some(e(0, 0)));
+        p.on_remove(e(0, 0));
+        assert_eq!(p.choose_victim(&[e(0, 1)]), Some(e(0, 1)));
+    }
+
+    #[test]
+    fn sieve_hit_buys_exactly_one_reprieve() {
+        let mut p = SievePolicy::new();
+        p.on_insert(e(0, 0), 0);
+        p.on_insert(e(0, 1), 1);
+        p.on_hit(e(0, 0), 2);
+        let all = [e(0, 0), e(0, 1)];
+        // Hand starts at the tail: e(0,0) is visited → spared (bit
+        // cleared), e(0,1) is unvisited → victim.
+        assert_eq!(p.choose_victim_mut(&all), Some(e(0, 1)));
+        p.on_remove(e(0, 1));
+        assert!(!p.is_visited(e(0, 0)), "the reprieve consumed the bit");
+        // Next eviction takes it unless it is hit again.
+        assert_eq!(p.choose_victim_mut(&[e(0, 0)]), Some(e(0, 0)));
+    }
+
+    #[test]
+    fn sieve_peek_matches_mutable_scan() {
+        let mut p = SievePolicy::new();
+        for s in 0..6 {
+            p.on_insert(e(0, s), u64::from(s));
+        }
+        for s in [0u32, 2, 4] {
+            p.on_hit(e(0, s), 10 + u64::from(s));
+        }
+        let all: Vec<ExpertId> = (0..6).map(|s| e(0, s)).collect();
+        for round in 0..5 {
+            let peek = p.choose_victim(&all);
+            let taken = p.choose_victim_mut(&all);
+            assert_eq!(peek, taken, "round {round}");
+            if let Some(v) = taken {
+                p.on_remove(v);
+            }
+        }
+    }
+
+    #[test]
+    fn sieve_skips_non_candidates_without_clearing_their_bit() {
+        let mut p = SievePolicy::new();
+        p.on_insert(e(0, 0), 0);
+        p.on_hit(e(0, 0), 1);
+        p.on_insert(e(0, 1), 2);
+        // e(0,0) is pinned (not a candidate): the scan must pass over it
+        // without spending its visited bit.
+        assert_eq!(p.choose_victim_mut(&[e(0, 1)]), Some(e(0, 1)));
+        assert!(p.is_visited(e(0, 0)));
+    }
+
+    #[test]
+    fn sieve_hand_survives_removal_of_hand_entry() {
+        let mut p = SievePolicy::new();
+        for s in 0..4 {
+            p.on_insert(e(0, s), u64::from(s));
+        }
+        for s in 0..4 {
+            p.on_hit(e(0, s), 10 + u64::from(s));
+        }
+        let all: Vec<ExpertId> = (0..4).map(|s| e(0, s)).collect();
+        // All visited: first lap clears, wrap picks the tail-most again.
+        assert_eq!(p.choose_victim_mut(&all), Some(e(0, 0)));
+        p.on_remove(e(0, 0));
+        // Removing the entry the hand parked next to must not wedge it.
+        assert_eq!(p.choose_victim_mut(&[e(0, 1), e(0, 2)]), Some(e(0, 1)));
+    }
+
+    #[test]
+    fn policy_kind_builds_matching_names() {
+        let kinds = [
+            PolicyKind::Lru,
+            PolicyKind::Lfu,
+            PolicyKind::LfuCoarse,
+            PolicyKind::FmoePriority {
+                neutral_probability: 0.25,
+            },
+            PolicyKind::Sieve,
+            PolicyKind::Fifo,
+        ];
+        for kind in kinds {
+            assert_eq!(kind.build().name(), kind.name());
+        }
     }
 
     #[test]

@@ -4,7 +4,9 @@
 #![cfg(test)]
 
 use crate::cache::{ExpertCache, InsertOutcome};
-use crate::policy::{EvictionPolicy, FmoePriorityPolicy, LfuPolicy, LruPolicy};
+use crate::policy::{
+    EvictionPolicy, FifoPolicy, FmoePriorityPolicy, LfuPolicy, LruPolicy, SievePolicy,
+};
 use fmoe_model::{presets, ExpertId};
 use proptest::prelude::*;
 
@@ -37,6 +39,8 @@ fn policies() -> Vec<Box<dyn EvictionPolicy>> {
         Box::new(LfuPolicy::new()),
         Box::new(LfuPolicy::coarse()),
         Box::new(FmoePriorityPolicy::new()),
+        Box::new(SievePolicy::new()),
+        Box::new(FifoPolicy::new()),
     ]
 }
 
@@ -54,7 +58,7 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..200),
         slots in 1u64..8,
         gpus in 1u32..4,
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..6,
     ) {
         let cfg = presets::tiny_test_model();
         let budget = cfg.expert_bytes() * slots * u64::from(gpus);
@@ -97,7 +101,7 @@ proptest! {
     fn insert_outcome_matches_residency(
         preload in prop::collection::vec(0u8..16, 0..12),
         target in 0u8..16,
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..6,
     ) {
         let cfg = presets::tiny_test_model();
         let budget = cfg.expert_bytes() * 4;
@@ -162,7 +166,7 @@ proptest! {
     fn victims_come_from_candidates(
         candidates in prop::collection::vec(0u8..16, 1..16),
         hits in prop::collection::vec((0u8..16, 1u64..100), 0..32),
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..6,
     ) {
         let mut policy = policies().swap_remove(policy_idx);
         let unique: Vec<ExpertId> = {
@@ -180,5 +184,71 @@ proptest! {
         let victim = policy.choose_victim(&unique);
         prop_assert!(victim.is_some());
         prop_assert!(unique.contains(&victim.unwrap()));
+    }
+
+    /// FIFO's whole contract: the eviction sequence is the insertion
+    /// sequence, no matter how many hits land in between.
+    #[test]
+    fn fifo_evicts_in_insertion_order_regardless_of_hits(
+        inserts in prop::collection::vec(0u8..16, 1..16),
+        hits in prop::collection::vec((0u8..16, 1u64..100), 0..48),
+    ) {
+        let mut policy = FifoPolicy::new();
+        let mut order: Vec<ExpertId> = Vec::new();
+        for (t, &i) in inserts.iter().enumerate() {
+            let e = expert(i);
+            if !order.contains(&e) {
+                policy.on_insert(e, t as u64);
+                order.push(e);
+            }
+        }
+        for &(i, t) in &hits {
+            policy.on_hit(expert(i), 100 + t);
+        }
+        let mut remaining = order.clone();
+        let mut evicted = Vec::new();
+        while !remaining.is_empty() {
+            let mut candidates = remaining.clone();
+            candidates.sort();
+            let victim = policy.choose_victim_mut(&candidates).unwrap();
+            policy.on_remove(victim);
+            remaining.retain(|&e| e != victim);
+            evicted.push(victim);
+        }
+        prop_assert_eq!(evicted, order);
+    }
+
+    /// SIEVE's read-only preview (`choose_victim`) must name the same
+    /// victim its mutating scan (`choose_victim_mut`) then takes, for
+    /// any insert/hit history — the cache core relies on the preview
+    /// for introspection without perturbing hand state.
+    #[test]
+    fn sieve_preview_agrees_with_scan_for_any_history(
+        inserts in prop::collection::vec(0u8..16, 1..16),
+        hits in prop::collection::vec((0u8..16, 1u64..100), 0..48),
+        evictions in 1usize..8,
+    ) {
+        let mut policy = SievePolicy::new();
+        let mut resident: Vec<ExpertId> = Vec::new();
+        for (t, &i) in inserts.iter().enumerate() {
+            let e = expert(i);
+            if !resident.contains(&e) {
+                policy.on_insert(e, t as u64);
+                resident.push(e);
+            }
+        }
+        for &(i, t) in &hits {
+            policy.on_hit(expert(i), 100 + t);
+        }
+        for _ in 0..evictions.min(resident.len().saturating_sub(1)) {
+            let mut candidates = resident.clone();
+            candidates.sort();
+            let preview = policy.choose_victim(&candidates);
+            let victim = policy.choose_victim_mut(&candidates);
+            prop_assert_eq!(preview, victim);
+            let victim = victim.unwrap();
+            policy.on_remove(victim);
+            resident.retain(|&e| e != victim);
+        }
     }
 }

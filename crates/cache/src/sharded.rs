@@ -1,0 +1,313 @@
+//! N-way sharded concurrent expert cache.
+//!
+//! The single-threaded [`ExpertCache`](crate::ExpertCache) is the
+//! simulation-path structure: deterministic, lock-free, byte-stable. A
+//! multi-replica host, though, wants one *shared* host-side cache view
+//! that many replica threads can update concurrently without serializing
+//! on a single lock. [`ShardedExpertCache`] provides that: experts are
+//! partitioned over N independent shards by dense index, each shard is a
+//! full `ExpertCache` behind its own `Mutex`, and fleet-wide statistics
+//! are the field-wise [`CacheStats::merged`] sum of the per-shard stats.
+//!
+//! Properties worth stating:
+//!
+//! * **Sharding is by identity, not by recency** — an expert always maps
+//!   to the same shard (`dense_index % num_shards`), so per-expert
+//!   operations from any number of threads are linearized by exactly one
+//!   shard lock and two threads touching different shards never contend.
+//! * **Determinism is per-shard.** Operations on one shard apply in that
+//!   shard's lock order; because shards are disjoint by expert, any
+//!   thread interleaving in which each expert's own operation sequence
+//!   is preserved yields the same final residency and the same per-shard
+//!   stats as a sequential replay. The deterministic concurrency suite
+//!   (`crates/cache/tests/sharded_concurrency.rs`) pins this.
+//! * **Poisoned locks recover.** The cache is bookkeeping, not critical
+//!   state; a panicking peer thread must not wedge serving, so locks are
+//!   taken with `PoisonError::into_inner`.
+
+use crate::cache::{ExpertCache, InsertOutcome};
+use crate::policy::PolicyKind;
+use crate::stats::CacheStats;
+use fmoe_model::{ExpertId, ModelConfig};
+use fmoe_trace::{shard_metric, MetricsRegistry};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock(shard: &Mutex<ExpertCache>) -> MutexGuard<'_, ExpertCache> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One shard's occupancy snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct ShardOccupancy {
+    /// Shard index.
+    pub shard: usize,
+    /// Experts resident in this shard.
+    pub residents: usize,
+    /// Bytes used in this shard.
+    pub used_bytes: u64,
+    /// This shard's byte budget.
+    pub budget_bytes: u64,
+}
+
+/// A concurrent expert cache sharded N ways by expert identity.
+///
+/// ```
+/// use fmoe_cache::{PolicyKind, ShardedExpertCache};
+/// use fmoe_model::{presets, ExpertId};
+///
+/// let model = presets::tiny_test_model();
+/// let cache = ShardedExpertCache::new(
+///     &model,
+///     model.expert_bytes() * 8,
+///     4,
+///     PolicyKind::Sieve,
+/// );
+/// let e = ExpertId::new(0, 1);
+/// assert!(!cache.record_access(e, 1));
+/// cache.insert(e, 2);
+/// assert!(cache.record_access(e, 3));
+/// let stats = cache.stats();
+/// assert_eq!(stats.hits + stats.misses, stats.lookups);
+/// ```
+#[derive(Debug)]
+pub struct ShardedExpertCache {
+    shards: Vec<Mutex<ExpertCache>>,
+    experts_per_layer: u32,
+}
+
+impl ShardedExpertCache {
+    /// Builds `num_shards` independent shards, each holding an equal
+    /// slice of the total byte budget and its own freshly-built eviction
+    /// policy of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0`.
+    #[must_use]
+    pub fn new(
+        config: &ModelConfig,
+        total_budget_bytes: u64,
+        num_shards: usize,
+        kind: PolicyKind,
+    ) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let per_shard = total_budget_bytes / num_shards as u64;
+        let shards = (0..num_shards)
+            .map(|_| Mutex::new(ExpertCache::new(config, per_shard, 1, kind.build())))
+            .collect();
+        Self {
+            shards,
+            experts_per_layer: config.experts_per_layer,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an expert maps to: `dense_index % num_shards`. Stable
+    /// for the cache's lifetime.
+    #[must_use]
+    pub fn shard_of(&self, expert: ExpertId) -> usize {
+        expert.dense_index(self.experts_per_layer) % self.shards.len()
+    }
+
+    /// Records an access on the owning shard. Returns whether it hit.
+    pub fn record_access(&self, expert: ExpertId, now: u64) -> bool {
+        lock(&self.shards[self.shard_of(expert)]).record_access(expert, now)
+    }
+
+    /// Inserts a full-precision expert into its owning shard.
+    pub fn insert(&self, expert: ExpertId, now: u64) -> InsertOutcome {
+        lock(&self.shards[self.shard_of(expert)]).insert(expert, now)
+    }
+
+    /// Whether `expert` is resident in its shard.
+    #[must_use]
+    pub fn contains(&self, expert: ExpertId) -> bool {
+        lock(&self.shards[self.shard_of(expert)]).contains(expert)
+    }
+
+    /// Removes `expert` from its shard; `true` if it was resident.
+    pub fn remove(&self, expert: ExpertId) -> bool {
+        lock(&self.shards[self.shard_of(expert)]).remove(expert)
+    }
+
+    /// Total residents across shards.
+    #[must_use]
+    pub fn resident_count(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).resident_count()).sum()
+    }
+
+    /// One shard's statistics snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shard_count()`.
+    #[must_use]
+    pub fn shard_stats(&self, shard: usize) -> CacheStats {
+        lock(&self.shards[shard]).stats()
+    }
+
+    /// Fleet-wide statistics: the field-wise merge of every shard's
+    /// stats, in shard order. The lookup identity `hits + misses ==
+    /// lookups` holds per shard and therefore (linearity) here too.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.shards
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merged(&lock(s).stats()))
+    }
+
+    /// Per-shard occupancy, in shard order.
+    #[must_use]
+    pub fn occupancy(&self) -> Vec<ShardOccupancy> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let shard = lock(s);
+                ShardOccupancy {
+                    shard: i,
+                    residents: shard.resident_count(),
+                    used_bytes: shard.used_bytes(0),
+                    budget_bytes: shard.per_gpu_budget(),
+                }
+            })
+            .collect()
+    }
+
+    /// Sorted list of every resident expert across shards (expert-id
+    /// order, shard-independent), for comparing a concurrent run's final
+    /// state against a sequential replay.
+    #[must_use]
+    pub fn resident_experts_sorted(&self) -> Vec<ExpertId> {
+        let mut all: Vec<ExpertId> = self
+            .shards
+            .iter()
+            .flat_map(|s| lock(s).resident_experts().collect::<Vec<_>>())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Exports per-shard hit/miss/lookup counters and occupancy gauges
+    /// into `registry` under `{base}.shardNN.{field}` names (see
+    /// [`shard_metric`]), deterministically ordered by shard.
+    pub fn export_metrics(&self, base: &str, registry: &mut MetricsRegistry) {
+        for (i, s) in self.shards.iter().enumerate() {
+            let shard = lock(s);
+            let stats = shard.stats();
+            registry.add(&shard_metric(base, i, "hits"), stats.hits);
+            registry.add(&shard_metric(base, i, "misses"), stats.misses);
+            registry.add(&shard_metric(base, i, "lookups"), stats.lookups);
+            registry.add(&shard_metric(base, i, "evictions"), stats.evictions);
+            registry.set_gauge(
+                &shard_metric(base, i, "residents"),
+                shard.resident_count() as u64,
+            );
+            registry.set_gauge(&shard_metric(base, i, "used_bytes"), shard.used_bytes(0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmoe_model::presets;
+
+    fn expert(i: usize) -> ExpertId {
+        ExpertId::from_dense_index(i % 16, 4)
+    }
+
+    #[test]
+    fn sharded_cache_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedExpertCache>();
+    }
+
+    #[test]
+    fn experts_route_to_stable_disjoint_shards() {
+        let model = presets::tiny_test_model();
+        let cache = ShardedExpertCache::new(&model, model.expert_bytes() * 8, 4, PolicyKind::Lru);
+        for i in 0..16 {
+            let e = expert(i);
+            assert_eq!(cache.shard_of(e), i % 4);
+            assert_eq!(cache.shard_of(e), cache.shard_of(e), "stable");
+        }
+    }
+
+    #[test]
+    fn merged_stats_equal_shard_sum_and_hold_invariant() {
+        let model = presets::tiny_test_model();
+        let cache = ShardedExpertCache::new(&model, model.expert_bytes() * 8, 4, PolicyKind::Fifo);
+        for i in 0..16 {
+            cache.record_access(expert(i), i as u64); // all miss
+            cache.insert(expert(i), i as u64);
+        }
+        for i in 0..8 {
+            cache.record_access(expert(i), 100 + i as u64);
+        }
+        let merged = cache.stats();
+        let mut manual = CacheStats::default();
+        for s in 0..cache.shard_count() {
+            assert!(cache.shard_stats(s).check_invariants());
+            manual = manual.merged(&cache.shard_stats(s));
+        }
+        assert_eq!(merged, manual);
+        assert!(merged.check_invariants());
+        assert_eq!(merged.lookups, 24);
+        // Each shard holds 2 of its 4 experts; FIFO evicts the two
+        // oldest (dense 0..8), so the 8 re-accesses all miss.
+        assert_eq!(merged.misses, 24);
+        assert_eq!(merged.hits, 0);
+    }
+
+    #[test]
+    fn occupancy_reports_budget_and_usage_per_shard() {
+        let model = presets::tiny_test_model();
+        let total = model.expert_bytes() * 8;
+        let cache = ShardedExpertCache::new(&model, total, 4, PolicyKind::Sieve);
+        for i in 0..4 {
+            cache.insert(expert(i), i as u64);
+        }
+        let occ = cache.occupancy();
+        assert_eq!(occ.len(), 4);
+        for (i, o) in occ.iter().enumerate() {
+            assert_eq!(o.shard, i);
+            assert_eq!(o.residents, 1);
+            assert_eq!(o.used_bytes, model.expert_bytes());
+            assert_eq!(o.budget_bytes, total / 4);
+        }
+        assert_eq!(cache.resident_count(), 4);
+    }
+
+    #[test]
+    fn export_metrics_uses_shard_scoped_names() {
+        let model = presets::tiny_test_model();
+        let cache = ShardedExpertCache::new(&model, model.expert_bytes() * 8, 2, PolicyKind::Lru);
+        cache.record_access(expert(0), 1);
+        cache.insert(expert(0), 1);
+        cache.record_access(expert(0), 2);
+        let mut reg = MetricsRegistry::new();
+        cache.export_metrics("host_cache", &mut reg);
+        assert_eq!(reg.counter("host_cache.shard00.lookups"), 2);
+        assert_eq!(reg.counter("host_cache.shard00.hits"), 1);
+        assert_eq!(reg.counter("host_cache.shard00.misses"), 1);
+        assert_eq!(reg.counter("host_cache.shard01.lookups"), 0);
+        assert_eq!(reg.gauge("host_cache.shard00.residents"), Some(1));
+    }
+
+    #[test]
+    fn removal_clears_residency_through_the_shard() {
+        let model = presets::tiny_test_model();
+        let cache = ShardedExpertCache::new(&model, model.expert_bytes() * 8, 4, PolicyKind::Lru);
+        cache.insert(expert(3), 1);
+        assert!(cache.contains(expert(3)));
+        assert!(cache.remove(expert(3)));
+        assert!(!cache.contains(expert(3)));
+        assert!(!cache.remove(expert(3)), "double remove is false");
+    }
+}

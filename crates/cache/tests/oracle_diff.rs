@@ -1,0 +1,298 @@
+//! Differential testing of the arena-backed cache against naive oracles.
+//!
+//! Each eviction policy with queue semantics (LRU, FIFO, SIEVE) gets a
+//! deliberately dumb reference model built on plain `Vec`s — no arenas,
+//! no intrusive links, no hand indices — and the real
+//! [`ExpertCache`] is driven through thousands of seeded mixed
+//! operations while the oracle shadows every step. After *every*
+//! operation the two must agree on:
+//!
+//! * the eviction sequence (exact victims, in order),
+//! * the resident set, and
+//! * the full [`CacheStats`] counters.
+//!
+//! The op streams come from a splitmix64 generator seeded per run, so a
+//! failure reproduces from its printed seed with no proptest machinery.
+//! A proptest layer on top feeds shorter arbitrary sequences through the
+//! same harness for shrinking-friendly counterexamples.
+
+use fmoe_cache::{CacheStats, ExpertCache, InsertOutcome, PolicyKind};
+use fmoe_model::{presets, ExpertId, ModelConfig};
+use proptest::prelude::*;
+
+const SLOTS: u64 = 3;
+const NUM_EXPERTS: usize = 16;
+
+fn expert(i: usize) -> ExpertId {
+    ExpertId::from_dense_index(i % NUM_EXPERTS, 4)
+}
+
+/// Splitmix64: tiny, seedable, good enough to mix op streams.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access(usize),
+    Insert(usize),
+    Remove(usize),
+}
+
+fn random_ops(seed: u64, count: usize) -> Vec<Op> {
+    let mut rng = SplitMix64(seed);
+    (0..count)
+        .map(|_| {
+            let e = (rng.next() % NUM_EXPERTS as u64) as usize;
+            match rng.next() % 10 {
+                0..=4 => Op::Access(e),
+                5..=8 => Op::Insert(e),
+                _ => Op::Remove(e),
+            }
+        })
+        .collect()
+}
+
+/// What an eviction policy's reference model must provide: queue
+/// bookkeeping plus victim selection over the full resident set.
+trait Oracle {
+    fn on_insert(&mut self, e: ExpertId);
+    fn on_hit(&mut self, e: ExpertId);
+    fn on_remove(&mut self, e: ExpertId);
+    fn pick_victim(&mut self) -> ExpertId;
+}
+
+/// FIFO: victims in strict insertion order; hits change nothing.
+#[derive(Default)]
+struct FifoOracle {
+    q: Vec<ExpertId>, // index 0 = oldest
+}
+
+impl Oracle for FifoOracle {
+    fn on_insert(&mut self, e: ExpertId) {
+        self.q.push(e);
+    }
+    fn on_hit(&mut self, _e: ExpertId) {}
+    fn on_remove(&mut self, e: ExpertId) {
+        self.q.retain(|&x| x != e);
+    }
+    fn pick_victim(&mut self) -> ExpertId {
+        self.q[0]
+    }
+}
+
+/// LRU: any touch (hit or re-insert) moves the entry to the newest end.
+/// Valid as an oracle here because the driver's clock strictly
+/// increases, so the real `LruPolicy`'s `(stamp, id)` minimum never has
+/// to tie-break — recency order alone decides.
+#[derive(Default)]
+struct LruOracle {
+    q: Vec<ExpertId>, // index 0 = least recently touched
+}
+
+impl Oracle for LruOracle {
+    fn on_insert(&mut self, e: ExpertId) {
+        self.q.push(e);
+    }
+    fn on_hit(&mut self, e: ExpertId) {
+        self.q.retain(|&x| x != e);
+        self.q.push(e);
+    }
+    fn on_remove(&mut self, e: ExpertId) {
+        self.q.retain(|&x| x != e);
+    }
+    fn pick_victim(&mut self) -> ExpertId {
+        self.q[0]
+    }
+}
+
+/// SIEVE: a hand sweeps oldest → newest (wrapping), sparing visited
+/// entries (clearing their bit) and evicting the first unvisited one;
+/// the hand then parks on the entry just newer than the victim.
+#[derive(Default)]
+struct SieveOracle {
+    q: Vec<(ExpertId, bool)>, // index 0 = oldest; bool = visited
+    hand: Option<ExpertId>,
+}
+
+impl Oracle for SieveOracle {
+    fn on_insert(&mut self, e: ExpertId) {
+        self.q.push((e, false));
+    }
+    fn on_hit(&mut self, e: ExpertId) {
+        if let Some(entry) = self.q.iter_mut().find(|(x, _)| *x == e) {
+            entry.1 = true;
+        }
+    }
+    fn on_remove(&mut self, e: ExpertId) {
+        let Some(pos) = self.q.iter().position(|(x, _)| *x == e) else {
+            return;
+        };
+        if self.hand == Some(e) {
+            // Re-park on the next-newer entry, like the arena version.
+            self.hand = self.q.get(pos + 1).map(|(x, _)| *x);
+        }
+        self.q.remove(pos);
+    }
+    fn pick_victim(&mut self) -> ExpertId {
+        let mut pos = self
+            .hand
+            .and_then(|h| self.q.iter().position(|(x, _)| *x == h))
+            .unwrap_or(0);
+        loop {
+            if self.q[pos].1 {
+                self.q[pos].1 = false;
+                pos = (pos + 1) % self.q.len();
+            } else {
+                let victim = self.q[pos].0;
+                self.hand = self.q.get(pos + 1).map(|(x, _)| *x);
+                return victim;
+            }
+        }
+    }
+}
+
+/// Drives the real cache and the oracle through one op stream, checking
+/// eviction sequence, residency, and stats after every step.
+fn run_differential(kind: PolicyKind, oracle: &mut dyn Oracle, ops: &[Op], label: &str) {
+    let cfg: ModelConfig = presets::tiny_test_model();
+    let mut cache = ExpertCache::new(&cfg, cfg.expert_bytes() * SLOTS, 1, kind.build());
+
+    let mut resident: Vec<ExpertId> = Vec::new();
+    let mut stats = CacheStats::default();
+    let mut clock = 0u64;
+
+    for (step, &op) in ops.iter().enumerate() {
+        clock += 1;
+        match op {
+            Op::Access(i) => {
+                let e = expert(i);
+                let hit = cache.record_access(e, clock);
+                stats.lookups += 1;
+                if resident.contains(&e) {
+                    stats.hits += 1;
+                    oracle.on_hit(e);
+                    assert!(hit, "{label} step {step}: oracle expected hit on {e:?}");
+                } else {
+                    stats.misses += 1;
+                    assert!(!hit, "{label} step {step}: oracle expected miss on {e:?}");
+                }
+            }
+            Op::Insert(i) => {
+                let e = expert(i);
+                let outcome = cache.insert(e, clock);
+                if resident.contains(&e) {
+                    oracle.on_hit(e);
+                    assert_eq!(
+                        outcome,
+                        InsertOutcome::AlreadyResident,
+                        "{label} step {step}: {e:?} already resident"
+                    );
+                } else {
+                    let mut expected_evicted = Vec::new();
+                    while resident.len() as u64 >= SLOTS {
+                        let victim = oracle.pick_victim();
+                        oracle.on_remove(victim);
+                        resident.retain(|&x| x != victim);
+                        stats.evictions += 1;
+                        expected_evicted.push(victim);
+                    }
+                    oracle.on_insert(e);
+                    resident.push(e);
+                    stats.insertions += 1;
+                    assert_eq!(
+                        outcome,
+                        InsertOutcome::Inserted {
+                            evicted: expected_evicted
+                        },
+                        "{label} step {step}: eviction sequence diverged inserting {e:?}"
+                    );
+                }
+            }
+            Op::Remove(i) => {
+                let e = expert(i);
+                let was_resident = resident.contains(&e);
+                let removed = cache.remove(e);
+                if was_resident {
+                    oracle.on_remove(e);
+                    resident.retain(|&x| x != e);
+                }
+                assert_eq!(removed, was_resident, "{label} step {step}: remove {e:?}");
+            }
+        }
+        let mut want = resident.clone();
+        want.sort_unstable();
+        let got: Vec<ExpertId> = cache.resident_experts().collect();
+        assert_eq!(got, want, "{label} step {step}: resident set diverged");
+        assert_eq!(cache.stats(), stats, "{label} step {step}: stats diverged");
+        assert!(cache.stats().check_invariants(), "{label} step {step}");
+    }
+}
+
+fn oracle_for(kind: PolicyKind) -> Box<dyn Oracle> {
+    match kind {
+        PolicyKind::Fifo => Box::new(FifoOracle::default()),
+        PolicyKind::Lru => Box::new(LruOracle::default()),
+        PolicyKind::Sieve => Box::new(SieveOracle::default()),
+        _ => unreachable!("no oracle for {kind:?}"),
+    }
+}
+
+fn run_seeded(kind: PolicyKind, label: &str) {
+    for seed in 0..24u64 {
+        let ops = random_ops(seed * 0x5851_f42d + 1, 3_000);
+        let mut oracle = oracle_for(kind);
+        run_differential(kind, oracle.as_mut(), &ops, &format!("{label} seed {seed}"));
+    }
+}
+
+#[test]
+fn fifo_matches_naive_oracle_over_seeded_streams() {
+    run_seeded(PolicyKind::Fifo, "fifo");
+}
+
+#[test]
+fn lru_matches_naive_oracle_over_seeded_streams() {
+    run_seeded(PolicyKind::Lru, "lru");
+}
+
+#[test]
+fn sieve_matches_naive_oracle_over_seeded_streams() {
+    run_seeded(PolicyKind::Sieve, "sieve");
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..NUM_EXPERTS).prop_map(Op::Access),
+        (0usize..NUM_EXPERTS).prop_map(Op::Insert),
+        (0usize..NUM_EXPERTS).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn fifo_matches_oracle_on_arbitrary_ops(ops in prop::collection::vec(arb_op(), 1..400)) {
+        let mut oracle = FifoOracle::default();
+        run_differential(PolicyKind::Fifo, &mut oracle, &ops, "fifo-prop");
+    }
+
+    #[test]
+    fn lru_matches_oracle_on_arbitrary_ops(ops in prop::collection::vec(arb_op(), 1..400)) {
+        let mut oracle = LruOracle::default();
+        run_differential(PolicyKind::Lru, &mut oracle, &ops, "lru-prop");
+    }
+
+    #[test]
+    fn sieve_matches_oracle_on_arbitrary_ops(ops in prop::collection::vec(arb_op(), 1..400)) {
+        let mut oracle = SieveOracle::default();
+        run_differential(PolicyKind::Sieve, &mut oracle, &ops, "sieve-prop");
+    }
+}

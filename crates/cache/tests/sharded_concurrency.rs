@@ -1,0 +1,191 @@
+//! Deterministic concurrency tests for [`ShardedExpertCache`].
+//!
+//! The sharded cache's determinism claim is *per-shard*: because experts
+//! map to fixed disjoint shards, a concurrent run in which each shard
+//! receives its operations in a fixed order produces exactly the state a
+//! sequential replay produces — independent of thread interleaving. The
+//! tests pin that claim three ways:
+//!
+//! 1. a fixed number of threads, each owning one shard's experts, driven
+//!    by seeded per-thread schedules, must land on the same final
+//!    residency/stats as a single-threaded replay of the same schedules;
+//! 2. two in-process runs of the threaded version must agree exactly;
+//! 3. two *separate OS processes* running the canonical-render helper
+//!    must emit byte-identical output (`cross_process` below re-executes
+//!    this test binary twice and compares stdout).
+
+use fmoe_cache::{CacheStats, PolicyKind, ShardedExpertCache};
+use fmoe_model::{presets, ExpertId};
+use std::process::Command;
+use std::sync::Arc;
+use std::thread;
+
+const NUM_EXPERTS: usize = 16;
+const SHARDS: usize = 4;
+const OPS_PER_THREAD: usize = 2_000;
+
+fn expert(i: usize) -> ExpertId {
+    ExpertId::from_dense_index(i % NUM_EXPERTS, 4)
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access(ExpertId, u64),
+    Insert(ExpertId, u64),
+    Remove(ExpertId),
+}
+
+/// The seeded schedule for one thread. Every expert it touches belongs
+/// to `shard` (the thread's own shard), so schedules are disjoint by
+/// construction and the concurrent run is order-deterministic per shard.
+fn schedule(cache: &ShardedExpertCache, shard: usize, seed: u64) -> Vec<Op> {
+    let mut rng = SplitMix64(seed);
+    let owned: Vec<ExpertId> = (0..NUM_EXPERTS)
+        .map(expert)
+        .filter(|&e| cache.shard_of(e) == shard)
+        .collect();
+    let mut clock = 0u64;
+    (0..OPS_PER_THREAD)
+        .map(|_| {
+            clock += 1;
+            let e = owned[(rng.next() % owned.len() as u64) as usize];
+            match rng.next() % 10 {
+                0..=4 => Op::Access(e, clock),
+                5..=8 => Op::Insert(e, clock),
+                _ => Op::Remove(e),
+            }
+        })
+        .collect()
+}
+
+fn apply(cache: &ShardedExpertCache, op: Op) {
+    match op {
+        Op::Access(e, now) => {
+            cache.record_access(e, now);
+        }
+        Op::Insert(e, now) => {
+            cache.insert(e, now);
+        }
+        Op::Remove(e) => {
+            cache.remove(e);
+        }
+    }
+}
+
+fn fresh_cache() -> ShardedExpertCache {
+    let model = presets::tiny_test_model();
+    ShardedExpertCache::new(&model, model.expert_bytes() * 8, SHARDS, PolicyKind::Sieve)
+}
+
+/// Runs the fixed schedules on `SHARDS` threads (thread t owns shard t)
+/// and returns the final (residents, per-shard stats, merged stats).
+fn run_threaded(base_seed: u64) -> (Vec<ExpertId>, Vec<CacheStats>, CacheStats) {
+    let cache = Arc::new(fresh_cache());
+    let schedules: Vec<Vec<Op>> = (0..SHARDS)
+        .map(|s| schedule(&cache, s, base_seed.wrapping_add(s as u64 * 0x9e37)))
+        .collect();
+    thread::scope(|scope| {
+        for ops in &schedules {
+            let cache = Arc::clone(&cache);
+            scope.spawn(move || {
+                for &op in ops {
+                    apply(&cache, op);
+                }
+            });
+        }
+    });
+    let shard_stats = (0..SHARDS).map(|s| cache.shard_stats(s)).collect();
+    (cache.resident_experts_sorted(), shard_stats, cache.stats())
+}
+
+/// Single-threaded replay of the same schedules, in shard order.
+fn run_sequential(base_seed: u64) -> (Vec<ExpertId>, Vec<CacheStats>, CacheStats) {
+    let cache = fresh_cache();
+    for s in 0..SHARDS {
+        for op in schedule(&cache, s, base_seed.wrapping_add(s as u64 * 0x9e37)) {
+            apply(&cache, op);
+        }
+    }
+    let shard_stats = (0..SHARDS).map(|s| cache.shard_stats(s)).collect();
+    (cache.resident_experts_sorted(), shard_stats, cache.stats())
+}
+
+#[test]
+fn threaded_run_equals_sequential_merge() {
+    for base_seed in [1u64, 42, 9001] {
+        let threaded = run_threaded(base_seed);
+        let sequential = run_sequential(base_seed);
+        assert_eq!(threaded, sequential, "base seed {base_seed}");
+        for stats in &threaded.1 {
+            assert!(stats.check_invariants(), "per-shard lookup identity");
+        }
+        assert!(threaded.2.check_invariants(), "merged lookup identity");
+    }
+}
+
+#[test]
+fn repeated_threaded_runs_agree_exactly() {
+    assert_eq!(run_threaded(7), run_threaded(7));
+}
+
+/// Canonical rendering used by the cross-process check: run the
+/// threaded workload and print shard metrics as CSV. Stdout must be
+/// byte-identical across processes.
+#[test]
+fn sharded_canonical_render_for_cross_process() {
+    let cache = Arc::new(fresh_cache());
+    let schedules: Vec<Vec<Op>> = (0..SHARDS).map(|s| schedule(&cache, s, 1234)).collect();
+    thread::scope(|scope| {
+        for ops in &schedules {
+            let cache = Arc::clone(&cache);
+            scope.spawn(move || {
+                for &op in ops {
+                    apply(&cache, op);
+                }
+            });
+        }
+    });
+    let mut registry = fmoe_trace::MetricsRegistry::new();
+    cache.export_metrics("host_cache", &mut registry);
+    println!("{}", registry.to_csv());
+    for occ in cache.occupancy() {
+        println!(
+            "occupancy,{},{},{},{}",
+            occ.shard, occ.residents, occ.used_bytes, occ.budget_bytes
+        );
+    }
+}
+
+#[test]
+fn cross_process_double_run_is_byte_identical() {
+    let exe = std::env::current_exe().expect("own test binary path");
+    let run = || {
+        let out = Command::new(&exe)
+            .args([
+                "--test-threads=1",
+                "--exact",
+                "sharded_canonical_render_for_cross_process",
+                "--nocapture",
+            ])
+            .output()
+            .expect("spawn test binary");
+        assert!(out.status.success(), "child run failed: {out:?}");
+        out.stdout
+    };
+    let first = run();
+    let second = run();
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "cross-process renders diverged");
+}

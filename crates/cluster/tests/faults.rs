@@ -524,3 +524,55 @@ fn routing_stats_count_cold_start_fallbacks() {
     );
     assert!(second.routing.affinity_routed > first.routing.affinity_routed);
 }
+
+#[test]
+fn warm_restart_books_replays_as_warmup_not_demand_insertions() {
+    // Regression: warm-seeded experts used to be counted as regular
+    // `insertions`, so lifetime accounting (pre-crash snapshot merged
+    // with the post-restart segment) inflated demand insertions by the
+    // replayed residents. They must land in `warmup_inserts` instead,
+    // and the lookup identity must hold per replica and fleet-wide.
+    let run = |warmup: WarmupMode| {
+        let events = burst_then_late(10, 8, 3_000_000_000);
+        let mut c = Cluster::new(gate(), RoutingPolicy::RoundRobin, None);
+        for _ in 0..2 {
+            c.add_replica(builder(), Box::new(warmed_predictor(&[0, 1, 2, 3])));
+        }
+        c.set_replica_fault_schedule(
+            ReplicaFaultSchedule::builder(1)
+                .crash(1, 1_000_000, 2_000_000_000)
+                .build(),
+            FailoverConfig {
+                max_redispatches: 3,
+                warmup,
+            },
+        );
+        c.dispatch(&events)
+    };
+
+    let cold = run(WarmupMode::Cold);
+    let warm = run(WarmupMode::DonorWarmed);
+    assert!(cold.cache_accounting_balances());
+    assert!(warm.cache_accounting_balances());
+    assert_eq!(
+        cold.replicas[1].cache.warmup_inserts, 0,
+        "cold restart replays nothing"
+    );
+    assert!(
+        warm.replicas[1].cache.warmup_inserts > 0,
+        "donor-warmed restart must book its replays under warmup_inserts"
+    );
+    assert_eq!(
+        warm.replicas[0].cache.warmup_inserts, 0,
+        "the donor itself replays nothing"
+    );
+    for report in [&cold, &warm] {
+        for r in &report.replicas {
+            assert_eq!(
+                r.cache.hits + r.cache.misses,
+                r.cache.lookups,
+                "per-replica lookup identity"
+            );
+        }
+    }
+}

@@ -25,7 +25,7 @@
 use crate::metrics::{Breakdown, RequestMetrics};
 use crate::predictor::{ExpertPredictor, IterationContext, PrefetchPlan};
 use crate::timeline::{Timeline, TimelineEvent};
-use fmoe_cache::{EvictionPolicy, ExpertCache, InsertOutcome};
+use fmoe_cache::{EvictionPolicy, ExpertCache, InsertOutcome, ShardedExpertCache};
 use fmoe_memsim::{
     FaultSchedule, GpuId, Nanos, RetryPolicy, Topology, TransferEngine, TransferError, VirtualClock,
 };
@@ -34,6 +34,7 @@ use fmoe_model::{CostModel, ExpertId, GateSimulator, GpuSpec};
 use fmoe_trace::{Marker, Phase, TraceSink, NO_GPU, NO_LAYER, NO_REQUEST, NO_SLOT, NO_VALUE};
 use fmoe_workload::Prompt;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -325,6 +326,12 @@ pub struct ServingEngine {
     /// the transfer engine and expert cache so all three interleave into
     /// one causally-ordered virtual-time timeline.
     trace: TraceSink,
+    /// Optional shared host-tier cache ([`ShardedExpertCache`]) this
+    /// engine mirrors its expert accesses into. Purely observational:
+    /// residency decisions and the sim timeline never read it, so with
+    /// `None` (the default) engine output is byte-identical to a build
+    /// without the field.
+    host_cache: Option<Arc<ShardedExpertCache>>,
 }
 
 /// Fluent constructor for [`ServingEngine`]: gathers the model, device,
@@ -342,6 +349,7 @@ pub struct EngineBuilder {
     fault_schedule: Option<FaultSchedule>,
     retry_policy: Option<RetryPolicy>,
     timeline: bool,
+    host_cache: Option<Arc<ShardedExpertCache>>,
 }
 
 impl EngineBuilder {
@@ -359,7 +367,23 @@ impl EngineBuilder {
             fault_schedule: None,
             retry_policy: None,
             timeline: false,
+            host_cache: None,
         }
+    }
+
+    /// Replaces the eviction policy from the [`fmoe_cache::PolicyKind`]
+    /// catalog (convenience over [`Self::policy`]).
+    #[must_use]
+    pub fn policy_kind(self, kind: fmoe_cache::PolicyKind) -> Self {
+        self.policy(kind.build())
+    }
+
+    /// Attaches a shared host-tier cache the engine mirrors accesses
+    /// into (default: none). See [`ServingEngine::set_shared_host_cache`].
+    #[must_use]
+    pub fn shared_host_cache(mut self, host: Arc<ShardedExpertCache>) -> Self {
+        self.host_cache = Some(host);
+        self
     }
 
     /// Replaces the eviction policy (default: LRU).
@@ -444,6 +468,9 @@ impl EngineBuilder {
         if self.timeline {
             engine.set_timeline_enabled(true);
         }
+        if let Some(host) = self.host_cache {
+            engine.set_shared_host_cache(host);
+        }
         engine
     }
 }
@@ -488,6 +515,7 @@ impl ServingEngine {
             degraded_mode: false,
             scratch: IterationScratch::default(),
             trace: TraceSink::disabled(),
+            host_cache: None,
         };
         if engine.config.preload_all {
             engine.preload_all_experts();
@@ -561,6 +589,22 @@ impl ServingEngine {
     #[must_use]
     pub fn trace_sink(&self) -> &TraceSink {
         &self.trace
+    }
+
+    /// Attaches a shared host-tier cache: every expert access this
+    /// engine records is mirrored into it (`record_access`, plus an
+    /// insert on miss, modelling the host tier faulting the expert in).
+    /// Observational only — GPU-side residency, eviction, and timing
+    /// never consult the host cache, so attaching one does not perturb
+    /// the deterministic sim path.
+    pub fn set_shared_host_cache(&mut self, host: Arc<ShardedExpertCache>) {
+        self.host_cache = Some(host);
+    }
+
+    /// The attached shared host-tier cache, if any.
+    #[must_use]
+    pub fn shared_host_cache(&self) -> Option<&Arc<ShardedExpertCache>> {
+        self.host_cache.as_ref()
     }
 
     /// Takes the recorded timeline entries.
@@ -668,7 +712,7 @@ impl ServingEngine {
             }
         }
         for &e in experts {
-            let _ = self.cache.insert(e, done);
+            let _ = self.cache.insert_warm(e, done);
         }
         self.idle_until(done);
         done
@@ -1127,6 +1171,11 @@ impl ServingEngine {
                         self.trace.count("engine.expert_misses", 1);
                     }
                     self.cache.record_access(e, now);
+                    if let Some(host) = &self.host_cache {
+                        if !host.record_access(e, now) {
+                            let _ = host.insert(e, now);
+                        }
+                    }
                 }
             }
 

@@ -4,21 +4,23 @@
 //! is one branch and an immediate return — no allocation, no clock
 //! reads, no observable effect on the run) or *recording*, in which case
 //! it shares one [`RingRecorder`] + [`MetricsRegistry`] behind an
-//! `Rc<RefCell<..>>`. Cloning a recording sink clones the handle, not
+//! `Arc<Mutex<..>>`. Cloning a recording sink clones the handle, not
 //! the buffer, so the serving engine can hand the same sink to its
 //! transfer engine and expert cache and all three interleave into one
 //! causally-ordered timeline.
 //!
-//! `Rc` (not `Arc`) is deliberate: the engine, transfer path, and cache
-//! are single-threaded by design (DESIGN.md §10 — determinism forbids
-//! cross-thread interleaving in the sim path), and `Rc` keeps the
-//! disabled-path cost at a pointer-sized `Option` check.
+//! The handle is `Send + Sync` so structures that *contain* a sink (the
+//! expert cache, and through it the sharded concurrent cache) can be
+//! shared across threads. The simulation path itself stays
+//! single-threaded by design (DESIGN.md §10 — determinism forbids
+//! cross-thread interleaving in the sim path); the disabled-path cost is
+//! still a pointer-sized `Option` check, and the enabled path pays one
+//! uncontended lock per emission.
 
 use crate::event::{Marker, Nanos, Phase, TraceRecord};
 use crate::metrics::MetricsRegistry;
 use crate::recorder::RingRecorder;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 #[derive(Debug)]
 struct SinkState {
@@ -26,10 +28,17 @@ struct SinkState {
     metrics: MetricsRegistry,
 }
 
+fn lock(state: &Mutex<SinkState>) -> MutexGuard<'_, SinkState> {
+    // A panic while holding the lock poisons it; tracing is
+    // observation-only, so recover the inner state rather than
+    // propagating the poison.
+    state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Cheaply clonable tracing handle. See the module docs.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSink {
-    inner: Option<Rc<RefCell<SinkState>>>,
+    inner: Option<Arc<Mutex<SinkState>>>,
 }
 
 impl TraceSink {
@@ -44,7 +53,7 @@ impl TraceSink {
     #[must_use]
     pub fn recording(capacity: usize) -> Self {
         TraceSink {
-            inner: Some(Rc::new(RefCell::new(SinkState {
+            inner: Some(Arc::new(Mutex::new(SinkState {
                 recorder: RingRecorder::with_capacity(capacity),
                 metrics: MetricsRegistry::new(),
             }))),
@@ -60,20 +69,14 @@ impl TraceSink {
     /// Open a phase span at virtual time `at_ns`.
     pub fn begin(&self, at_ns: Nanos, phase: Phase, request: u64, layer: u32) {
         if let Some(state) = &self.inner {
-            state
-                .borrow_mut()
-                .recorder
-                .begin(at_ns, phase, request, layer);
+            lock(state).recorder.begin(at_ns, phase, request, layer);
         }
     }
 
     /// Close a phase span at virtual time `at_ns`.
     pub fn end(&self, at_ns: Nanos, phase: Phase, request: u64, layer: u32) {
         if let Some(state) = &self.inner {
-            state
-                .borrow_mut()
-                .recorder
-                .end(at_ns, phase, request, layer);
+            lock(state).recorder.end(at_ns, phase, request, layer);
         }
     }
 
@@ -90,8 +93,7 @@ impl TraceSink {
         bytes: u64,
     ) {
         if let Some(state) = &self.inner {
-            state
-                .borrow_mut()
+            lock(state)
                 .recorder
                 .span(end_ns, phase, request, layer, gpu, dur_ns, bytes);
         }
@@ -110,8 +112,7 @@ impl TraceSink {
         value: u64,
     ) {
         if let Some(state) = &self.inner {
-            state
-                .borrow_mut()
+            lock(state)
                 .recorder
                 .instant(at_ns, marker, request, layer, slot, gpu, value);
         }
@@ -120,21 +121,21 @@ impl TraceSink {
     /// Add `delta` to the named counter.
     pub fn count(&self, name: &str, delta: u64) {
         if let Some(state) = &self.inner {
-            state.borrow_mut().metrics.add(name, delta);
+            lock(state).metrics.add(name, delta);
         }
     }
 
     /// Set the named gauge to `value`.
     pub fn set_gauge(&self, name: &str, value: u64) {
         if let Some(state) = &self.inner {
-            state.borrow_mut().metrics.set_gauge(name, value);
+            lock(state).metrics.set_gauge(name, value);
         }
     }
 
     /// Observe `value` into the named fixed-bucket histogram.
     pub fn observe(&self, name: &str, value: u64) {
         if let Some(state) = &self.inner {
-            state.borrow_mut().metrics.observe(name, value);
+            lock(state).metrics.observe(name, value);
         }
     }
 
@@ -143,7 +144,7 @@ impl TraceSink {
     #[must_use]
     pub fn take_records(&self) -> Vec<TraceRecord> {
         match &self.inner {
-            Some(state) => state.borrow_mut().recorder.take(),
+            Some(state) => lock(state).recorder.take(),
             None => Vec::new(),
         }
     }
@@ -152,7 +153,7 @@ impl TraceSink {
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsRegistry {
         match &self.inner {
-            Some(state) => state.borrow().metrics.clone(),
+            Some(state) => lock(state).metrics.clone(),
             None => MetricsRegistry::new(),
         }
     }
@@ -161,7 +162,7 @@ impl TraceSink {
     #[must_use]
     pub fn dropped_records(&self) -> u64 {
         match &self.inner {
-            Some(state) => state.borrow().recorder.dropped(),
+            Some(state) => lock(state).recorder.dropped(),
             None => 0,
         }
     }
@@ -213,6 +214,15 @@ mod tests {
             clone.take_records().is_empty(),
             "take drains for all handles"
         );
+    }
+
+    #[test]
+    fn sink_handles_are_send_and_sync() {
+        // The sharded concurrent expert cache embeds sinks in structures
+        // shared across threads; losing these bounds is a compile break
+        // there, but pin it here at the source.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceSink>();
     }
 
     #[test]
