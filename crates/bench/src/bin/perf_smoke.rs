@@ -1,17 +1,20 @@
 //! Perf smoke benchmark: wall-clock timings of fixed workloads, written
-//! to `BENCH_perf.json` so CI can archive a per-commit performance
-//! baseline (DESIGN.md §12).
+//! to `BENCH_perf.json` so CI can gate against the committed
+//! `BENCH_baseline.json` (DESIGN.md §16).
 //!
 //! Scenarios:
 //!
 //! * `sweep_offline_jobs1` / `sweep_offline_jobsN` — the same fixed
 //!   (model, dataset, system) cell sweep run through [`ParallelRunner`]
 //!   sequentially and at `--jobs N` (default: available parallelism).
-//!   The ratio is reported as `sweep_speedup`; on a multi-core CI runner
-//!   it should comfortably exceed 2× at `--jobs 4`.
+//!   The ratio is reported as `sweep_speedup`. The parallel leg only
+//!   runs when the machine can actually run one: with a single effective
+//!   worker (requested jobs clamped to one core) the speedup is
+//!   reported as `null` and the gate skips it — time-slicing N threads
+//!   on one core would only measure scheduler overhead.
 //! * `matcher_semantic_fast` / `matcher_semantic_reference` — the
-//!   structure-of-arrays slab kernel vs the per-entry reference scan over
-//!   a 1000-entry Expert Map Store.
+//!   structure-of-arrays slab kernel vs the per-entry reference scan
+//!   over an Expert Map Store.
 //! * `matcher_trajectory_incremental` — the streaming trajectory tracker
 //!   over the same store.
 //! * `sharded_cache_1shard` / `sharded_cache_16shards` — the
@@ -20,32 +23,30 @@
 //!   shard locks. The per-op throughput ratio is reported as
 //!   `shard_speedup`.
 //!
+//! `--quick` shrinks every scenario to CI size (seconds, not minutes);
+//! the JSON records the mode plus the machine's available parallelism,
+//! and `perf_gate` only makes absolute wall-clock comparisons between
+//! runs whose mode + parallelism fingerprints match.
+//!
 //! Wall-clock use is deliberate and confined to this binary: fmoe-lint's
 //! FM002 allows `Instant` only in bench *binaries*, never in harness or
 //! simulation code, so timings can never leak into simulated results.
 //!
 //! ```sh
-//! cargo run --release -p fmoe-bench --bin perf_smoke [--jobs N]
+//! cargo run --release -p fmoe-bench --bin perf_smoke [--quick] [--jobs N]
 //! ```
 
 use fmoe::map::ExpertMap;
 use fmoe::matcher::{Matcher, TrajectoryTracker};
 use fmoe::store::ExpertMapStore;
 use fmoe_bench::harness::{CellConfig, ParallelRunner, System};
+use fmoe_bench::perf::{self, PerfRecord, PerfReport, RunMode};
 use fmoe_cache::{PolicyKind, ShardedExpertCache};
 use fmoe_model::gate::TokenSpan;
 use fmoe_model::{presets, GateParams, GateSimulator, RequestRouting};
 use fmoe_workload::DatasetSpec;
 use std::hint::black_box;
 use std::time::Instant;
-
-/// One timed scenario.
-struct PerfRecord {
-    scenario: &'static str,
-    wall_ms: f64,
-    iters_per_s: f64,
-    jobs: usize,
-}
 
 fn time_iters<F: FnMut()>(iters: u64, mut f: F) -> (f64, f64) {
     let start = Instant::now();
@@ -62,10 +63,18 @@ fn time_iters<F: FnMut()>(iters: u64, mut f: F) -> (f64, f64) {
 }
 
 /// The fixed offline sweep every run times: quick-sized fig9 cells.
-fn sweep_points() -> Vec<(fmoe_model::ModelConfig, DatasetSpec, System)> {
+fn sweep_points(mode: RunMode) -> Vec<(fmoe_model::ModelConfig, DatasetSpec, System)> {
+    let models = presets::evaluation_models();
+    let datasets = DatasetSpec::evaluation_datasets();
+    let (models, datasets): (&[_], &[_]) = match mode {
+        // Quick: one (model, dataset) pair — enough cells (one per
+        // system) to exercise the runner without minute-scale CI cost.
+        RunMode::Quick => (&models[..1], &datasets[..1]),
+        RunMode::Full => (&models[..], &datasets[..]),
+    };
     let mut points = Vec::new();
-    for model in presets::evaluation_models() {
-        for dataset in DatasetSpec::evaluation_datasets() {
+    for model in models {
+        for dataset in datasets {
             for system in System::paper_lineup() {
                 points.push((model.clone(), dataset.clone(), system));
             }
@@ -74,28 +83,32 @@ fn sweep_points() -> Vec<(fmoe_model::ModelConfig, DatasetSpec, System)> {
     points
 }
 
-fn time_sweep(jobs: usize) -> PerfRecord {
-    let points = sweep_points();
+fn time_sweep(jobs: usize, mode: RunMode) -> PerfRecord {
+    let points = sweep_points(mode);
     let runner = ParallelRunner::new(jobs);
     let n = points.len() as u64;
+    let (test_requests, max_decode) = match mode {
+        RunMode::Quick => (2, 6),
+        RunMode::Full => (4, 12),
+    };
     let (wall_ms, _) = time_iters(1, || {
         let outcomes = runner.run(&points, |_, (model, dataset, system)| {
             let mut cell = CellConfig::new(model.clone(), dataset.clone(), *system);
-            cell.test_requests = 4;
-            cell.max_decode = 12;
+            cell.test_requests = test_requests;
+            cell.max_decode = max_decode;
             cell.run_offline()
         });
         black_box(outcomes.len());
     });
     PerfRecord {
         scenario: if jobs == 1 {
-            "sweep_offline_jobs1"
+            "sweep_offline_jobs1".to_string()
         } else {
-            "sweep_offline_jobsN"
+            "sweep_offline_jobsN".to_string()
         },
         wall_ms,
         iters_per_s: n as f64 / (wall_ms / 1e3),
-        jobs,
+        jobs: runner.jobs(),
     }
 }
 
@@ -125,8 +138,12 @@ fn build_store(capacity: usize) -> (GateSimulator, ExpertMapStore) {
     (gate, store)
 }
 
-fn matcher_records() -> Vec<PerfRecord> {
-    let (gate, store) = build_store(1000);
+fn matcher_records(mode: RunMode) -> Vec<PerfRecord> {
+    let (store_size, iters, traj_iters) = match mode {
+        RunMode::Quick => (300, 400u64, 50u64),
+        RunMode::Full => (1000, 2000, 200),
+    };
+    let (gate, store) = build_store(store_size);
     let query = gate.semantic_embedding(
         RequestRouting {
             cluster: 3,
@@ -134,7 +151,6 @@ fn matcher_records() -> Vec<PerfRecord> {
         },
         2,
     );
-    let iters = 2000u64;
     let (fast_ms, fast_ips) = time_iters(iters, || {
         black_box(Matcher::semantic_match(&store, black_box(&query)));
     });
@@ -151,7 +167,6 @@ fn matcher_records() -> Vec<PerfRecord> {
         0,
         TokenSpan::single(16),
     );
-    let traj_iters = 200u64;
     let (traj_ms, traj_ips) = time_iters(traj_iters, || {
         let mut tracker = TrajectoryTracker::new();
         tracker.reset(&store);
@@ -163,19 +178,19 @@ fn matcher_records() -> Vec<PerfRecord> {
 
     vec![
         PerfRecord {
-            scenario: "matcher_semantic_fast",
+            scenario: "matcher_semantic_fast".to_string(),
             wall_ms: fast_ms,
             iters_per_s: fast_ips,
             jobs: 1,
         },
         PerfRecord {
-            scenario: "matcher_semantic_reference",
+            scenario: "matcher_semantic_reference".to_string(),
             wall_ms: ref_ms,
             iters_per_s: ref_ips,
             jobs: 1,
         },
         PerfRecord {
-            scenario: "matcher_trajectory_incremental",
+            scenario: "matcher_trajectory_incremental".to_string(),
             wall_ms: traj_ms,
             iters_per_s: traj_ips,
             jobs: 1,
@@ -188,12 +203,15 @@ fn matcher_records() -> Vec<PerfRecord> {
 /// cache. Contention — and nothing else — separates the 1-shard and
 /// 16-shard configurations: total ops, expert set, and per-thread
 /// schedules are identical.
-fn contention_record(shards: usize, threads: usize) -> PerfRecord {
-    const OPS_PER_THREAD: usize = 50_000;
+fn contention_record(shards: usize, threads: usize, mode: RunMode) -> PerfRecord {
+    let ops_per_thread: usize = match mode {
+        RunMode::Quick => 10_000,
+        RunMode::Full => 50_000,
+    };
     let model = presets::small_test_model();
     let cache =
         ShardedExpertCache::new(&model, model.expert_bytes() * 32, shards, PolicyKind::Sieve);
-    let total_ops = (threads * OPS_PER_THREAD) as u64;
+    let total_ops = (threads * ops_per_thread) as u64;
     let (wall_ms, _) = time_iters(1, || {
         std::thread::scope(|scope| {
             for t in 0..threads {
@@ -201,7 +219,7 @@ fn contention_record(shards: usize, threads: usize) -> PerfRecord {
                 scope.spawn(move || {
                     // Splitmix64, seeded per thread: same schedule every run.
                     let mut state = 0x9e37 + t as u64;
-                    for i in 0..OPS_PER_THREAD {
+                    for i in 0..ops_per_thread {
                         state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
                         let mut z = state;
                         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -221,9 +239,9 @@ fn contention_record(shards: usize, threads: usize) -> PerfRecord {
     });
     PerfRecord {
         scenario: if shards == 1 {
-            "sharded_cache_1shard"
+            "sharded_cache_1shard".to_string()
         } else {
-            "sharded_cache_16shards"
+            "sharded_cache_16shards".to_string()
         },
         wall_ms,
         iters_per_s: total_ops as f64 / (wall_ms / 1e3),
@@ -231,71 +249,92 @@ fn contention_record(shards: usize, threads: usize) -> PerfRecord {
     }
 }
 
-/// Hand-rolled JSON: the workspace deliberately has no JSON dependency,
-/// and the schema is flat enough that formatting is trivial.
-fn to_json(records: &[PerfRecord], jobs: usize, sweep_speedup: f64, shard_speedup: f64) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"perf_smoke\",\n");
-    out.push_str(&format!("  \"jobs\": {jobs},\n"));
-    out.push_str(&format!("  \"sweep_speedup\": {sweep_speedup:.3},\n"));
-    out.push_str(&format!("  \"shard_speedup\": {shard_speedup:.3},\n"));
-    out.push_str("  \"records\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"wall_ms\": {:.3}, \"iters_per_s\": {:.3}, \"jobs\": {}}}{}\n",
-            r.scenario,
-            r.wall_ms,
-            r.iters_per_s,
-            r.jobs,
-            if i + 1 == records.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
-
 fn main() {
-    let jobs = fmoe_bench::harness::jobs_from_args(std::env::args().skip(1));
-
-    let seq = time_sweep(1);
-    let par = time_sweep(jobs.max(2));
-    let sweep_speedup = if par.wall_ms > 0.0 {
-        seq.wall_ms / par.wall_ms
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = if args.iter().any(|a| a == "--quick") {
+        RunMode::Quick
     } else {
-        f64::INFINITY
+        RunMode::Full
+    };
+    let jobs = fmoe_bench::harness::jobs_from_args(args.iter().cloned());
+    let parallelism = ParallelRunner::available_parallelism();
+    let effective = jobs.min(parallelism);
+
+    let seq = time_sweep(1, mode);
+    let mut records = Vec::new();
+    // A parallel leg needs at least two effective workers; on a
+    // single-core machine the "speedup" would only measure time-slicing
+    // overhead, so it is skipped and reported as null.
+    let sweep_speedup = if effective > 1 {
+        let par = time_sweep(effective, mode);
+        let s = perf::speedup(seq.wall_ms, par.wall_ms);
+        records.push(seq);
+        records.push(par);
+        s
+    } else {
+        records.push(seq);
+        None
     };
 
-    let mut records = vec![seq, par];
-    records.extend(matcher_records());
+    records.extend(matcher_records(mode));
 
     let threads = jobs.clamp(4, 16);
-    let one_shard = contention_record(1, threads);
-    let many_shards = contention_record(16, threads);
-    let shard_speedup = if one_shard.wall_ms > 0.0 {
-        one_shard.wall_ms / many_shards.wall_ms
-    } else {
-        f64::INFINITY
-    };
+    let one_shard = contention_record(1, threads, mode);
+    let many_shards = contention_record(16, threads, mode);
+    let shard_speedup = perf::speedup(one_shard.wall_ms, many_shards.wall_ms);
     records.push(one_shard);
     records.push(many_shards);
 
-    println!("perf_smoke (jobs = {jobs})");
+    let report = PerfReport {
+        jobs,
+        parallelism,
+        mode,
+        sweep_speedup,
+        shard_speedup,
+        records,
+    };
+
+    println!(
+        "perf_smoke (mode = {}, jobs = {jobs}, parallelism = {parallelism})",
+        mode.as_str()
+    );
     println!(
         "{:<32} {:>12} {:>14} {:>6}",
         "scenario", "wall_ms", "iters/s", "jobs"
     );
-    for r in &records {
+    for r in &report.records {
         println!(
             "{:<32} {:>12.3} {:>14.1} {:>6}",
             r.scenario, r.wall_ms, r.iters_per_s, r.jobs
         );
     }
-    println!("sweep speedup (jobs1 / jobsN): {sweep_speedup:.2}x");
-    println!("shard speedup (1 shard / 16 shards): {shard_speedup:.2}x");
+    let show = |v: Option<f64>| match v {
+        Some(s) => format!("{s:.2}x"),
+        None => "n/a".to_string(),
+    };
+    println!("sweep speedup (jobs1 / jobsN): {}", show(sweep_speedup));
+    println!(
+        "shard speedup (1 shard / 16 shards): {}",
+        show(shard_speedup)
+    );
 
-    let json = to_json(&records, jobs, sweep_speedup, shard_speedup);
-    match std::fs::write("BENCH_perf.json", &json) {
+    match std::fs::write("BENCH_perf.json", report.to_json()) {
         Ok(()) => println!("wrote BENCH_perf.json"),
         Err(e) => eprintln!("cannot write BENCH_perf.json: {e}"),
+    }
+
+    // Informational baseline comparison (the enforcing step is the
+    // `perf_gate` binary): print the delta table when a committed
+    // baseline is available.
+    match std::fs::read_to_string("BENCH_baseline.json") {
+        Ok(text) => match PerfReport::from_json(&text) {
+            Ok(baseline) => {
+                let outcome = perf::gate(&baseline, &report, perf::DEFAULT_TOLERANCE);
+                println!("\nvs BENCH_baseline.json:");
+                print!("{}", outcome.delta_table());
+            }
+            Err(e) => eprintln!("BENCH_baseline.json unreadable: {e}"),
+        },
+        Err(_) => println!("no BENCH_baseline.json here; skipping comparison"),
     }
 }

@@ -122,6 +122,10 @@ pub struct CellConfig {
     pub on_demand_deadline_ns: Option<u64>,
     /// Router seed (vary for confidence runs).
     pub gate_seed: u64,
+    /// Run the engine on the retained `BTreeMap` reference residency
+    /// index instead of the dense table (differential testing only;
+    /// results must be byte-identical either way).
+    pub reference_residency_index: bool,
 }
 
 impl CellConfig {
@@ -151,6 +155,7 @@ impl CellConfig {
             low_precision_threshold: None,
             on_demand_deadline_ns: None,
             gate_seed: 0xF0E1_D2C3_B4A5_9687,
+            reference_residency_index: false,
         }
     }
 
@@ -241,6 +246,7 @@ impl CellConfig {
             framework_overhead_per_layer_ns: 3_000_000,
             low_precision_threshold: self.low_precision_threshold,
             on_demand_deadline_ns: self.on_demand_deadline_ns,
+            reference_residency_index: self.reference_residency_index,
             ..EngineConfig::paper_default()
         };
         ServingEngine::builder(gate, GpuSpec::rtx_3090(), self.topology.clone())
@@ -426,16 +432,46 @@ pub struct CoverageStats {
 /// The runner itself touches no wall clock and no randomness, so it
 /// stays inside fmoe-lint's FM002/FM003 envelope even though it lives in
 /// the bench crate's library.
+///
+/// **Worker clamping.** Requested workers beyond the machine's available
+/// parallelism only add contention: sweep points are CPU-bound, so extra
+/// threads time-slice the same cores and the scheduling overhead makes
+/// the "parallel" run *slower* than sequential (a `--jobs 4` run on a
+/// one-core container measured ~0.88x). [`Self::new`] therefore clamps
+/// to [`Self::available_parallelism`]; with one effective worker the
+/// runner degenerates to the plain sequential loop. Results are
+/// byte-identical either way, so the clamp only changes wall time.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelRunner {
     jobs: usize,
 }
 
 impl ParallelRunner {
-    /// A runner with a fixed worker count (clamped to at least 1).
+    /// A runner with a fixed worker count, clamped to
+    /// `1..=available_parallelism` (see the type docs for why
+    /// oversubscription is never useful for these workloads).
     #[must_use]
     pub fn new(jobs: usize) -> Self {
+        Self {
+            jobs: jobs.max(1).min(Self::available_parallelism()),
+        }
+    }
+
+    /// A runner that fans out to exactly `jobs` workers even past the
+    /// machine's core count. Only for tests and measurement harnesses
+    /// that must exercise the threaded path regardless of hardware;
+    /// experiment binaries should use [`Self::new`].
+    #[must_use]
+    pub fn unclamped(jobs: usize) -> Self {
         Self { jobs: jobs.max(1) }
+    }
+
+    /// The machine's available parallelism (at least 1).
+    #[must_use]
+    pub fn available_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
     }
 
     /// A runner configured from the process arguments: `--jobs N` or
@@ -445,7 +481,8 @@ impl ParallelRunner {
         Self::new(jobs_from_args(std::env::args().skip(1)))
     }
 
-    /// The worker count this runner fans out to.
+    /// The worker count this runner fans out to (post-clamp for runners
+    /// built with [`Self::new`]).
     #[must_use]
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -517,11 +554,7 @@ impl ParallelRunner {
 /// malformed.
 #[must_use]
 pub fn jobs_from_args<It: Iterator<Item = String>>(args: It) -> usize {
-    let default = || {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    };
+    let default = ParallelRunner::available_parallelism;
     let mut expect_value = false;
     for arg in args {
         if expect_value {
@@ -631,12 +664,23 @@ mod tests {
 
     #[test]
     fn parallel_runner_preserves_input_order() {
+        // `unclamped` keeps the threaded path exercised even on a
+        // single-core runner, where `new` would fall back to sequential.
         let items: Vec<u64> = (0..97).collect();
         let sequential = ParallelRunner::new(1).run(&items, |i, &x| (i, x * x));
         for jobs in [2, 3, 8, 128] {
-            let parallel = ParallelRunner::new(jobs).run(&items, |i, &x| (i, x * x));
+            let parallel = ParallelRunner::unclamped(jobs).run(&items, |i, &x| (i, x * x));
             assert_eq!(parallel, sequential, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn parallel_runner_clamps_to_available_parallelism() {
+        let avail = ParallelRunner::available_parallelism();
+        assert!(avail >= 1);
+        assert_eq!(ParallelRunner::new(usize::MAX).jobs(), avail);
+        assert_eq!(ParallelRunner::new(0).jobs(), 1);
+        assert_eq!(ParallelRunner::unclamped(avail + 7).jobs(), avail + 7);
     }
 
     #[test]
@@ -655,7 +699,7 @@ mod tests {
         // indistinguishable from the sequential run.
         let cells: Vec<CellConfig> = System::paper_lineup().into_iter().map(tiny_cell).collect();
         let seq = ParallelRunner::new(1).run(&cells, |_, cell| cell.run_offline());
-        let par = ParallelRunner::new(4).run(&cells, |_, cell| cell.run_offline());
+        let par = ParallelRunner::unclamped(4).run(&cells, |_, cell| cell.run_offline());
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.system, b.system);
@@ -667,7 +711,7 @@ mod tests {
     #[should_panic(expected = "sweep point 3 exploded")]
     fn parallel_runner_propagates_worker_panics() {
         let items: Vec<u32> = (0..8).collect();
-        ParallelRunner::new(4).run(&items, |i, _| {
+        ParallelRunner::unclamped(4).run(&items, |i, _| {
             assert!(i != 3, "sweep point 3 exploded");
             i
         });

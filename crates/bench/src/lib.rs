@@ -11,11 +11,14 @@
 //!   `results/`.
 //! * [`policy_sweep`] — seeded Zipf expert traces and eviction-policy
 //!   miss-ratio replays (the fig11 policy comparison).
+//! * [`perf`] — the `BENCH_perf.json` schema, hand-rolled JSON both
+//!   ways, and the baseline regression gate used by `perf_gate`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod perf;
 pub mod plot;
 pub mod policy_sweep;
 pub mod report;

@@ -216,6 +216,15 @@ impl<T> LinkArena<T> {
         }
     }
 
+    /// Applies `f` to every live value, in slot order (not list order).
+    /// For order-insensitive bulk updates — e.g. clearing every
+    /// resident's pin — without allocating an index list first.
+    pub fn for_each_value_mut(&mut self, mut f: impl FnMut(&mut T)) {
+        for node in self.nodes.iter_mut().flatten() {
+            f(&mut node.value);
+        }
+    }
+
     /// Iterates values from the tail (oldest) toward the head (newest).
     pub fn iter_oldest_first(&self) -> OldestFirst<'_, T> {
         OldestFirst {

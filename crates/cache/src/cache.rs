@@ -17,6 +17,175 @@ struct Resident {
     pinned: bool,
 }
 
+/// Sentinel arena index meaning "not resident" in the dense index.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Expert id → arena node index, in one of two representations.
+///
+/// `Dense` is the default: a flat `Vec<u32>` keyed by
+/// [`ExpertId::dense_index`], so residency lookups are an array load
+/// instead of a `BTreeMap` descent. `Reference` retains the pre-dense
+/// `BTreeMap` core so the differential suite can pin the two against
+/// each other (DESIGN.md §16). Both iterate in ascending expert-id
+/// order — for `Dense` that is ascending dense index, which equals
+/// `ExpertId`'s `(layer, slot)` `Ord` — so victim-candidate lists and
+/// `resident_experts` stay byte-identical across representations.
+#[derive(Debug)]
+enum ResidencyIndex {
+    Dense {
+        /// Arena index per dense expert id; `NO_SLOT` when absent.
+        slots: Vec<u32>,
+        len: usize,
+        experts_per_layer: u32,
+    },
+    Reference(BTreeMap<ExpertId, u32>),
+}
+
+impl ResidencyIndex {
+    fn dense(config: &ModelConfig) -> Self {
+        let capacity = config.num_layers as usize * config.experts_per_layer as usize;
+        Self::Dense {
+            slots: vec![NO_SLOT; capacity],
+            len: 0,
+            experts_per_layer: config.experts_per_layer,
+        }
+    }
+
+    /// Whether `expert` can be represented at all. `Dense` bound-checks
+    /// against the model's `L·J` id space; `Reference` holds anything.
+    fn in_range(&self, expert: ExpertId) -> bool {
+        match self {
+            Self::Dense {
+                slots,
+                experts_per_layer,
+                ..
+            } => expert.dense_index(*experts_per_layer) < slots.len(),
+            Self::Reference(_) => true,
+        }
+    }
+
+    fn get(&self, expert: ExpertId) -> Option<u32> {
+        match self {
+            Self::Dense {
+                slots,
+                experts_per_layer,
+                ..
+            } => slots
+                .get(expert.dense_index(*experts_per_layer))
+                .copied()
+                .filter(|&idx| idx != NO_SLOT),
+            Self::Reference(map) => map.get(&expert).copied(),
+        }
+    }
+
+    /// Inserts the mapping; the caller guarantees `expert` is in range
+    /// and not already present (out-of-range inserts are dropped).
+    fn insert(&mut self, expert: ExpertId, arena_idx: u32) {
+        match self {
+            Self::Dense {
+                slots,
+                len,
+                experts_per_layer,
+            } => {
+                if let Some(slot) = slots.get_mut(expert.dense_index(*experts_per_layer)) {
+                    if *slot == NO_SLOT {
+                        *len += 1;
+                    }
+                    *slot = arena_idx;
+                }
+            }
+            Self::Reference(map) => {
+                map.insert(expert, arena_idx);
+            }
+        }
+    }
+
+    fn remove(&mut self, expert: ExpertId) -> Option<u32> {
+        match self {
+            Self::Dense {
+                slots,
+                len,
+                experts_per_layer,
+            } => {
+                let slot = slots.get_mut(expert.dense_index(*experts_per_layer))?;
+                let idx = (*slot != NO_SLOT).then_some(*slot)?;
+                *slot = NO_SLOT;
+                *len -= 1;
+                Some(idx)
+            }
+            Self::Reference(map) => map.remove(&expert),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Self::Dense { len, .. } => *len,
+            Self::Reference(map) => map.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Self::Dense { slots, len, .. } => {
+                slots.fill(NO_SLOT);
+                *len = 0;
+            }
+            Self::Reference(map) => map.clear(),
+        }
+    }
+
+    /// `(expert, arena index)` pairs in ascending expert-id order — the
+    /// iteration order both representations share (see type docs).
+    fn iter(&self) -> IndexIter<'_> {
+        match self {
+            Self::Dense {
+                slots,
+                experts_per_layer,
+                ..
+            } => IndexIter::Dense {
+                slots,
+                pos: 0,
+                experts_per_layer: *experts_per_layer,
+            },
+            Self::Reference(map) => IndexIter::Reference(map.iter()),
+        }
+    }
+}
+
+/// Iterator over a [`ResidencyIndex`], ascending expert-id order.
+enum IndexIter<'a> {
+    Dense {
+        slots: &'a [u32],
+        pos: usize,
+        experts_per_layer: u32,
+    },
+    Reference(std::collections::btree_map::Iter<'a, ExpertId, u32>),
+}
+
+impl Iterator for IndexIter<'_> {
+    type Item = (ExpertId, u32);
+
+    fn next(&mut self) -> Option<(ExpertId, u32)> {
+        match self {
+            Self::Dense {
+                slots,
+                pos,
+                experts_per_layer,
+            } => {
+                while *pos < slots.len() {
+                    let i = *pos;
+                    *pos += 1;
+                    if slots[i] != NO_SLOT {
+                        return Some((ExpertId::from_dense_index(i, *experts_per_layer), slots[i]));
+                    }
+                }
+                None
+            }
+            Self::Reference(iter) => iter.next().map(|(e, idx)| (*e, *idx)),
+        }
+    }
+}
+
 /// How experts map to home GPUs under expert parallelism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum Placement {
@@ -86,12 +255,15 @@ pub struct ExpertCache {
     /// insertion order. Full-precision experts occupy `expert_bytes`;
     /// quantized ones less.
     arena: LinkArena<Resident>,
-    /// Expert id → arena node. Iterating this map yields residents in
-    /// id order, which is what keeps victim-candidate lists (and thus
-    /// the whole sim path) byte-identical to the pre-arena core.
-    index: BTreeMap<ExpertId, u32>,
+    /// Expert id → arena node. Iterating this yields residents in id
+    /// order, which is what keeps victim-candidate lists (and thus the
+    /// whole sim path) byte-identical across index representations.
+    index: ResidencyIndex,
     policy: Box<dyn EvictionPolicy>,
     stats: CacheStats,
+    /// Reused victim-candidate buffer (`mem::take` round-trip), so
+    /// steady-state evictions allocate nothing.
+    victim_buf: Vec<ExpertId>,
     /// Observability sink; disabled by default (zero-cost no-op).
     trace: TraceSink,
     /// Latest virtual time any caller passed in, used to timestamp
@@ -123,12 +295,24 @@ impl ExpertCache {
             per_gpu_budget: total_budget_bytes / u64::from(num_gpus),
             per_gpu_used: vec![0; num_gpus as usize],
             arena: LinkArena::new(),
-            index: BTreeMap::new(),
+            index: ResidencyIndex::dense(config),
             policy,
             stats: CacheStats::default(),
+            victim_buf: Vec::new(),
             trace: TraceSink::disabled(),
             last_now: 0,
         }
+    }
+
+    /// Switches the residency index to the retained `BTreeMap` reference
+    /// representation (differential testing; DESIGN.md §16). Existing
+    /// residents migrate, so this is safe at any point, though the
+    /// intended use is right after construction.
+    #[must_use]
+    pub fn with_reference_index(mut self) -> Self {
+        let entries: Vec<(ExpertId, u32)> = self.index.iter().collect();
+        self.index = ResidencyIndex::Reference(entries.into_iter().collect());
+        self
     }
 
     /// Installs an observability sink. Insert/evict/reject markers and
@@ -198,7 +382,7 @@ impl ExpertCache {
     /// `true` when `expert` is resident.
     #[must_use]
     pub fn contains(&self, expert: ExpertId) -> bool {
-        self.index.contains_key(&expert)
+        self.index.get(expert).is_some()
     }
 
     /// Number of resident experts.
@@ -262,7 +446,16 @@ impl ExpertCache {
 
     fn insert_impl(&mut self, expert: ExpertId, bytes: u64, now: u64, warm: bool) -> InsertOutcome {
         self.last_now = self.last_now.max(now);
-        if let Some(&idx) = self.index.get(&expert) {
+        if !self.index.in_range(expert) {
+            // An id outside the model's L·J space can never be stored in
+            // the dense index; refuse it the way an oversized expert is
+            // refused rather than panicking.
+            self.stats.rejected_inserts += 1;
+            self.mark(Marker::CacheReject, expert, now, bytes);
+            self.trace.count("cache.rejected_inserts", 1);
+            return InsertOutcome::Rejected;
+        }
+        if let Some(idx) = self.index.get(expert) {
             self.policy.on_hit(expert, now);
             let existing = self.arena.get(idx).map_or(self.expert_bytes, |r| r.bytes);
             if existing != bytes {
@@ -283,8 +476,7 @@ impl ExpertCache {
         let gpu = self.home_gpu(expert);
         let mut evicted = Vec::new();
         while self.per_gpu_used[gpu as usize] + bytes > self.per_gpu_budget {
-            let candidates = self.victim_candidates(gpu);
-            let Some(victim) = self.policy.choose_victim_mut(&candidates) else {
+            let Some(victim) = self.choose_victim(gpu) else {
                 // Everything resident on this GPU is pinned: cannot evict.
                 self.stats.rejected_inserts += 1;
                 for v in &evicted {
@@ -320,24 +512,27 @@ impl ExpertCache {
         InsertOutcome::Inserted { evicted }
     }
 
-    /// Unpinned residents homed on `gpu`, in expert-id order (the order
-    /// the pre-arena `BTreeMap` core produced — load-bearing for
-    /// byte-identical victim selection).
-    fn victim_candidates(&self, gpu: u32) -> Vec<ExpertId> {
-        self.index
-            .iter()
-            .filter(|(e, &idx)| {
-                self.home_gpu(**e) == gpu && self.arena.get(idx).is_some_and(|r| !r.pinned)
-            })
-            .map(|(e, _)| *e)
-            .collect()
+    /// Asks the policy for a victim among unpinned residents homed on
+    /// `gpu`. Candidates are gathered in expert-id order (the order the
+    /// pre-arena `BTreeMap` core produced — load-bearing for
+    /// byte-identical victim selection) into a reused buffer, so
+    /// steady-state evictions allocate nothing.
+    fn choose_victim(&mut self, gpu: u32) -> Option<ExpertId> {
+        let mut buf = std::mem::take(&mut self.victim_buf);
+        buf.clear();
+        buf.extend(self.index.iter().filter_map(|(e, idx)| {
+            (self.home_gpu(e) == gpu && self.arena.get(idx).is_some_and(|r| !r.pinned)).then_some(e)
+        }));
+        let victim = self.policy.choose_victim_mut(&buf);
+        self.victim_buf = buf;
+        victim
     }
 
     /// Bytes a resident expert occupies, or `None` if not resident.
     #[must_use]
     pub fn resident_bytes(&self, expert: ExpertId) -> Option<u64> {
-        let idx = self.index.get(&expert)?;
-        self.arena.get(*idx).map(|r| r.bytes)
+        let idx = self.index.get(expert)?;
+        self.arena.get(idx).map(|r| r.bytes)
     }
 
     /// `true` when `expert` is resident below full precision.
@@ -362,7 +557,7 @@ impl ExpertCache {
         let gpu = self.home_gpu(expert);
         let bytes = self
             .index
-            .remove(&expert)
+            .remove(expert)
             .and_then(|idx| self.arena.remove(idx))
             .map_or(self.expert_bytes, |r| r.bytes);
         self.per_gpu_used[gpu as usize] -= bytes;
@@ -373,7 +568,7 @@ impl ExpertCache {
     /// during execution). Pinning a non-resident expert is a no-op and
     /// returns `false`.
     pub fn pin(&mut self, expert: ExpertId) -> bool {
-        let Some(&idx) = self.index.get(&expert) else {
+        let Some(idx) = self.index.get(expert) else {
             return false;
         };
         if let Some(r) = self.arena.get_mut(idx) {
@@ -384,21 +579,17 @@ impl ExpertCache {
 
     /// Removes one expert's pin. No-op when not pinned.
     pub fn unpin(&mut self, expert: ExpertId) {
-        if let Some(&idx) = self.index.get(&expert) {
+        if let Some(idx) = self.index.get(expert) {
             if let Some(r) = self.arena.get_mut(idx) {
                 r.pinned = false;
             }
         }
     }
 
-    /// Clears all pins.
+    /// Clears all pins. Walks the arena directly, so no per-call
+    /// allocation.
     pub fn unpin_all(&mut self) {
-        let indices: Vec<u32> = self.index.values().copied().collect();
-        for idx in indices {
-            if let Some(r) = self.arena.get_mut(idx) {
-                r.pinned = false;
-            }
-        }
+        self.arena.for_each_value_mut(|r| r.pinned = false);
     }
 
     /// Pushes a probability belief to the policy (fMoE's searched-map
@@ -424,8 +615,7 @@ impl ExpertCache {
         let mut evicted = Vec::new();
         for gpu in 0..self.num_gpus {
             while self.per_gpu_used[gpu as usize] > self.per_gpu_budget {
-                let candidates = self.victim_candidates(gpu);
-                let Some(victim) = self.policy.choose_victim_mut(&candidates) else {
+                let Some(victim) = self.choose_victim(gpu) else {
                     break; // everything left is pinned
                 };
                 self.remove_internal(victim);
@@ -477,7 +667,7 @@ impl ExpertCache {
 
     /// Iterator over resident experts (expert-id order).
     pub fn resident_experts(&self) -> impl Iterator<Item = ExpertId> + '_ {
-        self.index.keys().copied()
+        self.index.iter().map(|(e, _)| e)
     }
 
     /// Iterator over resident experts oldest-insertion-first — the

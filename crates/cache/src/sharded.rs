@@ -76,9 +76,14 @@ pub struct ShardedExpertCache {
 }
 
 impl ShardedExpertCache {
-    /// Builds `num_shards` independent shards, each holding an equal
-    /// slice of the total byte budget and its own freshly-built eviction
-    /// policy of `kind`.
+    /// Builds `num_shards` independent shards, each holding a slice of
+    /// the total byte budget and its own freshly-built eviction policy
+    /// of `kind`. The budget splits as evenly as integer bytes allow:
+    /// every shard gets `total / n`, and the `total % n` remainder bytes
+    /// go one each to the lowest-index shards, so
+    /// `sum(shard budgets) == total` exactly — no fleet bytes are
+    /// silently dropped — and the split is deterministic in the shard
+    /// index alone.
     ///
     /// # Panics
     ///
@@ -91,9 +96,13 @@ impl ShardedExpertCache {
         kind: PolicyKind,
     ) -> Self {
         assert!(num_shards > 0, "need at least one shard");
-        let per_shard = total_budget_bytes / num_shards as u64;
+        let base = total_budget_bytes / num_shards as u64;
+        let remainder = total_budget_bytes % num_shards as u64;
         let shards = (0..num_shards)
-            .map(|_| Mutex::new(ExpertCache::new(config, per_shard, 1, kind.build())))
+            .map(|i| {
+                let budget = base + u64::from((i as u64) < remainder);
+                Mutex::new(ExpertCache::new(config, budget, 1, kind.build()))
+            })
             .collect();
         Self {
             shards,

@@ -1,0 +1,70 @@
+//! `ShardedExpertCache` budget-split invariant: the per-shard byte
+//! budgets must sum to exactly the requested fleet total, for every
+//! shard count — including prime counts and totals smaller than the
+//! shard count. The pre-fix constructor integer-divided the total,
+//! silently dropping up to `num_shards - 1` remainder bytes.
+
+use fmoe_cache::{PolicyKind, ShardedExpertCache};
+use fmoe_model::presets;
+
+fn shard_budgets(total: u64, shards: usize) -> Vec<u64> {
+    let model = presets::tiny_test_model();
+    let cache = ShardedExpertCache::new(&model, total, shards, PolicyKind::Sieve);
+    cache.occupancy().iter().map(|o| o.budget_bytes).collect()
+}
+
+#[test]
+fn budgets_sum_to_total_exactly() {
+    let model = presets::tiny_test_model();
+    let eb = model.expert_bytes();
+    for shards in [1, 2, 3, 4, 5, 7, 11, 13, 16, 17] {
+        for total in [
+            0,
+            1,
+            shards as u64 - 1,
+            shards as u64,
+            shards as u64 + 1,
+            eb,
+            eb * 8,
+            eb * 8 + 3,
+            eb * shards as u64 + (shards as u64 / 2),
+        ] {
+            let budgets = shard_budgets(total, shards);
+            assert_eq!(
+                budgets.iter().sum::<u64>(),
+                total,
+                "shards={shards} total={total}: no remainder bytes may be dropped"
+            );
+        }
+    }
+}
+
+#[test]
+fn remainder_goes_to_lowest_index_shards() {
+    // 10 bytes over 4 shards: base 2, remainder 2 → [3, 3, 2, 2].
+    assert_eq!(shard_budgets(10, 4), vec![3, 3, 2, 2]);
+    // Prime shard count: 100 over 7 → base 14, remainder 2.
+    assert_eq!(shard_budgets(100, 7), vec![15, 15, 14, 14, 14, 14, 14]);
+}
+
+#[test]
+fn total_smaller_than_shard_count_lands_on_prefix() {
+    // 3 bytes over 5 shards: shards 0..3 get one byte each.
+    assert_eq!(shard_budgets(3, 5), vec![1, 1, 1, 0, 0]);
+    assert_eq!(shard_budgets(0, 5), vec![0; 5]);
+}
+
+#[test]
+fn even_splits_are_unchanged() {
+    let model = presets::tiny_test_model();
+    let total = model.expert_bytes() * 8;
+    let budgets = shard_budgets(total, 4);
+    assert!(budgets.iter().all(|&b| b == total / 4));
+}
+
+#[test]
+fn split_is_deterministic() {
+    for _ in 0..3 {
+        assert_eq!(shard_budgets(12345, 7), shard_budgets(12345, 7));
+    }
+}

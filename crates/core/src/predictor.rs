@@ -46,13 +46,50 @@ struct ElementState {
     tracker: TrajectoryTracker,
 }
 
+/// Per-element predictor state, in one of two representations.
+///
+/// Batch element slots are small dense integers (`0..batch width`), so
+/// the default is a flat `Vec` indexed by element — grown on first
+/// sight of a wider batch, allocation-free at steady state. The
+/// `Reference` variant retains the pre-dense `BTreeMap` so the
+/// differential suite can pin the two against each other (DESIGN.md
+/// §16). Element state is only ever accessed by key — never iterated —
+/// so the representations cannot diverge observably.
+#[derive(Debug)]
+enum ElementTable {
+    Dense(Vec<ElementState>),
+    Reference(BTreeMap<usize, ElementState>),
+}
+
+impl ElementTable {
+    /// The element's state, created default-initialized on first use.
+    fn state_mut(&mut self, element: usize) -> &mut ElementState {
+        match self {
+            Self::Dense(v) => {
+                if element >= v.len() {
+                    v.resize_with(element + 1, ElementState::default);
+                }
+                &mut v[element]
+            }
+            Self::Reference(map) => map.entry(element).or_default(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Self::Dense(v) => v.clear(),
+            Self::Reference(map) => map.clear(),
+        }
+    }
+}
+
 /// The fMoE offloading policy.
 #[derive(Debug)]
 pub struct FmoePredictor {
     model: ModelConfig,
     config: FmoeConfig,
     store: ExpertMapStore,
-    elements: BTreeMap<usize, ElementState>,
+    elements: ElementTable,
 }
 
 impl FmoePredictor {
@@ -70,8 +107,16 @@ impl FmoePredictor {
             model,
             config,
             store,
-            elements: BTreeMap::new(),
+            elements: ElementTable::Dense(Vec::new()),
         }
+    }
+
+    /// Switches per-element state to the retained `BTreeMap` reference
+    /// representation (differential testing; DESIGN.md §16).
+    #[must_use]
+    pub fn with_reference_elements(mut self) -> Self {
+        self.elements = ElementTable::Reference(BTreeMap::new());
+        self
     }
 
     /// Number of maps currently stored.
@@ -216,7 +261,7 @@ impl ExpertPredictor for FmoePredictor {
     }
 
     fn begin_iteration(&mut self, ctx: &IterationContext) -> Vec<PrefetchPlan> {
-        let state = self.elements.entry(ctx.element).or_default();
+        let state = self.elements.state_mut(ctx.element);
         state.tracker.reset(&self.store);
 
         if !self.config.use_semantic_search || self.store.is_empty() {
@@ -244,7 +289,7 @@ impl ExpertPredictor for FmoePredictor {
         layer: u32,
         distribution: &[f64],
     ) -> Vec<PrefetchPlan> {
-        let state = self.elements.entry(ctx.element).or_default();
+        let state = self.elements.state_mut(ctx.element);
         state.tracker.observe_layer(&self.store, distribution);
 
         let target = layer + self.config.prefetch_distance;

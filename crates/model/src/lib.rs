@@ -10,6 +10,9 @@
 //!   evaluated models (paper Table 1): layer count `L`, experts per layer
 //!   `J`, activated experts `K`, hidden sizes, and per-expert weight bytes.
 //! * [`expert`] — strongly-typed expert/layer identifiers.
+//! * [`dense`] — flat bitset/array containers keyed by dense expert
+//!   index, the allocation-free hot-path replacement for `BTreeMap`
+//!   (DESIGN.md §16).
 //! * [`gate`] — a synthetic router that reproduces the statistical
 //!   structure the paper measures on real routers (peaked per-iteration
 //!   distributions, balanced long-run routing, semantic-cluster-conditioned
@@ -23,12 +26,14 @@
 
 pub mod compute;
 pub mod config;
+pub mod dense;
 pub mod expert;
 pub mod gate;
 pub mod presets;
 
 pub use compute::{CostModel, GpuSpec};
 pub use config::ModelConfig;
+pub use dense::{DenseIdMap, DenseIdSet};
 pub use expert::{ExpertId, LayerId};
 pub use gate::{GateParams, GateSimulator, RequestRouting};
 

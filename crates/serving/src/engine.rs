@@ -30,10 +30,9 @@ use fmoe_memsim::{
     FaultSchedule, GpuId, Nanos, RetryPolicy, Topology, TransferEngine, TransferError, VirtualClock,
 };
 use fmoe_model::gate::TokenSpan;
-use fmoe_model::{CostModel, ExpertId, GateSimulator, GpuSpec};
+use fmoe_model::{CostModel, DenseIdMap, DenseIdSet, ExpertId, GateSimulator, GpuSpec};
 use fmoe_trace::{Marker, Phase, TraceSink, NO_GPU, NO_LAYER, NO_REQUEST, NO_SLOT, NO_VALUE};
 use fmoe_workload::Prompt;
-use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Engine tuning knobs.
@@ -74,6 +73,11 @@ pub struct EngineConfig {
     /// half-precision payload instead of blocking indefinitely. Degraded
     /// loads count as `degraded_loads` in [`RequestMetrics`].
     pub on_demand_deadline_ns: Option<Nanos>,
+    /// Use the expert cache's retained `BTreeMap` residency index
+    /// instead of the default dense table (differential testing only;
+    /// DESIGN.md §16). Output must be byte-identical either way — the
+    /// dense-differential suite pins that.
+    pub reference_residency_index: bool,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +101,7 @@ impl EngineConfig {
             kv_aware_budget: false,
             low_precision_threshold: None,
             on_demand_deadline_ns: None,
+            reference_residency_index: false,
         }
     }
 
@@ -217,30 +222,65 @@ struct Element {
 /// `Vec::new()`/`BTreeSet::new()` on every call (and every layer). They
 /// now live on the engine, are taken with `std::mem::take` for the
 /// duration of an iteration, and are restored afterwards — `Vec::clear`
-/// keeps the backing allocation, so steady-state iterations allocate
-/// nothing for this bookkeeping.
+/// and the dense tables' `clear` keep the backing allocation, so
+/// steady-state iterations allocate nothing for this bookkeeping.
+///
+/// The expert-keyed members are flat dense-index tables
+/// ([`DenseIdSet`]/[`DenseIdMap`], DESIGN.md §16) rather than
+/// `BTreeSet`/`BTreeMap`: lookups become array loads, and ascending
+/// dense-index iteration equals `ExpertId`'s `Ord`, so everything the
+/// old ordered collections guaranteed about iteration order is
+/// preserved byte-for-byte.
 #[derive(Debug, Default)]
 struct IterationScratch {
     /// Iteration-start prediction plans (semantic window).
     begin_plans: Vec<PrefetchPlan>,
     /// Per-layer gate-observation plans.
     layer_plans: Vec<PrefetchPlan>,
-    /// Union of activated experts for the current layer.
-    union: BTreeSet<ExpertId>,
-    /// Pre-load residency per needed expert.
-    residency: BTreeMap<ExpertId, bool>,
+    /// Union of activated experts for the current layer (dense bitset).
+    union: DenseIdSet,
+    /// Pre-load residency per needed expert (keyed access only).
+    residency: DenseIdMap<bool>,
     /// In-flight transfers the layer must wait for.
     waited_inflight: Vec<ExpertId>,
     /// Experts needing blocking on-demand loads.
     missing: Vec<ExpertId>,
-    /// Per-GPU link availability during on-demand serving.
-    per_gpu_now: BTreeMap<u32, Nanos>,
+    /// Per-GPU link availability during on-demand serving; `None` means
+    /// the link has not been touched this layer (the old `BTreeMap`'s
+    /// "absent").
+    per_gpu_now: Vec<Option<Nanos>>,
     /// Experts whose on-demand load moved a reduced payload.
-    loaded: BTreeMap<ExpertId, u64>,
+    loaded: DenseIdMap<u64>,
     /// Stale prefetch jobs collected for cancellation.
     stale: Vec<(u64, ExpertId)>,
     /// Stage pins whose target layer has passed.
     passed: Vec<ExpertId>,
+    /// Per-element iteration contexts, computed once per iteration
+    /// (`None` for finished elements). The context is constant for the
+    /// whole iteration, so this replaces an embedding clone per
+    /// predictor call (one per element per *layer*) with one per
+    /// element per iteration.
+    contexts: Vec<Option<IterationContext>>,
+    /// Per-GPU expert-FFN time accumulator for
+    /// [`ServingEngine::expert_compute_time`].
+    compute_per_gpu: Vec<Nanos>,
+}
+
+impl IterationScratch {
+    /// Sizes the fixed-capacity tables for the model/topology. A no-op
+    /// after the first call (capacities never change for one engine),
+    /// so the steady state allocates nothing here.
+    fn ensure_model(&mut self, num_experts: usize, num_gpus: usize) {
+        if self.union.capacity() != num_experts {
+            self.union = DenseIdSet::with_capacity(num_experts);
+            self.residency = DenseIdMap::with_capacity(num_experts);
+            self.loaded = DenseIdMap::with_capacity(num_experts);
+        }
+        if self.per_gpu_now.len() != num_gpus {
+            self.per_gpu_now = vec![None; num_gpus];
+            self.compute_per_gpu = vec![0; num_gpus];
+        }
+    }
 }
 
 impl Element {
@@ -297,7 +337,12 @@ pub struct ServingEngine {
     cache: ExpertCache,
     transfer: TransferEngine,
     clock: VirtualClock,
-    in_flight: BTreeMap<u64, ExpertId>,
+    /// Experts with a transfer in flight, as a dense bitset over their
+    /// transfer tags (tag == dense expert index, so the id is
+    /// recoverable from the tag alone). Ascending iteration equals
+    /// ascending tag order — what the old `BTreeMap<u64, ExpertId>`
+    /// iterated in.
+    in_flight: DenseIdSet,
     /// Requests currently in the continuous batch (see [`Self::admit`]).
     active: Vec<Element>,
     /// Reusable slot ids freed by finished continuous-batch requests.
@@ -309,7 +354,9 @@ pub struct ServingEngine {
     /// Prefetched experts staged for a layer that has not executed yet:
     /// pinned so eviction cannot undo a deliberate prefetch before use
     /// (all real offloading runtimes protect staged weights this way).
-    staged: BTreeSet<ExpertId>,
+    /// Dense bitset by expert index; ascending iteration equals the old
+    /// `BTreeSet<ExpertId>` order.
+    staged: DenseIdSet,
     breakdown: Breakdown,
     config: EngineConfig,
     /// Installed fault schedule (`None` when the failure model is off);
@@ -492,8 +539,13 @@ impl ServingEngine {
         config: EngineConfig,
     ) -> Self {
         let model = gate.config().clone();
-        let cache = ExpertCache::new(&model, config.cache_budget_bytes, topology.num_gpus, policy)
-            .with_placement(config.placement);
+        let num_experts = model.num_layers as usize * model.experts_per_layer as usize;
+        let mut cache =
+            ExpertCache::new(&model, config.cache_budget_bytes, topology.num_gpus, policy)
+                .with_placement(config.placement);
+        if config.reference_residency_index {
+            cache = cache.with_reference_index();
+        }
         let transfer = TransferEngine::new(&topology);
         let cost = CostModel::new(model, gpu);
         let mut engine = Self {
@@ -503,12 +555,12 @@ impl ServingEngine {
             cache,
             transfer,
             clock: VirtualClock::new(),
-            in_flight: BTreeMap::new(),
+            in_flight: DenseIdSet::with_capacity(num_experts),
             active: Vec::new(),
             free_slots: Vec::new(),
             next_slot: 0,
             timeline: Timeline::default(),
-            staged: BTreeSet::new(),
+            staged: DenseIdSet::with_capacity(num_experts),
             breakdown: Breakdown::default(),
             config,
             faults: None,
@@ -953,6 +1005,11 @@ impl ServingEngine {
         let timing = predictor.timing();
         self.breakdown.matching_synchronous = timing.synchronous;
         let num_layers = self.gate.config().num_layers;
+        let j = self.gate.config().experts_per_layer;
+        scratch.ensure_model(
+            num_layers as usize * j as usize,
+            self.topology.num_gpus as usize,
+        );
 
         // Step 1: context collection (synchronous).
         for el in elements.iter_mut() {
@@ -965,6 +1022,13 @@ impl ServingEngine {
             el.realized_map.clear();
             el.activated.clear();
         }
+        // One context per element for the whole iteration: every field
+        // is constant until step 5's bookkeeping, so predictors at each
+        // layer see exactly what per-call construction produced.
+        scratch.contexts.clear();
+        scratch
+            .contexts
+            .extend(elements.iter().map(|el| (!el.done).then(|| el.context())));
         self.clock.advance(self.config.context_collection_ns);
         self.breakdown.context_collection_ns += self.config.context_collection_ns;
         self.trace.span(
@@ -1030,13 +1094,15 @@ impl ServingEngine {
 
         // Step 2a: iteration-start prediction (semantic search window).
         scratch.begin_plans.clear();
-        for el in elements.iter() {
-            if el.done {
-                continue;
+        {
+            let IterationScratch {
+                begin_plans,
+                contexts,
+                ..
+            } = &mut scratch;
+            for ctx in contexts.iter().flatten() {
+                begin_plans.extend(predictor.begin_iteration(ctx));
             }
-            scratch
-                .begin_plans
-                .extend(predictor.begin_iteration(&el.context()));
         }
         if !scratch.begin_plans.is_empty() {
             self.apply_predictor_timing(&timing);
@@ -1084,25 +1150,34 @@ impl ServingEngine {
             // Gate ground truth per element; union of activated experts.
             scratch.union.clear();
             scratch.layer_plans.clear();
-            for el in elements.iter_mut() {
-                if el.done {
-                    continue;
+            {
+                let IterationScratch {
+                    union,
+                    layer_plans,
+                    contexts,
+                    ..
+                } = &mut scratch;
+                for (el, ctx) in elements.iter_mut().zip(contexts.iter()) {
+                    let Some(ctx) = ctx else {
+                        continue; // finished element
+                    };
+                    let span = el.span();
+                    let dist = self.gate.iteration_distribution(
+                        el.prompt.routing,
+                        el.iteration,
+                        layer,
+                        span,
+                    );
+                    let activated =
+                        self.gate
+                            .activated_slots(el.prompt.routing, el.iteration, layer, span);
+                    for &slot in &activated {
+                        union.insert(layer as usize * j as usize + slot as usize);
+                    }
+                    el.realized_map.push(dist.clone());
+                    el.activated.push(activated);
+                    layer_plans.extend(predictor.observe_gate(ctx, layer, &dist));
                 }
-                let span = el.span();
-                let dist =
-                    self.gate
-                        .iteration_distribution(el.prompt.routing, el.iteration, layer, span);
-                let activated =
-                    self.gate
-                        .activated_slots(el.prompt.routing, el.iteration, layer, span);
-                for &slot in &activated {
-                    scratch.union.insert(ExpertId::new(layer, slot));
-                }
-                el.realized_map.push(dist.clone());
-                el.activated.push(activated);
-                scratch
-                    .layer_plans
-                    .extend(predictor.observe_gate(&el.context(), layer, &dist));
             }
             if !scratch.layer_plans.is_empty() {
                 self.apply_predictor_timing(&timing);
@@ -1117,28 +1192,35 @@ impl ServingEngine {
             // is mid-transfer — wait for the remainder rather than cancel
             // and reload), or missing (full on-demand load).
             let now = self.clock.now();
-            let j = self.gate.config().experts_per_layer;
             scratch.residency.clear();
             scratch.waited_inflight.clear();
             scratch.missing.clear();
-            let residency = &mut scratch.residency;
-            let waited_inflight = &mut scratch.waited_inflight;
-            let missing = &mut scratch.missing;
-            for &e in &scratch.union {
-                let resident = self.cache.contains(e);
-                if resident {
-                    residency.insert(e, true);
-                } else if self.in_flight.contains_key(&(e.dense_index(j) as u64)) {
-                    // For blocking policies (Mixtral-Offloading) the wait
-                    // is the design — the speculated expert counts as a
-                    // hit; for async policies a late prefetch is a miss.
-                    residency.insert(e, timing.blocking_prefetch);
-                    waited_inflight.push(e);
-                } else {
-                    residency.insert(e, false);
-                    missing.push(e);
+            {
+                let IterationScratch {
+                    union,
+                    residency,
+                    waited_inflight,
+                    missing,
+                    ..
+                } = &mut scratch;
+                for d in union.iter() {
+                    let e = ExpertId::from_dense_index(d, j);
+                    let resident = self.cache.contains(e);
+                    if resident {
+                        residency.insert(d, true);
+                    } else if self.in_flight.contains(d) {
+                        // For blocking policies (Mixtral-Offloading) the wait
+                        // is the design — the speculated expert counts as a
+                        // hit; for async policies a late prefetch is a miss.
+                        residency.insert(d, timing.blocking_prefetch);
+                        waited_inflight.push(e);
+                    } else {
+                        residency.insert(d, false);
+                        missing.push(e);
+                    }
                 }
             }
+            let missing = &mut scratch.missing;
             // Expert-agnostic layer streaming (DeepSpeed-Inference): the
             // policy cannot tell which experts are needed or resident, so
             // any miss streams the layer's *entire* expert blob from host
@@ -1160,7 +1242,7 @@ impl ServingEngine {
                     let e = ExpertId::new(layer, slot);
                     // Stats + policy bookkeeping recorded once per
                     // (element, expert) access, against pre-load residency.
-                    if residency[&e] {
+                    if residency.get(e.dense_index(j)).copied().unwrap_or(false) {
                         el.hits += 1;
                         self.trace.count("engine.expert_hits", 1);
                         if self.cache.is_degraded(e) {
@@ -1181,7 +1263,7 @@ impl ServingEngine {
 
             // Pin resident activated experts before loading the rest, so
             // insertions cannot evict what this layer is about to run.
-            for &e in &scratch.union {
+            for e in scratch.union.iter_experts(j) {
                 self.cache.pin(e);
             }
 
@@ -1195,7 +1277,7 @@ impl ServingEngine {
                     .begin(start, Phase::OnDemandWait, NO_REQUEST, layer);
                 // Per-GPU start times: on-demand loads on a link begin
                 // after the needed in-flight jobs on that link complete.
-                scratch.per_gpu_now.clear();
+                scratch.per_gpu_now.fill(None);
                 let per_gpu_now = &mut scratch.per_gpu_now;
                 let mut inflight_done = start;
                 // Promote every needed transfer first; estimating completion
@@ -1224,7 +1306,7 @@ impl ServingEngine {
                     let gpu = self.cache.home_gpu(e);
                     let tag = e.dense_index(j) as u64;
                     if let Some(done) = self.transfer.completion_time_of(GpuId(gpu), tag) {
-                        let entry = per_gpu_now.entry(gpu).or_insert(start);
+                        let entry = per_gpu_now[gpu as usize].get_or_insert(start);
                         *entry = (*entry).max(done);
                         inflight_done = inflight_done.max(done);
                     }
@@ -1236,8 +1318,9 @@ impl ServingEngine {
                 scratch.loaded.clear();
                 let loaded = &mut scratch.loaded;
                 for &e in missing {
+                    let d = e.dense_index(j);
                     let gpu = self.cache.home_gpu(e);
-                    let gpu_now = *per_gpu_now.get(&gpu).unwrap_or(&start);
+                    let gpu_now = per_gpu_now[gpu as usize].unwrap_or(start);
                     let t0 = gpu_now.max(start);
                     self.timeline
                         .record(t0, TimelineEvent::OnDemandLoad { expert: e });
@@ -1263,7 +1346,7 @@ impl ServingEngine {
                             ) {
                                 Ok(outcome) => {
                                     if outcome.degraded {
-                                        loaded.insert(e, outcome.bytes_loaded);
+                                        loaded.insert(d, outcome.bytes_loaded);
                                     }
                                     outcome.completed_at
                                 }
@@ -1275,17 +1358,18 @@ impl ServingEngine {
                         }
                         None => self.transfer.on_demand_load(GpuId(gpu), want, t0),
                     };
-                    if want < bytes {
-                        loaded.entry(e).or_insert(want);
+                    if want < bytes && !loaded.contains(d) {
+                        loaded.insert(d, want);
                     }
-                    if loaded.contains_key(&e) {
+                    if loaded.contains(d) {
                         self.timeline
                             .record(t0, TimelineEvent::OnDemandDegraded { expert: e });
                     }
-                    per_gpu_now.insert(gpu, done);
+                    per_gpu_now[gpu as usize] = Some(done);
                 }
                 let done = per_gpu_now
-                    .values()
+                    .iter()
+                    .flatten()
                     .copied()
                     .max()
                     .unwrap_or(start)
@@ -1309,7 +1393,7 @@ impl ServingEngine {
                     self.cache.pin(e);
                 }
                 for &e in missing {
-                    let outcome = match loaded.get(&e) {
+                    let outcome = match loaded.get(e.dense_index(j)) {
                         Some(&sz) => self.cache.insert_sized(e, sz, now),
                         None => self.cache.insert(e, now),
                     };
@@ -1332,7 +1416,7 @@ impl ServingEngine {
                             continue;
                         }
                         for &slot in &el.activated[layer as usize] {
-                            if loaded.contains_key(&ExpertId::new(layer, slot)) {
+                            if loaded.contains(ExpertId::new(layer, slot).dense_index(j)) {
                                 el.degraded_loads += 1;
                             }
                         }
@@ -1341,7 +1425,11 @@ impl ServingEngine {
             }
 
             // Expert FFN compute: per-GPU serial, cross-GPU parallel.
-            let expert_compute = self.expert_compute_time(&scratch.union, batch_tokens);
+            let expert_compute = self.expert_compute_time(
+                &scratch.union,
+                batch_tokens,
+                &mut scratch.compute_per_gpu,
+            );
             self.clock.advance(expert_compute);
             self.breakdown.compute_ns += expert_compute;
             self.trace.span(
@@ -1355,17 +1443,17 @@ impl ServingEngine {
             );
             // Release this layer's pins; staged experts for *future*
             // layers stay protected until their layer executes.
-            for &e in &scratch.union {
-                self.cache.unpin(e);
-                self.staged.remove(&e);
+            for d in scratch.union.iter() {
+                self.cache.unpin(ExpertId::from_dense_index(d, j));
+                self.staged.remove(d);
             }
             scratch.passed.clear();
             scratch
                 .passed
-                .extend(self.staged.iter().copied().filter(|e| e.layer <= layer));
+                .extend(self.staged.iter_experts(j).filter(|e| e.layer <= layer));
             for &e in &scratch.passed {
                 self.cache.unpin(e);
-                self.staged.remove(&e);
+                self.staged.remove(e.dense_index(j));
             }
             self.cache.notify_layer_done(layer);
         }
@@ -1375,13 +1463,13 @@ impl ServingEngine {
         self.clock.advance(head);
         self.breakdown.compute_ns += head;
 
-        // Step 5: map update (asynchronous).
-        for el in elements.iter_mut() {
-            if el.done {
-                continue;
-            }
-            let ctx = el.context();
-            predictor.end_iteration(&ctx, &el.realized_map);
+        // Step 5: map update (asynchronous). The contexts built in step 1
+        // are still current — nothing below mutated their inputs.
+        for (el, ctx) in elements.iter_mut().zip(scratch.contexts.iter()) {
+            let Some(ctx) = ctx else {
+                continue; // finished element
+            };
+            predictor.end_iteration(ctx, &el.realized_map);
             self.breakdown.update_async_ns += timing.update_ns;
 
             // Advance element bookkeeping.
@@ -1425,21 +1513,32 @@ impl ServingEngine {
     }
 
     /// Expert FFN time for a layer: experts grouped by home GPU run
-    /// serially per GPU and in parallel across GPUs.
-    fn expert_compute_time(&self, union: &BTreeSet<ExpertId>, batch_tokens: u64) -> Nanos {
+    /// serially per GPU and in parallel across GPUs. `per_gpu` is the
+    /// caller's scratch (one slot per GPU, zeroed here); the max over the
+    /// full zero-initialized slice equals the max over touched GPUs
+    /// because per-GPU sums are non-negative and `union` is non-empty.
+    fn expert_compute_time(
+        &self,
+        union: &DenseIdSet,
+        batch_tokens: u64,
+        per_gpu: &mut [Nanos],
+    ) -> Nanos {
         if union.is_empty() {
             return 0;
         }
+        let j = self.gate.config().experts_per_layer;
         let k = u64::from(self.gate.config().top_k);
         let tokens_per_expert = ((batch_tokens * k) as f64 / union.len() as f64)
             .ceil()
             .max(1.0) as u64;
-        let mut per_gpu: BTreeMap<u32, Nanos> = BTreeMap::new();
-        for &e in union {
-            let gpu = self.cache.home_gpu(e);
-            *per_gpu.entry(gpu).or_insert(0) += self.cost.expert_time(tokens_per_expert);
+        per_gpu.fill(0);
+        for e in union.iter_experts(j) {
+            let gpu = self.cache.home_gpu(e) as usize;
+            if let Some(slot) = per_gpu.get_mut(gpu) {
+                *slot += self.cost.expert_time(tokens_per_expert);
+            }
         }
-        per_gpu.values().copied().max().unwrap_or(0)
+        per_gpu.iter().copied().max().unwrap_or(0)
     }
 
     /// Charges synchronous predictor latency to the critical path; always
@@ -1489,7 +1588,7 @@ impl ServingEngine {
                 continue;
             }
             let tag = plan.expert.dense_index(j) as u64;
-            if self.in_flight.contains_key(&tag) {
+            if self.in_flight.contains(tag as usize) {
                 continue;
             }
             // Mixed-precision extension: dubious experts load quantized.
@@ -1522,7 +1621,7 @@ impl ServingEngine {
                 at,
             );
             self.trace.count("engine.prefetches_issued", 1);
-            self.in_flight.insert(tag, plan.expert);
+            self.in_flight.insert(tag as usize);
             if !touched.contains(&gpu) {
                 touched.push(gpu);
             }
@@ -1540,18 +1639,19 @@ impl ServingEngine {
         stale: &mut Vec<(u64, ExpertId)>,
     ) {
         self.absorb_completions();
+        let j = self.gate.config().experts_per_layer;
         let now = self.clock.now();
         stale.clear();
         stale.extend(
             self.in_flight
                 .iter()
-                .filter(|(_, e)| before_layer.is_none_or(|l| e.layer < l))
-                .map(|(&tag, &e)| (tag, e)),
+                .map(|d| (d as u64, ExpertId::from_dense_index(d, j)))
+                .filter(|(_, e)| before_layer.is_none_or(|l| e.layer < l)),
         );
         for &(tag, expert) in stale.iter() {
             let gpu = GpuId(self.cache.home_gpu(expert));
             if self.transfer.cancel_prefetch(gpu, tag, now) {
-                self.in_flight.remove(&tag);
+                self.in_flight.remove(tag as usize);
             }
         }
         self.absorb_completions();
@@ -1561,10 +1661,14 @@ impl ServingEngine {
     /// them until their target layer executes.
     fn absorb_completions(&mut self) {
         self.transfer.advance_to(self.clock.now());
+        let j = self.gate.config().experts_per_layer;
         for c in self.transfer.drain_completions() {
-            let Some(expert) = self.in_flight.remove(&c.tag) else {
+            // Tags *are* dense expert indices, so membership alone
+            // reconstructs the expert — no tag→expert map needed.
+            if !self.in_flight.remove(c.tag as usize) {
                 continue;
-            };
+            }
+            let expert = ExpertId::from_dense_index(c.tag as usize, j);
             self.breakdown.prefetch_async_ns += self.topology.host_link.wire_time(c.bytes);
             self.timeline
                 .record(c.completed_at, TimelineEvent::PrefetchArrived { expert });
@@ -1583,14 +1687,15 @@ impl ServingEngine {
                 InsertOutcome::Inserted { .. } | InsertOutcome::AlreadyResident
             ) && self.cache.pin(expert)
             {
-                self.staged.insert(expert);
+                self.staged.insert(c.tag as usize);
             }
         }
         // Transfers that exhausted their retries are lost: release the
         // in-flight slot so the expert can be re-requested (as a fresh
         // prefetch or an on-demand load) instead of being waited on.
         for f in self.transfer.drain_failures() {
-            if let Some(expert) = self.in_flight.remove(&f.tag) {
+            if self.in_flight.remove(f.tag as usize) {
+                let expert = ExpertId::from_dense_index(f.tag as usize, j);
                 self.timeline
                     .record(f.failed_at, TimelineEvent::PrefetchFailed { expert });
                 self.trace.instant(
