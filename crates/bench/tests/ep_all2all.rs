@@ -1,0 +1,96 @@
+//! Cross-process checks for `fig17_ep_all2all`:
+//!
+//! * determinism — a `--quick --jobs 1` run and a `--quick --jobs 4`
+//!   run, each in its own scratch working directory, must write
+//!   byte-identical `results/*.csv` artifacts (DESIGN.md §10/§12);
+//! * the headline trade-off — parsing the summary CSV must show EP
+//!   beating host offloading on P99 in the per-GPU-fixed regime, and a
+//!   memory-constrained EP cell losing to offloading.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+fn run_quick(workdir: &Path, jobs: &str) -> Vec<(String, Vec<u8>)> {
+    fs::create_dir_all(workdir).expect("scratch dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_fig17_ep_all2all"))
+        .args(["--quick", "--jobs", jobs])
+        .current_dir(workdir)
+        .output()
+        .expect("fig17_ep_all2all runs");
+    assert!(
+        out.status.success(),
+        "fig17_ep_all2all --quick --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut csvs: Vec<(String, Vec<u8>)> = fs::read_dir(workdir.join("results"))
+        .expect("results dir written")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let bytes = fs::read(&p).expect("csv readable");
+            (name, bytes)
+        })
+        .collect();
+    csvs.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(!csvs.is_empty(), "bench produced no CSV output");
+    csvs
+}
+
+#[test]
+fn ep_bench_is_deterministic_across_processes_and_jobs() {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fig17_determinism");
+    let sequential = run_quick(&base.join("jobs1"), "1");
+    let parallel = run_quick(&base.join("jobs4"), "4");
+    assert_eq!(
+        sequential.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        parallel.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "--jobs 1 and --jobs 4 wrote different CSV file sets"
+    );
+    for ((name, a), (_, b)) in sequential.iter().zip(&parallel) {
+        assert_eq!(
+            a, b,
+            "{name} differs between --jobs 1 and --jobs 4: the EP sweep or \
+             CSV pipeline leaked scheduling nondeterminism"
+        );
+    }
+}
+
+#[test]
+fn summary_renders_both_directions_of_the_latency_memory_trade_off() {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fig17_tradeoff");
+    let csvs = run_quick(&base.join("run"), "2");
+    let (_, summary) = csvs
+        .iter()
+        .find(|(name, _)| name == "fig17_ep_summary.csv")
+        .expect("summary CSV present");
+    let text = String::from_utf8(summary.clone()).expect("summary CSV is UTF-8");
+
+    // Columns: mode,offload_p99_ms,best_ep_p99_ms,best_ep_cell,
+    //          worst_ep_p99_ms,best_winner,worst_winner
+    let mut per_gpu_fixed_ep_wins = false;
+    let mut some_cell_loses_to_offload = false;
+    for line in text.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        assert_eq!(cols.len(), 7, "summary row shape: {line}");
+        if cols[0] == "per-gpu-fixed" {
+            per_gpu_fixed_ep_wins = cols[5] == "ep_wins";
+        }
+        if cols[6] == "offload_wins" {
+            some_cell_loses_to_offload = true;
+        }
+    }
+    assert!(
+        per_gpu_fixed_ep_wins,
+        "per-GPU-fixed budgets must let EP beat host offloading on P99"
+    );
+    assert!(
+        some_cell_loses_to_offload,
+        "some memory-constrained EP cell must lose the P99 race to offloading"
+    );
+}

@@ -248,6 +248,9 @@ pub struct ExpertCache {
     expert_bytes: u64,
     num_gpus: u32,
     placement: Placement,
+    /// Optional explicit owner table (dense expert index → GPU) installed
+    /// by a placement policy; overrides `placement` when present.
+    assignment: Option<Vec<u32>>,
     per_gpu_budget: u64,
     per_gpu_used: Vec<u64>,
     /// Arena-allocated residency nodes (`Vec<Option<Node>>` + `u32`
@@ -292,6 +295,7 @@ impl ExpertCache {
             expert_bytes: config.expert_bytes(),
             num_gpus,
             placement: Placement::RoundRobin,
+            assignment: None,
             per_gpu_budget: total_budget_bytes / u64::from(num_gpus),
             per_gpu_used: vec![0; num_gpus as usize],
             arena: LinkArena::new(),
@@ -344,9 +348,29 @@ impl ExpertCache {
         self
     }
 
+    /// Installs an explicit owner table produced by a placement policy:
+    /// `owners[dense_index]` is the expert's home GPU. Entries are
+    /// clamped to the GPU count; experts past the table's end fall back
+    /// to the structural placement. With no table installed (the
+    /// default) behavior is byte-identical to the structural placement.
+    pub fn set_assignment(&mut self, owners: Vec<u32>) {
+        self.assignment = Some(owners);
+    }
+
+    /// The installed explicit owner table, if any.
+    #[must_use]
+    pub fn assignment(&self) -> Option<&[u32]> {
+        self.assignment.as_deref()
+    }
+
     /// The home GPU index of an expert under the configured placement.
     #[must_use]
     pub fn home_gpu(&self, expert: ExpertId) -> u32 {
+        if let Some(owners) = &self.assignment {
+            if let Some(&gpu) = owners.get(expert.dense_index(self.experts_per_layer)) {
+                return gpu.min(self.num_gpus.saturating_sub(1));
+            }
+        }
         match self.placement {
             Placement::RoundRobin => {
                 (expert.dense_index(self.experts_per_layer) % self.num_gpus as usize) as u32

@@ -603,6 +603,7 @@ impl Cluster {
                 } else {
                     replica.depth_sum as f64 / replica.arrivals as f64
                 },
+                per_gpu: replica.engine.per_gpu_breakdown().clone(),
             })
             .collect();
         let mut failover = self.failover;

@@ -3,7 +3,7 @@
 use crate::lifecycle::FailoverStats;
 use crate::routing::RoutingStats;
 use fmoe_cache::CacheStats;
-use fmoe_serving::{OnlineResult, ShedRequest};
+use fmoe_serving::{OnlineResult, PerGpuBreakdown, ShedRequest};
 use fmoe_stats::EmpiricalCdf;
 use serde::Serialize;
 
@@ -25,6 +25,10 @@ pub struct ReplicaReport {
     pub max_queue_depth: usize,
     /// Mean queue depth over this replica's arrivals, requests included.
     pub mean_queue_depth: f64,
+    /// Per-GPU compute/all2all/transfer attribution inside the replica
+    /// (expert parallelism; all-zero on single-GPU replicas that never
+    /// load an expert).
+    pub per_gpu: PerGpuBreakdown,
 }
 
 impl ReplicaReport {

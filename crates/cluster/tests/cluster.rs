@@ -385,3 +385,58 @@ fn shared_host_cache_observes_without_perturbing_replica_output() {
     assert!(host.resident_count() > 0);
     assert_eq!(host.occupancy().len(), 4);
 }
+
+/// EP×DP composition: a fleet of multi-GPU EP replicas serves the same
+/// trace deterministically, and the fleet report attributes per-GPU
+/// compute and all2all time inside every replica.
+#[test]
+fn ep_replicas_compose_with_data_parallel_dispatch() {
+    use fmoe_serving::{ExpertParallelConfig, LoadBalancedPlacement};
+
+    let events = trace(12);
+    let run = || {
+        let topo = Topology::builder()
+            .num_gpus(2)
+            .gpu_memory_bytes(8 << 30)
+            .build()
+            .expect("valid test topology");
+        let config = EngineConfig {
+            expert_parallel: Some(ExpertParallelConfig::default()),
+            ..engine_config()
+        };
+        let mut c = Cluster::new(gate(), RoutingPolicy::RoundRobin, None);
+        for _ in 0..2 {
+            let b = EngineBuilder::new(gate(), GpuSpec::rtx_3090(), topo.clone())
+                .config(config.clone())
+                .placement_policy(&LoadBalancedPlacement::uniform());
+            c.add_replica(b, Box::new(predictor()));
+        }
+        c.dispatch(&events)
+    };
+
+    let a = run();
+    let b = run();
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "EP fleet dispatch must be deterministic"
+    );
+
+    assert!(a.accounting_balances());
+    assert_eq!(a.replicas.len(), 2);
+    for r in &a.replicas {
+        assert!(!r.results.is_empty(), "round-robin feeds every replica");
+        assert_eq!(r.per_gpu.num_gpus(), 2, "breakdown covers both GPUs");
+        let compute: u64 = (0..2).map(|g| r.per_gpu.compute_ns[g]).sum();
+        let all2all: u64 = (0..2).map(|g| r.per_gpu.all2all_ns[g]).sum();
+        assert!(compute > 0, "expert compute attributed to GPUs");
+        assert!(all2all > 0, "token routing charged as all2all time");
+    }
+
+    // Single-GPU replicas must report an all-zero all2all row: the EP
+    // config is inert without peers.
+    let mut single = Cluster::new(gate(), RoutingPolicy::RoundRobin, None);
+    single.add_replica(builder(), Box::new(predictor()));
+    let s = single.dispatch(&events);
+    assert!(s.replicas[0].per_gpu.all2all_ns.iter().all(|&ns| ns == 0));
+}

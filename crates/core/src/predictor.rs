@@ -26,7 +26,7 @@ use crate::selection::{prefetch_priority, select_experts, select_top_n, Selected
 use crate::store::ExpertMapStore;
 use fmoe_model::gate::TokenSpan;
 use fmoe_model::{ExpertId, GateSimulator, ModelConfig, RequestRouting};
-use fmoe_serving::{ExpertPredictor, IterationContext, PredictorTiming, PrefetchPlan};
+use fmoe_serving::{ExpertPredictor, IndexMode, IterationContext, PredictorTiming, PrefetchPlan};
 use std::collections::BTreeMap;
 
 /// A historical request used to pre-populate the store offline (the
@@ -111,11 +111,15 @@ impl FmoePredictor {
         }
     }
 
-    /// Switches per-element state to the retained `BTreeMap` reference
-    /// representation (differential testing; DESIGN.md §16).
+    /// Selects the per-element state representation: [`IndexMode::Dense`]
+    /// keeps the flat `Vec` hot path, [`IndexMode::Reference`] retains the
+    /// pre-dense `BTreeMap` for differential testing (DESIGN.md §16).
     #[must_use]
-    pub fn with_reference_elements(mut self) -> Self {
-        self.elements = ElementTable::Reference(BTreeMap::new());
+    pub fn with_index_mode(mut self, mode: IndexMode) -> Self {
+        self.elements = match mode {
+            IndexMode::Dense => ElementTable::Dense(Vec::new()),
+            IndexMode::Reference => ElementTable::Reference(BTreeMap::new()),
+        };
         self
     }
 

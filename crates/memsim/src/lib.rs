@@ -20,14 +20,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod all2all;
 pub mod clock;
 pub mod link;
 pub mod topology;
 pub mod transfer;
 
+pub use all2all::{all2all_layer_time, gate_skew, All2AllBackend};
 pub use clock::{Nanos, VirtualClock};
 pub use link::Link;
-pub use topology::{GpuId, Topology};
+pub use topology::{GpuId, Topology, TopologyBuilder, TopologyError};
 pub use transfer::{
     FailedTransfer, OnDemandOutcome, RetryPolicy, TransferClass, TransferEngine, TransferError,
     TransferStats,

@@ -38,13 +38,14 @@ fn schedule_strategy() -> impl Strategy<Value = FaultSchedule> {
 }
 
 fn topo() -> Topology {
-    Topology {
-        num_gpus: 3,
-        gpu_memory_bytes: 8 << 30,
-        host_link: Link::pcie4_x16(),
-        peer_link: Link::nvlink(),
-        host_memory_bytes: 64 << 30,
-    }
+    Topology::builder()
+        .num_gpus(3)
+        .gpu_memory_bytes(8 << 30)
+        .host_link(Link::pcie4_x16())
+        .peer_link(Link::nvlink())
+        .host_memory_bytes(64 << 30)
+        .build()
+        .expect("valid test topology")
 }
 
 proptest! {

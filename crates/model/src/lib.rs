@@ -32,7 +32,7 @@ pub mod gate;
 pub mod presets;
 
 pub use compute::{CostModel, GpuSpec};
-pub use config::ModelConfig;
+pub use config::{ModelConfig, BYTES_PER_PARAM_FP16};
 pub use dense::{DenseIdMap, DenseIdSet};
 pub use expert::{ExpertId, LayerId};
 pub use gate::{GateParams, GateSimulator, RequestRouting};

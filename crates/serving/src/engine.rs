@@ -22,12 +22,14 @@
 //! parallelism); attention/gate/shared-expert compute is modeled with the
 //! roofline cost model.
 
-use crate::metrics::{Breakdown, RequestMetrics};
+use crate::metrics::{Breakdown, PerGpuBreakdown, RequestMetrics};
+use crate::placement::PlacementPolicy;
 use crate::predictor::{ExpertPredictor, IterationContext, PrefetchPlan};
 use crate::timeline::{Timeline, TimelineEvent};
 use fmoe_cache::{EvictionPolicy, ExpertCache, InsertOutcome, ShardedExpertCache};
 use fmoe_memsim::{
-    FaultSchedule, GpuId, Nanos, RetryPolicy, Topology, TransferEngine, TransferError, VirtualClock,
+    all2all_layer_time, FaultSchedule, GpuId, Nanos, RetryPolicy, Topology, TransferEngine,
+    TransferError, VirtualClock,
 };
 use fmoe_model::gate::TokenSpan;
 use fmoe_model::{CostModel, DenseIdMap, DenseIdSet, ExpertId, GateSimulator, GpuSpec};
@@ -73,11 +75,57 @@ pub struct EngineConfig {
     /// half-precision payload instead of blocking indefinitely. Degraded
     /// loads count as `degraded_loads` in [`RequestMetrics`].
     pub on_demand_deadline_ns: Option<Nanos>,
-    /// Use the expert cache's retained `BTreeMap` residency index
-    /// instead of the default dense table (differential testing only;
-    /// DESIGN.md §16). Output must be byte-identical either way — the
-    /// dense-differential suite pins that.
-    pub reference_residency_index: bool,
+    /// Which index representation the hot-path tables use (differential
+    /// testing only; DESIGN.md §16). Output must be byte-identical
+    /// either way — the dense-differential suite pins that.
+    pub index_mode: IndexMode,
+    /// Expert parallelism inside the replica (off by default): when set
+    /// on a multi-GPU topology, each MoE layer pays a gate-skew-aware
+    /// all2all on the peer links, and missing experts evicted to a peer
+    /// device can be fetched peer-to-peer instead of from host
+    /// (DESIGN.md §17). `None` (or a single-GPU topology) is
+    /// byte-identical to the pre-EP engine.
+    pub expert_parallel: Option<ExpertParallelConfig>,
+}
+
+/// Which representation the engine's hot-path index tables use.
+///
+/// `Dense` is the production representation (flat tables keyed by dense
+/// expert index); `Reference` retains the `BTreeMap`-based reference
+/// implementation for differential testing (DESIGN.md §16). One enum
+/// replaces the former per-table boolean toggles
+/// (`reference_residency_index`, `with_reference_elements`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum IndexMode {
+    /// Flat dense-index tables — the production hot path.
+    #[default]
+    Dense,
+    /// Retained `BTreeMap` reference tables (differential testing).
+    Reference,
+}
+
+/// Expert-parallelism knobs for a multi-GPU replica (DESIGN.md §17).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExpertParallelConfig {
+    /// All2all kernel family used for per-layer token routing.
+    pub backend: fmoe_memsim::All2AllBackend,
+    /// Serve misses from a peer device's spill pool over the peer link
+    /// when possible, instead of always reloading from host.
+    pub peer_fetch: bool,
+    /// Number of experts the peer spill pool can hold (spare aggregate
+    /// device memory outside the cache budget). Oldest spills drop
+    /// first when full.
+    pub peer_pool_slots: usize,
+}
+
+impl Default for ExpertParallelConfig {
+    fn default() -> Self {
+        Self {
+            backend: fmoe_memsim::All2AllBackend::default(),
+            peer_fetch: true,
+            peer_pool_slots: 16,
+        }
+    }
 }
 
 impl Default for EngineConfig {
@@ -101,7 +149,8 @@ impl EngineConfig {
             kv_aware_budget: false,
             low_precision_threshold: None,
             on_demand_deadline_ns: None,
-            reference_residency_index: false,
+            index_mode: IndexMode::Dense,
+            expert_parallel: None,
         }
     }
 
@@ -264,6 +313,11 @@ struct IterationScratch {
     /// Per-GPU expert-FFN time accumulator for
     /// [`ServingEngine::expert_compute_time`].
     compute_per_gpu: Vec<Nanos>,
+    /// Per-owner-GPU routed token-assignment counts for the EP all2all
+    /// (zeroed each layer; unused when EP is off).
+    tokens_to_gpu: Vec<u64>,
+    /// Per-GPU all2all busy-time accumulator for one layer.
+    a2a_per_gpu: Vec<Nanos>,
 }
 
 impl IterationScratch {
@@ -279,7 +333,64 @@ impl IterationScratch {
         if self.per_gpu_now.len() != num_gpus {
             self.per_gpu_now = vec![None; num_gpus];
             self.compute_per_gpu = vec![0; num_gpus];
+            self.tokens_to_gpu = vec![0; num_gpus];
+            self.a2a_per_gpu = vec![0; num_gpus];
         }
+    }
+}
+
+/// Runtime state for expert parallelism: the configuration plus the
+/// peer spill pool — experts evicted from their owner GPU that still
+/// live in a peer device's spare memory, FIFO-bounded, servable over
+/// the peer link. Tiny (≤ `peer_pool_slots` entries), so membership is
+/// a dense bitset and order a plain vector.
+struct EpState {
+    config: ExpertParallelConfig,
+    /// Membership: dense expert indices currently spilled to a peer.
+    members: DenseIdSet,
+    /// Spill order, oldest first.
+    fifo: Vec<usize>,
+}
+
+impl EpState {
+    fn new(config: ExpertParallelConfig, num_experts: usize) -> Self {
+        Self {
+            config,
+            members: DenseIdSet::with_capacity(num_experts),
+            fifo: Vec::new(),
+        }
+    }
+
+    /// Records an eviction into the spill pool, dropping the oldest
+    /// spill when full. No-op when peer fetching is off or the pool has
+    /// no capacity.
+    fn spill(&mut self, dense: usize) {
+        if !self.config.peer_fetch || self.config.peer_pool_slots == 0 {
+            return;
+        }
+        if self.members.contains(dense) {
+            return;
+        }
+        self.members.insert(dense);
+        self.fifo.push(dense);
+        if self.fifo.len() > self.config.peer_pool_slots {
+            let oldest = self.fifo.remove(0);
+            self.members.remove(oldest);
+        }
+    }
+
+    /// Claims `dense` from the pool (a peer fetch consumes the copy).
+    fn take(&mut self, dense: usize) -> bool {
+        if !self.members.remove(dense) {
+            return false;
+        }
+        self.fifo.retain(|&d| d != dense);
+        true
+    }
+
+    fn clear(&mut self) {
+        self.members.clear();
+        self.fifo.clear();
     }
 }
 
@@ -379,6 +490,13 @@ pub struct ServingEngine {
     /// `None` (the default) engine output is byte-identical to a build
     /// without the field.
     host_cache: Option<Arc<ShardedExpertCache>>,
+    /// Expert-parallel runtime state; `None` when EP is off or the
+    /// topology has a single GPU — that path is byte-identical to the
+    /// pre-EP engine.
+    ep: Option<EpState>,
+    /// Per-GPU compute/all2all/transfer attribution over the engine's
+    /// lifetime (pure bookkeeping; never read by the sim path).
+    per_gpu: PerGpuBreakdown,
 }
 
 /// Fluent constructor for [`ServingEngine`]: gathers the model, device,
@@ -397,6 +515,7 @@ pub struct EngineBuilder {
     retry_policy: Option<RetryPolicy>,
     timeline: bool,
     host_cache: Option<Arc<ShardedExpertCache>>,
+    assignment: Option<Vec<u32>>,
 }
 
 impl EngineBuilder {
@@ -415,7 +534,37 @@ impl EngineBuilder {
             retry_policy: None,
             timeline: false,
             host_cache: None,
+            assignment: None,
         }
+    }
+
+    /// Selects the hot-path index representation (default:
+    /// [`IndexMode::Dense`]; `Reference` exists for differential
+    /// testing, DESIGN.md §16).
+    #[must_use]
+    pub fn index_mode(mut self, mode: IndexMode) -> Self {
+        self.config.index_mode = mode;
+        self
+    }
+
+    /// Enables expert parallelism inside the replica (DESIGN.md §17).
+    /// Meaningful only on multi-GPU topologies; single-GPU engines
+    /// ignore it and stay byte-identical to the pre-EP path.
+    #[must_use]
+    pub fn expert_parallel(mut self, ep: ExpertParallelConfig) -> Self {
+        self.config.expert_parallel = Some(ep);
+        self
+    }
+
+    /// Computes and installs an expert owner table from a
+    /// [`PlacementPolicy`] evaluated against this builder's model and
+    /// topology. Overrides the structural
+    /// [`fmoe_cache::Placement`] for `home_gpu` and everything
+    /// downstream of it (caching, transfers, all2all routing).
+    #[must_use]
+    pub fn placement_policy(mut self, policy: &dyn PlacementPolicy) -> Self {
+        self.assignment = Some(policy.assign(self.gate.config(), self.topology.num_gpus));
+        self
     }
 
     /// Replaces the eviction policy from the [`fmoe_cache::PolicyKind`]
@@ -518,6 +667,9 @@ impl EngineBuilder {
         if let Some(host) = self.host_cache {
             engine.set_shared_host_cache(host);
         }
+        if let Some(owners) = self.assignment {
+            engine.set_expert_assignment(owners);
+        }
         engine
     }
 }
@@ -543,11 +695,15 @@ impl ServingEngine {
         let mut cache =
             ExpertCache::new(&model, config.cache_budget_bytes, topology.num_gpus, policy)
                 .with_placement(config.placement);
-        if config.reference_residency_index {
+        if config.index_mode == IndexMode::Reference {
             cache = cache.with_reference_index();
         }
         let transfer = TransferEngine::new(&topology);
         let cost = CostModel::new(model, gpu);
+        let ep = config
+            .expert_parallel
+            .filter(|_| topology.num_gpus > 1)
+            .map(|c| EpState::new(c, num_experts));
         let mut engine = Self {
             gate,
             cost,
@@ -568,7 +724,12 @@ impl ServingEngine {
             scratch: IterationScratch::default(),
             trace: TraceSink::disabled(),
             host_cache: None,
+            ep,
+            per_gpu: PerGpuBreakdown::default(),
         };
+        engine
+            .per_gpu
+            .ensure_gpus(engine.topology.num_gpus as usize);
         if engine.config.preload_all {
             engine.preload_all_experts();
         }
@@ -620,6 +781,21 @@ impl ServingEngine {
     /// Takes the accumulated per-operation breakdown, resetting it.
     pub fn take_breakdown(&mut self) -> Breakdown {
         std::mem::take(&mut self.breakdown)
+    }
+
+    /// Per-GPU compute/all2all/transfer attribution accumulated over
+    /// the engine's lifetime (DESIGN.md §17).
+    #[must_use]
+    pub fn per_gpu_breakdown(&self) -> &PerGpuBreakdown {
+        &self.per_gpu
+    }
+
+    /// Installs an explicit expert owner table (dense expert index →
+    /// GPU), normally produced by a [`PlacementPolicy`] via
+    /// [`EngineBuilder::placement_policy`]. Affects `home_gpu` and
+    /// everything downstream; intended before any request is served.
+    pub fn set_expert_assignment(&mut self, owners: Vec<u32>) {
+        self.cache.set_assignment(owners);
     }
 
     /// Enables or disables execution-timeline recording.
@@ -728,6 +904,10 @@ impl ServingEngine {
         self.free_slots.clear();
         self.next_slot = 0;
         self.degraded_mode = false;
+        if let Some(ep) = self.ep.as_mut() {
+            // Spilled peer copies died with the replica's device memory.
+            ep.clear();
+        }
         let retry = self.transfer.retry_policy();
         let mut transfer = TransferEngine::new(&self.topology);
         transfer.set_trace_sink(self.trace.clone());
@@ -777,7 +957,8 @@ impl ServingEngine {
     /// request's stable slot id.
     ///
     /// TTFT is measured from admission; queueing before admission is the
-    /// scheduler's concern (see `online::serve_trace_continuous`).
+    /// scheduler's concern (see `online::serve` with
+    /// [`crate::online::ServeOptions::continuous`]).
     pub fn admit(&mut self, prompt: Prompt) -> usize {
         let slot = self.free_slots.pop().unwrap_or_else(|| {
             let s = self.next_slot;
@@ -1006,6 +1187,11 @@ impl ServingEngine {
         self.breakdown.matching_synchronous = timing.synchronous;
         let num_layers = self.gate.config().num_layers;
         let j = self.gate.config().experts_per_layer;
+        // EP knobs, snapshotted once (Copy) so the per-layer blocks
+        // below don't hold a borrow of `self.ep` across clock advances.
+        let ep_cfg = self.ep.as_ref().map(|s| s.config);
+        let a2a_bytes_per_token =
+            u64::from(self.gate.config().hidden_dim) * fmoe_model::BYTES_PER_PARAM_FP16;
         scratch.ensure_model(
             num_layers as usize * j as usize,
             self.topology.num_gpus as usize,
@@ -1185,6 +1371,54 @@ impl ServingEngine {
                 let _ = self.issue_prefetches(&scratch.layer_plans, issue_at);
             }
 
+            // EP all2all dispatch: each token's hidden activation moves
+            // to the owner GPUs of its activated experts over the peer
+            // fabric, bottlenecked by the most-loaded owner (gate skew).
+            // The symmetric combine is charged after expert compute.
+            let mut a2a_combine_ns = 0;
+            if let Some(ep_cfg) = ep_cfg {
+                scratch.tokens_to_gpu.iter_mut().for_each(|t| *t = 0);
+                for el in elements.iter() {
+                    if el.done {
+                        continue;
+                    }
+                    let tokens = el.span().count;
+                    for &slot in &el.activated[layer as usize] {
+                        let gpu = self.cache.home_gpu(ExpertId::new(layer, slot)) as usize;
+                        if let Some(t) = scratch.tokens_to_gpu.get_mut(gpu) {
+                            *t += tokens;
+                        }
+                    }
+                }
+                let total = all2all_layer_time(
+                    &self.topology,
+                    ep_cfg.backend,
+                    &scratch.tokens_to_gpu,
+                    a2a_bytes_per_token,
+                    &mut scratch.a2a_per_gpu,
+                );
+                if total > 0 {
+                    let dispatch = total / 2;
+                    a2a_combine_ns = total - dispatch;
+                    self.clock.advance(dispatch);
+                    self.breakdown.all2all_ns += dispatch;
+                    self.trace.span(
+                        self.clock.now(),
+                        Phase::All2All,
+                        NO_REQUEST,
+                        layer,
+                        NO_GPU,
+                        dispatch,
+                        0,
+                    );
+                    for (g, &busy) in scratch.a2a_per_gpu.iter().enumerate() {
+                        if let Some(t) = self.per_gpu.all2all_ns.get_mut(g) {
+                            *t += busy;
+                        }
+                    }
+                }
+            }
+
             // Absorb prefetches that have landed by now.
             self.absorb_completions();
 
@@ -1322,9 +1556,42 @@ impl ServingEngine {
                     let gpu = self.cache.home_gpu(e);
                     let gpu_now = per_gpu_now[gpu as usize].unwrap_or(start);
                     let t0 = gpu_now.max(start);
+                    let want = if self.degraded_mode { bytes / 2 } else { bytes };
+                    // Peer-to-peer tier: a copy spilled to a peer device
+                    // serves the miss over the fast peer link instead of
+                    // re-reading host memory (and without pausing the
+                    // host-side prefetch queues).
+                    if let Some(ep) = self.ep.as_mut() {
+                        if ep.config.peer_fetch && ep.take(d) {
+                            let done = t0 + self.topology.peer_link.transfer_time(want);
+                            self.timeline
+                                .record(t0, TimelineEvent::PeerFetch { expert: e });
+                            self.trace.instant(
+                                t0,
+                                Marker::PeerFetch,
+                                NO_REQUEST,
+                                e.layer,
+                                e.slot,
+                                gpu,
+                                want,
+                            );
+                            self.trace.count("engine.peer_fetches", 1);
+                            self.breakdown.peer_fetches += 1;
+                            self.breakdown.peer_fetch_ns += done - t0;
+                            if let Some(t) = self.per_gpu.transfer_ns.get_mut(gpu as usize) {
+                                *t += done - t0;
+                            }
+                            if want < bytes && !loaded.contains(d) {
+                                loaded.insert(d, want);
+                                self.timeline
+                                    .record(t0, TimelineEvent::OnDemandDegraded { expert: e });
+                            }
+                            per_gpu_now[gpu as usize] = Some(done);
+                            continue;
+                        }
+                    }
                     self.timeline
                         .record(t0, TimelineEvent::OnDemandLoad { expert: e });
-                    let want = if self.degraded_mode { bytes / 2 } else { bytes };
                     self.trace.instant(
                         t0,
                         Marker::OnDemandLoad,
@@ -1365,6 +1632,9 @@ impl ServingEngine {
                         self.timeline
                             .record(t0, TimelineEvent::OnDemandDegraded { expert: e });
                     }
+                    if let Some(t) = self.per_gpu.transfer_ns.get_mut(gpu as usize) {
+                        *t += done.saturating_sub(t0);
+                    }
                     per_gpu_now[gpu as usize] = Some(done);
                 }
                 let done = per_gpu_now
@@ -1398,7 +1668,18 @@ impl ServingEngine {
                         None => self.cache.insert(e, now),
                     };
                     match outcome {
-                        InsertOutcome::Inserted { .. } | InsertOutcome::AlreadyResident => {
+                        InsertOutcome::Inserted { evicted } => {
+                            // Under EP, evicted experts linger in spare
+                            // peer-device memory for a while — the
+                            // peer-fetch tier's spill pool.
+                            if let Some(ep) = self.ep.as_mut() {
+                                for v in &evicted {
+                                    ep.spill(v.dense_index(j));
+                                }
+                            }
+                            self.cache.pin(e);
+                        }
+                        InsertOutcome::AlreadyResident => {
                             self.cache.pin(e);
                         }
                         InsertOutcome::Rejected => {
@@ -1432,6 +1713,11 @@ impl ServingEngine {
             );
             self.clock.advance(expert_compute);
             self.breakdown.compute_ns += expert_compute;
+            for (g, &c) in scratch.compute_per_gpu.iter().enumerate() {
+                if let Some(t) = self.per_gpu.compute_ns.get_mut(g) {
+                    *t += c;
+                }
+            }
             self.trace.span(
                 self.clock.now(),
                 Phase::Compute,
@@ -1441,6 +1727,21 @@ impl ServingEngine {
                 expert_compute,
                 0,
             );
+            // EP all2all combine: expert outputs return to each token's
+            // source GPU — the mirror of the dispatch charged above.
+            if a2a_combine_ns > 0 {
+                self.clock.advance(a2a_combine_ns);
+                self.breakdown.all2all_ns += a2a_combine_ns;
+                self.trace.span(
+                    self.clock.now(),
+                    Phase::All2All,
+                    NO_REQUEST,
+                    layer,
+                    NO_GPU,
+                    a2a_combine_ns,
+                    0,
+                );
+            }
             // Release this layer's pins; staged experts for *future*
             // layers stay protected until their layer executes.
             for d in scratch.union.iter() {
@@ -1682,8 +1983,18 @@ impl ServingEngine {
                 c.bytes,
             );
             self.trace.count("engine.prefetch_arrivals", 1);
+            let outcome = self.cache.insert_sized(expert, c.bytes, c.completed_at);
+            if let InsertOutcome::Inserted { evicted } = &outcome {
+                if let Some(ep) = self.ep.as_mut() {
+                    // Evicted experts land in the peer spill pool (EP's
+                    // peer-fetch tier); no-op when EP is off.
+                    for v in evicted {
+                        ep.spill(v.dense_index(j));
+                    }
+                }
+            }
             if matches!(
-                self.cache.insert_sized(expert, c.bytes, c.completed_at),
+                outcome,
                 InsertOutcome::Inserted { .. } | InsertOutcome::AlreadyResident
             ) && self.cache.pin(expert)
             {

@@ -16,6 +16,8 @@
 //!   breakdown of the paper's Figure 15.
 //! * [`online`] — the trace-driven FCFS scheduler for the online-serving
 //!   experiments (Figure 10).
+//! * [`placement`] — expert-placement policies for expert parallelism:
+//!   which GPU owns each expert inside a multi-GPU replica (Figure 17).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,18 +25,20 @@
 pub mod engine;
 pub mod metrics;
 pub mod online;
+pub mod placement;
 pub mod predictor;
 pub mod timeline;
 
-pub use engine::{EngineBuilder, EngineConfig, ServeError, ServingEngine};
-pub use metrics::{AggregateMetrics, Breakdown, RequestMetrics};
+pub use engine::{
+    EngineBuilder, EngineConfig, ExpertParallelConfig, IndexMode, ServeError, ServingEngine,
+};
+pub use metrics::{AggregateMetrics, Breakdown, PerGpuBreakdown, RequestMetrics};
 pub use online::{
     serve, serve_event_fcfs, FcfsOutcome, OnlineReport, OnlineResult, Scheduler, ServeOptions,
     ShedRequest, SloAction, SloPolicy,
 };
-#[allow(deprecated)]
-pub use online::{
-    serve_trace, serve_trace_continuous, serve_trace_with_slo, try_serve_trace_continuous,
+pub use placement::{
+    FmoeMapPlacement, LoadBalancedPlacement, PlacementPolicy, RoundRobinPlacement,
 };
 pub use predictor::{ExpertPredictor, IterationContext, NoPrefetch, PredictorTiming, PrefetchPlan};
 pub use timeline::{Timeline, TimelineEntry, TimelineEvent};

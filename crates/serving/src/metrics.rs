@@ -163,8 +163,49 @@ pub struct Breakdown {
     pub prefetch_async_ns: u64,
     /// Asynchronous: store/matrix update time.
     pub update_async_ns: u64,
+    /// Synchronous: expert-parallel all2all token routing on the peer
+    /// fabric (zero unless EP is enabled on a multi-GPU topology).
+    pub all2all_ns: u64,
+    /// Synchronous: misses served from a peer device's spill pool over
+    /// the peer link (zero unless EP peer fetching is enabled).
+    pub peer_fetch_ns: u64,
+    /// Number of peer-to-peer miss fetches.
+    pub peer_fetches: u64,
     /// Total critical-path iteration time.
     pub iteration_total_ns: u64,
+}
+
+/// Per-GPU critical-path attribution across an engine's lifetime:
+/// expert-FFN compute, EP all2all busy time, and weight-transfer stall
+/// per device. Vectors are indexed by GPU and sized lazily from the
+/// topology. Feeds the cluster's per-GPU `ClusterReport` breakdowns
+/// (DESIGN.md §17).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct PerGpuBreakdown {
+    /// Expert FFN busy time per GPU.
+    pub compute_ns: Vec<u64>,
+    /// All2all (dispatch + combine) busy time per GPU.
+    pub all2all_ns: Vec<u64>,
+    /// On-demand weight-transfer stall attributed per GPU (host or
+    /// peer link).
+    pub transfer_ns: Vec<u64>,
+}
+
+impl PerGpuBreakdown {
+    /// Sizes all vectors for `num_gpus` devices (no-op once sized).
+    pub fn ensure_gpus(&mut self, num_gpus: usize) {
+        if self.compute_ns.len() != num_gpus {
+            self.compute_ns = vec![0; num_gpus];
+            self.all2all_ns = vec![0; num_gpus];
+            self.transfer_ns = vec![0; num_gpus];
+        }
+    }
+
+    /// Number of GPUs tracked.
+    #[must_use]
+    pub fn num_gpus(&self) -> usize {
+        self.compute_ns.len()
+    }
 }
 
 impl Breakdown {

@@ -9,8 +9,8 @@
 //! Expert Map Store starts empty and fills online, exactly as in the
 //! paper's setup.
 //!
-//! The older `serve_trace*` entry points remain as thin `#[deprecated]`
-//! wrappers around [`serve`].
+//! [`serve`] is the sole entry point; the scheduling discipline and SLO
+//! policy ride in [`ServeOptions`].
 
 use crate::engine::{ServeError, ServingEngine};
 use crate::metrics::RequestMetrics;
@@ -469,88 +469,6 @@ fn serve_continuous(
     })
 }
 
-/// Replays a trace through an engine with FCFS scheduling.
-///
-/// Events must be sorted by arrival time (as produced by
-/// `fmoe_workload::AzureTraceSpec::generate`).
-#[deprecated(note = "use `serve` with `ServeOptions::fcfs()`")]
-pub fn serve_trace(
-    engine: &mut ServingEngine,
-    trace: &[TraceEvent],
-    predictor: &mut dyn ExpertPredictor,
-) -> Vec<OnlineResult> {
-    // The FCFS path is infallible, so the error arm is unreachable.
-    serve(engine, trace, predictor, &ServeOptions::fcfs())
-        .map(|report| report.results)
-        .unwrap_or_default()
-}
-
-/// Replays a trace FCFS under an optional SLO policy: a request whose
-/// accumulated queueing delay exceeds the policy's budget when its turn
-/// comes is shed (never served) or served in degraded mode, per
-/// [`SloAction`].
-#[deprecated(note = "use `serve` with `ServeOptions::fcfs().with_slo(..)`")]
-pub fn serve_trace_with_slo(
-    engine: &mut ServingEngine,
-    trace: &[TraceEvent],
-    predictor: &mut dyn ExpertPredictor,
-    slo: Option<SloPolicy>,
-) -> OnlineReport {
-    let options = ServeOptions {
-        scheduler: Scheduler::Fcfs,
-        slo,
-    };
-    // The FCFS path is infallible, so the error arm is unreachable.
-    serve(engine, trace, predictor, &options).unwrap_or_default()
-}
-
-/// Replays a trace with **continuous batching**: up to `max_slots`
-/// requests share each iteration. Results are returned in completion
-/// order.
-///
-/// An engine bookkeeping error (which the original version of this
-/// function turned into a panic) now yields an empty result set; use
-/// [`serve`] to observe the typed error.
-#[deprecated(note = "use `serve` with `ServeOptions::continuous(max_slots)`")]
-pub fn serve_trace_continuous(
-    engine: &mut ServingEngine,
-    trace: &[TraceEvent],
-    predictor: &mut dyn ExpertPredictor,
-    max_slots: usize,
-) -> Vec<OnlineResult> {
-    serve(
-        engine,
-        trace,
-        predictor,
-        &ServeOptions::continuous(max_slots),
-    )
-    .map(|report| report.results)
-    .unwrap_or_default()
-}
-
-/// Fallible continuous-batching replay.
-///
-/// # Errors
-///
-/// [`ServeError::UnknownRequest`] if the engine reports a finished
-/// request that was never admitted (an engine bookkeeping invariant;
-/// surfaced as a typed error rather than a panic).
-#[deprecated(note = "use `serve` with `ServeOptions::continuous(max_slots)`")]
-pub fn try_serve_trace_continuous(
-    engine: &mut ServingEngine,
-    trace: &[TraceEvent],
-    predictor: &mut dyn ExpertPredictor,
-    max_slots: usize,
-) -> Result<Vec<OnlineResult>, ServeError> {
-    serve(
-        engine,
-        trace,
-        predictor,
-        &ServeOptions::continuous(max_slots),
-    )
-    .map(|report| report.results)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -855,39 +773,52 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_serve() {
+    fn serve_options_spellings_are_equivalent() {
+        // The spellings the removed `serve_trace*` wrappers used to
+        // expand to must keep producing identical reports through the
+        // unified `serve` entry point.
         let t = trace(6);
 
+        // `ServeOptions::fcfs()` is the default options value.
         let mut e1 = engine();
-        let legacy = serve_trace(&mut e1, &t, &mut NoPrefetch);
+        let default_opts = serve(&mut e1, &t, &mut NoPrefetch, &ServeOptions::default())
+            .expect("fcfs serving is infallible");
         let mut e2 = engine();
-        let unified = serve_fcfs_results(&mut e2, &t);
-        assert_eq!(format!("{legacy:?}"), format!("{unified:?}"));
+        let fcfs = serve(&mut e2, &t, &mut NoPrefetch, &ServeOptions::fcfs())
+            .expect("fcfs serving is infallible");
+        assert_eq!(format!("{default_opts:?}"), format!("{fcfs:?}"));
 
-        let slo = Some(SloPolicy::shed(0));
+        // Structurally-built options match the fluent constructor.
         let mut e3 = engine();
-        let legacy_slo = serve_trace_with_slo(&mut e3, &t, &mut NoPrefetch, slo);
+        let structural = serve(
+            &mut e3,
+            &t,
+            &mut NoPrefetch,
+            &ServeOptions {
+                scheduler: Scheduler::Fcfs,
+                slo: Some(SloPolicy::shed(0)),
+            },
+        )
+        .expect("fcfs serving is infallible");
         let mut e4 = engine();
-        let unified_slo = serve(
+        let fluent = serve(
             &mut e4,
             &t,
             &mut NoPrefetch,
             &ServeOptions::fcfs().with_slo(SloPolicy::shed(0)),
         )
         .expect("fcfs serving is infallible");
-        assert_eq!(format!("{legacy_slo:?}"), format!("{unified_slo:?}"));
+        assert_eq!(format!("{structural:?}"), format!("{fluent:?}"));
 
+        // `max_slots` clamps to at least one slot: zero and one behave
+        // identically.
         let mut e5 = engine();
-        let legacy_cb = serve_trace_continuous(&mut e5, &t, &mut NoPrefetch, 3);
+        let zero_slots = serve(&mut e5, &t, &mut NoPrefetch, &ServeOptions::continuous(0))
+            .expect("continuous serving succeeds");
         let mut e6 = engine();
-        let try_cb = try_serve_trace_continuous(&mut e6, &t, &mut NoPrefetch, 3).expect("serves");
-        let mut e7 = engine();
-        let unified_cb = serve(&mut e7, &t, &mut NoPrefetch, &ServeOptions::continuous(3))
-            .expect("continuous serving succeeds")
-            .results;
-        assert_eq!(format!("{legacy_cb:?}"), format!("{unified_cb:?}"));
-        assert_eq!(format!("{try_cb:?}"), format!("{unified_cb:?}"));
+        let one_slot = serve(&mut e6, &t, &mut NoPrefetch, &ServeOptions::continuous(1))
+            .expect("continuous serving succeeds");
+        assert_eq!(format!("{zero_slots:?}"), format!("{one_slot:?}"));
     }
 
     #[test]

@@ -58,6 +58,12 @@ pub enum TimelineEvent {
         /// The expert whose transfer was lost.
         expert: ExpertId,
     },
+    /// A miss was served from a peer device's spill pool over the peer
+    /// link (expert parallelism; only emitted by multi-GPU EP runs).
+    PeerFetch {
+        /// The expert fetched peer-to-peer.
+        expert: ExpertId,
+    },
     /// A memory-pressure fault shrank the effective expert-cache budget
     /// for this iteration.
     BudgetPressure {
@@ -152,6 +158,9 @@ pub fn render(entries: &[TimelineEntry]) -> String {
             }
             TimelineEvent::PrefetchFailed { expert } => {
                 format!("    prefetch FAILED   {expert}")
+            }
+            TimelineEvent::PeerFetch { expert } => {
+                format!("    peer fetch        {expert}")
             }
             TimelineEvent::BudgetPressure { effective_bytes } => {
                 format!("  budget pressure -> {effective_bytes} B")

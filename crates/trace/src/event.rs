@@ -44,6 +44,10 @@ pub enum Phase {
     OnDemandWait,
     /// Routed expert FFN compute for one layer.
     Compute,
+    /// Expert-parallel all2all token routing on the peer fabric
+    /// (dispatch or combine) for one layer. Only emitted by multi-GPU
+    /// EP runs, so single-GPU golden traces never contain it.
+    All2All,
     /// One full decode/prefill iteration, end to end.
     Iteration,
 }
@@ -61,6 +65,7 @@ impl Phase {
             Phase::Transfer => "transfer",
             Phase::OnDemandWait => "on_demand_wait",
             Phase::Compute => "compute",
+            Phase::All2All => "all2all",
             Phase::Iteration => "iteration",
         }
     }
@@ -92,6 +97,9 @@ pub enum Marker {
     TransferFailed,
     /// An on-demand load finished after its deadline.
     MissedDeadline,
+    /// A miss was served from a peer device's spill pool over the peer
+    /// link instead of reloading from host (expert parallelism).
+    PeerFetch,
     /// An expert was admitted into GPU cache residency.
     CacheInsert,
     /// An expert was evicted from GPU cache residency.
@@ -138,6 +146,7 @@ impl Marker {
             Marker::TransferRetry => "transfer_retry",
             Marker::TransferFailed => "transfer_failed",
             Marker::MissedDeadline => "missed_deadline",
+            Marker::PeerFetch => "peer_fetch",
             Marker::CacheInsert => "cache_insert",
             Marker::CacheEvict => "cache_evict",
             Marker::CacheReject => "cache_reject",

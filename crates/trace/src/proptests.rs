@@ -17,7 +17,7 @@ enum Op {
     Instant(u64, u64, u32, u64),
 }
 
-const PHASES: [Phase; 8] = [
+const PHASES: [Phase; 9] = [
     Phase::Queue,
     Phase::ContextCollect,
     Phase::Gate,
@@ -25,6 +25,7 @@ const PHASES: [Phase; 8] = [
     Phase::Transfer,
     Phase::OnDemandWait,
     Phase::Compute,
+    Phase::All2All,
     Phase::Iteration,
 ];
 

@@ -41,6 +41,9 @@ EXTENSION_BINS=(
   # in the fleet (DESIGN.md §14).
   chaos_faults
   fig13_cluster_chaos
+  # fig17_ep_all2all shards experts across a replica's GPUs and sweeps
+  # placement x width x all2all backend against host offloading (§17).
+  fig17_ep_all2all
 )
 
 for bin in "${PAPER_BINS[@]}" "${EXTENSION_BINS[@]}"; do

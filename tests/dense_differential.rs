@@ -6,10 +6,10 @@
 //! index, the predictor's `Vec`-backed element table). Two reference
 //! paths were deliberately retained:
 //!
-//! * `EngineConfig::reference_residency_index` — the expert cache's
+//! * `IndexMode::Reference` on `EngineConfig` — the expert cache's
 //!   original `BTreeMap<ExpertId, u32>` arena index, and
-//! * `FmoePredictor::with_reference_elements` — the original
-//!   `BTreeMap<usize, ElementState>` per-element table.
+//! * `FmoePredictor::with_index_mode(IndexMode::Reference)` — the
+//!   original `BTreeMap<usize, ElementState>` per-element table.
 //!
 //! This suite replays the golden online scenario for the paper lineup's
 //! baselines plus fMoE on both paths with identical seeds and asserts
@@ -22,37 +22,35 @@
 
 use fmoe_bench::{CellConfig, System};
 use fmoe_model::presets;
-use fmoe_serving::{serve, ExpertPredictor, ServeOptions};
+use fmoe_serving::{serve, ExpertPredictor, IndexMode, ServeOptions};
 use fmoe_trace::TraceSink;
 use fmoe_workload::{AzureTraceSpec, DatasetSpec};
 
 /// Same tiny cell as the golden-trace suite: small model, tight budget
 /// (so prefetching and eviction both happen), short decode.
-fn cell(system: System, reference: bool) -> CellConfig {
+fn cell(system: System, mode: IndexMode) -> CellConfig {
     let mut cell = CellConfig::new(presets::tiny_test_model(), DatasetSpec::tiny_test(), system);
     cell.total_prompts = 20;
     cell.max_decode = 3;
     cell.max_history_iterations = 3;
     cell.cache_budget_bytes = cell.model.expert_bytes() * 8;
-    cell.reference_residency_index = reference;
+    cell.index_mode = mode;
     cell
 }
 
 /// Runs the golden online scenario and renders every observable surface.
-/// With `reference` set, the engine uses the `BTreeMap` residency index
-/// and (for fMoE) the predictor uses the `BTreeMap` element table.
-fn surfaces(system: System, reference: bool) -> (String, String, String) {
-    let cell = cell(system, reference);
+/// Under `IndexMode::Reference` the engine uses the `BTreeMap` residency
+/// index and (for fMoE) the predictor uses the `BTreeMap` element table.
+fn surfaces(system: System, mode: IndexMode) -> (String, String, String) {
+    let cell = cell(system, mode);
     let gate = cell.gate();
     let (history, _) = cell.split();
-    let mut predictor: Box<dyn ExpertPredictor> = if system == System::Fmoe && reference {
-        Box::new(
-            cell.fmoe_predictor(&gate, &history)
-                .with_reference_elements(),
-        )
-    } else {
-        cell.predictor(&gate, &history)
-    };
+    let mut predictor: Box<dyn ExpertPredictor> =
+        if system == System::Fmoe && mode == IndexMode::Reference {
+            Box::new(cell.fmoe_predictor(&gate, &history).with_index_mode(mode))
+        } else {
+            cell.predictor(&gate, &history)
+        };
     let mut engine = cell.engine(gate);
     engine.set_trace_sink(TraceSink::recording(1 << 16));
     engine.set_timeline_enabled(true);
@@ -78,8 +76,8 @@ fn surfaces(system: System, reference: bool) -> (String, String, String) {
 }
 
 fn assert_identical(system: System) {
-    let (report_dense, timeline_dense, trace_dense) = surfaces(system, false);
-    let (report_ref, timeline_ref, trace_ref) = surfaces(system, true);
+    let (report_dense, timeline_dense, trace_dense) = surfaces(system, IndexMode::Dense);
+    let (report_ref, timeline_ref, trace_ref) = surfaces(system, IndexMode::Reference);
     assert!(!trace_dense.is_empty(), "{}: empty trace", system.name());
     assert_eq!(
         report_dense,
@@ -121,12 +119,12 @@ fn dense_matches_reference_oracle() {
     assert_identical(System::Oracle);
 }
 
-/// The reference flag itself must be observable only in performance:
-/// flipping it twice in-process yields identical surfaces (guards
+/// The index mode itself must be observable only in performance:
+/// constructing twice in-process yields identical surfaces (guards
 /// against hidden state leaking across constructions).
 #[test]
 fn reference_path_is_reproducible_in_process() {
-    let a = surfaces(System::Fmoe, true);
-    let b = surfaces(System::Fmoe, true);
+    let a = surfaces(System::Fmoe, IndexMode::Reference);
+    let b = surfaces(System::Fmoe, IndexMode::Reference);
     assert_eq!(a, b);
 }

@@ -1,46 +1,53 @@
-//! Serving-API equivalence suite.
+//! Serving-API surface suite.
 //!
-//! The unified [`fmoe_serving::serve`] entry point replaced four older
-//! functions (`serve_trace`, `serve_trace_with_slo`,
-//! `serve_trace_continuous`, `try_serve_trace_continuous`), which remain
-//! as deprecated wrappers. This suite pins the refactor: on the same
-//! deterministic scenario, `serve` must produce **byte-identical**
-//! results, timeline entries, and exported trace text to each legacy
-//! entry point. Any divergence means the unification changed behaviour
-//! rather than just the API surface.
-#![allow(deprecated)]
+//! The unified [`fmoe_serving::serve`] entry point is the only way to
+//! drive trace-driven serving (the four legacy `serve_trace*` wrappers
+//! are gone), and `EngineBuilder` is the only sugared way to assemble an
+//! engine. This suite pins that surface: the builder must assemble the
+//! exact engine the setters do, the `IndexMode` switch must be
+//! observable only in performance, and expert parallelism must be inert
+//! unless explicitly enabled on a multi-GPU topology.
 
 use fmoe::{FmoeConfig, FmoePredictor};
 use fmoe_cache::FmoePriorityPolicy;
 use fmoe_memsim::Topology;
 use fmoe_model::{presets, GateParams, GateSimulator, GpuSpec};
 use fmoe_serving::{
-    serve, serve_trace, serve_trace_continuous, serve_trace_with_slo, try_serve_trace_continuous,
-    EngineConfig, ServeOptions, ServingEngine, SloPolicy,
+    serve, EngineConfig, ExpertParallelConfig, IndexMode, PlacementPolicy, RoundRobinPlacement,
+    ServeOptions, ServingEngine,
 };
 use fmoe_trace::TraceSink;
 use fmoe_workload::{AzureTraceSpec, DatasetSpec, TraceEvent};
 
-fn engine() -> ServingEngine {
+fn engine_with(config: EngineConfig, topology: Topology) -> ServingEngine {
     let m = presets::small_test_model();
     let gate = GateSimulator::new(m.clone(), GateParams::for_model(&m));
     let mut e = ServingEngine::new(
         gate,
         GpuSpec::rtx_3090(),
-        Topology::single_gpu(8 << 30),
+        topology,
         Box::new(FmoePriorityPolicy::new()),
-        EngineConfig {
-            cache_budget_bytes: m.expert_bytes() * 16,
-            preload_all: false,
-            max_decode_iterations: Some(4),
-            context_collection_ns: 10_000,
-            framework_overhead_per_layer_ns: 50_000,
-            ..EngineConfig::paper_default()
-        },
+        config,
     );
     e.set_timeline_enabled(true);
     e.set_trace_sink(TraceSink::recording(1 << 16));
     e
+}
+
+fn base_config() -> EngineConfig {
+    let m = presets::small_test_model();
+    EngineConfig {
+        cache_budget_bytes: m.expert_bytes() * 16,
+        preload_all: false,
+        max_decode_iterations: Some(4),
+        context_collection_ns: 10_000,
+        framework_overhead_per_layer_ns: 50_000,
+        ..EngineConfig::paper_default()
+    }
+}
+
+fn engine() -> ServingEngine {
+    engine_with(base_config(), Topology::single_gpu(8 << 30))
 }
 
 fn predictor() -> FmoePredictor {
@@ -56,11 +63,8 @@ fn trace(n: u64) -> Vec<TraceEvent> {
 
 /// Everything observable about a serving run, rendered to bytes: the
 /// per-request results, the engine timeline, and the canonical trace
-/// text. Equality here is the refactor's contract.
-fn fingerprint(run: impl FnOnce(&mut ServingEngine, &mut FmoePredictor) -> String) -> String {
-    let mut engine = engine();
-    let mut predictor = predictor();
-    let results = run(&mut engine, &mut predictor);
+/// text. Equality here is the API's behavioural contract.
+fn drain(engine: &mut ServingEngine, results: String) -> String {
     format!(
         "results:\n{results}\ntimeline:\n{:?}\ntrace:\n{}",
         engine.take_timeline(),
@@ -68,106 +72,107 @@ fn fingerprint(run: impl FnOnce(&mut ServingEngine, &mut FmoePredictor) -> Strin
     )
 }
 
-#[test]
-fn serve_matches_legacy_serve_trace() {
-    let events = trace(10);
-    let unified = fingerprint(|e, p| {
-        let report = serve(e, &events, p, &ServeOptions::fcfs()).expect("fcfs is infallible");
-        format!("{:?}", report.results)
-    });
-    let legacy = fingerprint(|e, p| format!("{:?}", serve_trace(e, &events, p)));
-    assert_eq!(unified, legacy, "serve != serve_trace on the same scenario");
-}
-
-#[test]
-fn serve_matches_legacy_serve_trace_with_slo() {
-    // A t=0 burst against a zero-budget shed policy exercises both the
-    // shed and the served paths.
-    let mut events = trace(10);
-    for e in &mut events {
-        e.arrival_ns = 0;
-    }
-    for slo in [None, Some(SloPolicy::shed(0))] {
-        let unified = fingerprint(|e, p| {
-            let options = ServeOptions {
-                slo,
-                ..ServeOptions::fcfs()
-            };
-            let report = serve(e, &events, p, &options).expect("fcfs is infallible");
-            format!("{report:?}")
-        });
-        let legacy = fingerprint(|e, p| format!("{:?}", serve_trace_with_slo(e, &events, p, slo)));
-        assert_eq!(
-            unified, legacy,
-            "serve != serve_trace_with_slo (slo: {slo:?})"
-        );
-    }
-}
-
-#[test]
-fn serve_matches_legacy_continuous_entry_points() {
-    let events = trace(10);
-    for slots in [1usize, 4] {
-        let unified = fingerprint(|e, p| {
-            let report =
-                serve(e, &events, p, &ServeOptions::continuous(slots)).expect("bookkeeping holds");
-            format!("{:?}", report.results)
-        });
-        let legacy =
-            fingerprint(|e, p| format!("{:?}", serve_trace_continuous(e, &events, p, slots)));
-        assert_eq!(
-            unified, legacy,
-            "serve != serve_trace_continuous (slots: {slots})"
-        );
-        let fallible = fingerprint(|e, p| {
-            format!(
-                "{:?}",
-                try_serve_trace_continuous(e, &events, p, slots).expect("bookkeeping holds")
-            )
-        });
-        assert_eq!(
-            unified, fallible,
-            "serve != try_serve_trace_continuous (slots: {slots})"
-        );
-    }
+fn fingerprint_of(mut engine: ServingEngine, events: &[TraceEvent]) -> String {
+    let mut predictor = predictor();
+    let report = serve(&mut engine, events, &mut predictor, &ServeOptions::fcfs())
+        .expect("fcfs is infallible");
+    let results = format!("{:?}", report.results);
+    drain(&mut engine, results)
 }
 
 #[test]
 fn builder_built_engine_matches_hand_assembled_engine() {
     let events = trace(8);
-    let unified = fingerprint(|e, p| {
-        let report = serve(e, &events, p, &ServeOptions::fcfs()).expect("fcfs is infallible");
-        format!("{:?}", report.results)
-    });
+    let unified = fingerprint_of(engine(), &events);
 
     // Same configuration through EngineBuilder instead of the setters.
     let m = presets::small_test_model();
     let gate = GateSimulator::new(m.clone(), GateParams::for_model(&m));
-    let mut engine =
+    let built_engine =
         ServingEngine::builder(gate, GpuSpec::rtx_3090(), Topology::single_gpu(8 << 30))
             .policy(Box::new(FmoePriorityPolicy::new()))
-            .config(EngineConfig {
-                cache_budget_bytes: m.expert_bytes() * 16,
-                preload_all: false,
-                max_decode_iterations: Some(4),
-                context_collection_ns: 10_000,
-                framework_overhead_per_layer_ns: 50_000,
-                ..EngineConfig::paper_default()
-            })
+            .config(base_config())
             .timeline(true)
             .trace_sink(TraceSink::recording(1 << 16))
             .build();
-    let mut p = predictor();
-    let report =
-        serve(&mut engine, &events, &mut p, &ServeOptions::fcfs()).expect("fcfs is infallible");
-    let built = format!(
-        "results:\n{:?}\ntimeline:\n{:?}\ntrace:\n{}",
-        report.results,
-        engine.take_timeline(),
-        fmoe_trace::events_text(&engine.trace_sink().take_records())
-    );
+    let built = fingerprint_of(built_engine, &events);
     assert_eq!(
         unified, built,
         "EngineBuilder must assemble the exact engine the setters do"
+    );
+}
+
+/// `IndexMode::Reference` swaps the residency-index representation
+/// without changing a single observable byte.
+#[test]
+fn index_mode_is_observable_only_in_performance() {
+    let events = trace(8);
+    let dense = fingerprint_of(engine(), &events);
+    let reference = fingerprint_of(
+        engine_with(
+            EngineConfig {
+                index_mode: IndexMode::Reference,
+                ..base_config()
+            },
+            Topology::single_gpu(8 << 30),
+        ),
+        &events,
+    );
+    assert_eq!(dense, reference, "IndexMode changed observable behaviour");
+}
+
+/// Expert parallelism on a single-GPU topology is a no-op: the config
+/// may be present, but with one GPU there is nothing to shard, so the
+/// run must stay byte-identical to an EP-free engine.
+#[test]
+fn expert_parallel_is_inert_on_single_gpu_topologies() {
+    let events = trace(8);
+    let plain = fingerprint_of(engine(), &events);
+    let ep = fingerprint_of(
+        engine_with(
+            EngineConfig {
+                expert_parallel: Some(ExpertParallelConfig::default()),
+                ..base_config()
+            },
+            Topology::single_gpu(8 << 30),
+        ),
+        &events,
+    );
+    assert_eq!(plain, ep, "EP config must be inert on one GPU");
+}
+
+/// `EngineBuilder::placement_policy` is sugar for computing the
+/// assignment and installing it with `set_expert_assignment`.
+#[test]
+fn builder_placement_policy_matches_manual_assignment() {
+    let events = trace(8);
+    let m = presets::small_test_model();
+    let topo = Topology::builder()
+        .num_gpus(4)
+        .gpu_memory_bytes(8 << 30)
+        .build()
+        .expect("valid test topology");
+    let config = EngineConfig {
+        expert_parallel: Some(ExpertParallelConfig::default()),
+        ..base_config()
+    };
+
+    let gate = GateSimulator::new(m.clone(), GateParams::for_model(&m));
+    let via_builder = ServingEngine::builder(gate, GpuSpec::rtx_3090(), topo.clone())
+        .policy(Box::new(FmoePriorityPolicy::new()))
+        .config(config.clone())
+        .placement_policy(&RoundRobinPlacement)
+        .timeline(true)
+        .trace_sink(TraceSink::recording(1 << 16))
+        .build();
+    let sugar = fingerprint_of(via_builder, &events);
+
+    let mut by_hand = engine_with(config, topo.clone());
+    by_hand.set_expert_assignment(RoundRobinPlacement.assign(&m, topo.num_gpus));
+    let manual = fingerprint_of(by_hand, &events);
+
+    assert_eq!(
+        sugar, manual,
+        "placement_policy must install exactly the policy's assignment"
     );
 }
